@@ -1,0 +1,143 @@
+//! Criticality estimation from dependence chains (paper Section 3,
+//! fifth/sixth applications).
+//!
+//! The paper argues cycle-by-cycle chain information "can potentially
+//! improve the accuracy of critical instruction detection ... Bodik's
+//! random sampling approach may unintentionally miss critical sequences.
+//! Data dependence information can potentially provide more directed,
+//! rather than random, sampling." It likewise proposes dependence-derived
+//! parallelism estimates for pipeline-gating optimizations (Bahar/Manne,
+//! Folegnani).
+//!
+//! [`CriticalityEstimator`] scores each in-flight instruction by its
+//! trailing-dependent count and exposes a window *parallelism estimate*
+//! (mean chain load), the quantity those optimizations would consume.
+
+use arvi_core::{DdtConfig, InstSlot, RenamedOp, Tracker, TrackerConfig};
+
+/// Dependence-directed criticality and parallelism estimation.
+#[derive(Debug)]
+pub struct CriticalityEstimator {
+    tracker: Tracker,
+}
+
+impl CriticalityEstimator {
+    /// Creates an estimator window.
+    pub fn new(slots: usize, phys_regs: usize) -> CriticalityEstimator {
+        CriticalityEstimator {
+            tracker: Tracker::new(TrackerConfig {
+                ddt: DdtConfig { slots, phys_regs },
+                track_dependents: true,
+            }),
+        }
+    }
+
+    /// Inserts a renamed instruction.
+    pub fn insert(&mut self, op: &RenamedOp) -> InstSlot {
+        self.tracker.insert(op)
+    }
+
+    /// Retires the oldest instruction.
+    pub fn commit_oldest(&mut self) {
+        self.tracker.commit_oldest();
+    }
+
+    /// Criticality score of one in-flight instruction: the number of
+    /// in-flight instructions transitively waiting on it.
+    pub fn score(&self, slot: InstSlot) -> u32 {
+        self.tracker.dependents(slot)
+    }
+
+    /// The most critical in-flight instructions (directed sampling),
+    /// highest score first, ties oldest first.
+    pub fn top_critical(&self, n: usize) -> Vec<(InstSlot, u32)> {
+        let mut scored: Vec<(InstSlot, u32)> = (0..self.tracker.ddt().config().slots)
+            .map(|s| InstSlot(s as u32))
+            .filter(|&s| self.tracker.ddt().is_slot_valid(s))
+            .map(|s| (s, self.tracker.dependents(s)))
+            .collect();
+        scored.sort_by_key(|&(s, score)| (std::cmp::Reverse(score), self.tracker.ddt().slot_seq(s)));
+        scored.truncate(n);
+        scored
+    }
+
+    /// Window parallelism estimate: in-flight instructions divided by the
+    /// mean dependent load plus one. High values mean wide, independent
+    /// work (an issue queue could shrink); low values mean serialized
+    /// chains.
+    pub fn parallelism_estimate(&self) -> f64 {
+        let occ = self.tracker.occupancy();
+        if occ == 0 {
+            return 0.0;
+        }
+        let total: u64 = (0..self.tracker.ddt().config().slots)
+            .map(|s| InstSlot(s as u32))
+            .filter(|&s| self.tracker.ddt().is_slot_valid(s))
+            .map(|s| self.tracker.dependents(s) as u64)
+            .sum();
+        occ as f64 / (total as f64 / occ as f64 + 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arvi_core::PhysReg;
+
+    fn p(i: u16) -> PhysReg {
+        PhysReg(i)
+    }
+
+    #[test]
+    fn chain_head_is_most_critical() {
+        let mut c = CriticalityEstimator::new(32, 64);
+        let head = c.insert(&RenamedOp::load(p(1), None));
+        let mut prev = p(1);
+        for i in 0..5u16 {
+            let d = p(10 + i);
+            c.insert(&RenamedOp::alu(d, [Some(prev), None]));
+            prev = d;
+        }
+        c.insert(&RenamedOp::alu(p(30), [None, None])); // independent
+        let top = c.top_critical(1);
+        assert_eq!(top[0].0, head);
+        assert_eq!(top[0].1, 5);
+    }
+
+    #[test]
+    fn parallel_window_scores_high() {
+        let mut wide = CriticalityEstimator::new(32, 64);
+        for i in 0..8u16 {
+            wide.insert(&RenamedOp::alu(p(i + 1), [None, None]));
+        }
+        let mut narrow = CriticalityEstimator::new(32, 64);
+        let mut prev = None;
+        for i in 0..8u16 {
+            narrow.insert(&RenamedOp::alu(p(i + 1), [prev, None]));
+            prev = Some(p(i + 1));
+        }
+        assert!(
+            wide.parallelism_estimate() > narrow.parallelism_estimate() * 1.5,
+            "wide {} vs narrow {}",
+            wide.parallelism_estimate(),
+            narrow.parallelism_estimate()
+        );
+    }
+
+    #[test]
+    fn empty_window_is_zero() {
+        let c = CriticalityEstimator::new(8, 16);
+        assert_eq!(c.parallelism_estimate(), 0.0);
+        assert!(c.top_critical(4).is_empty());
+    }
+
+    #[test]
+    fn commit_reduces_scores() {
+        let mut c = CriticalityEstimator::new(16, 32);
+        c.insert(&RenamedOp::alu(p(1), [None, None]));
+        c.insert(&RenamedOp::alu(p(2), [Some(p(1)), None]));
+        assert_eq!(c.top_critical(1)[0].1, 1);
+        c.commit_oldest();
+        assert_eq!(c.top_critical(1)[0].1, 0);
+    }
+}

@@ -1,0 +1,29 @@
+//! # arvi-apps
+//!
+//! The paper's Section 3: applications of on-line, cycle-by-cycle data
+//! dependence tracking beyond branch prediction. Each module is a working
+//! model of one proposed use, driven by the same
+//! [`Tracker`](arvi_core::Tracker) (DDT + RSE) the ARVI predictor uses:
+//!
+//! * [`scheduling`] — issue priority from trailing-dependent counts;
+//! * [`smt`] — SMT fetch gating: ICOUNT versus chain-length scores;
+//! * [`value_prediction`] — Calder-style selective value prediction,
+//!   gated by the DDT's dependent counters;
+//! * [`decoupled`] — branch-decoupled (BEX) slice extraction;
+//! * [`criticality`] — directed critical-instruction sampling and window
+//!   parallelism estimates.
+//!
+//! The runnable `applications` example at the workspace root exercises
+//! all five against real workload traces.
+
+pub mod criticality;
+pub mod decoupled;
+pub mod scheduling;
+pub mod smt;
+pub mod value_prediction;
+
+pub use criticality::CriticalityEstimator;
+pub use decoupled::{BexExtractor, BranchSlice};
+pub use scheduling::ChainScheduler;
+pub use smt::{FetchPolicy, SmtFetchPolicy};
+pub use value_prediction::{SelectiveValuePredictor, VpStats};

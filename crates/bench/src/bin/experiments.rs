@@ -1,0 +1,48 @@
+//! Runs the complete evaluation: Tables 1-4, Figure 5, and Figure 6 at
+//! all three pipeline depths, printing every artifact the paper reports.
+//!
+//! Usage: `experiments [--quick]`
+
+use arvi_bench::{fig5_tables, paper_tables, Fig6Data, Spec};
+use arvi_sim::{Depth, PredictorConfig};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let spec = if quick { Spec::quick() } else { Spec::default() };
+
+    for (title, table) in paper_tables() {
+        println!("== {title} ==\n{}\n", table.to_text());
+    }
+
+    let (fig5a, fig5b) = fig5_tables(spec, true);
+    println!("== Figure 5(a): fraction of load branches ==\n{}", fig5a.to_text());
+    println!(
+        "== Figure 5(b): accuracy, calculated vs load branches (20-stage, ARVI current value) ==\n{}",
+        fig5b.to_text()
+    );
+
+    let mut headlines = Vec::new();
+    for depth in Depth::all() {
+        let data = Fig6Data::collect(depth, spec, true);
+        println!(
+            "== Figure 6: prediction accuracy, {depth} pipeline ==\n{}",
+            data.accuracy_table().to_text()
+        );
+        println!(
+            "== Figure 6: normalized IPC, {depth} pipeline ==\n{}",
+            data.normalized_ipc_table().to_text()
+        );
+        headlines.push((
+            depth,
+            data.mean_normalized_ipc(PredictorConfig::ArviCurrent),
+            data.mean_normalized_ipc(PredictorConfig::ArviLoadBack),
+            data.mean_normalized_ipc(PredictorConfig::ArviPerfect),
+        ));
+    }
+
+    println!("== Headline: mean normalized IPC over the suite ==");
+    println!("depth      current  load-back  perfect   (paper: current 1.126@20, 1.156@60; perfect 1.251@20)");
+    for (depth, cur, lb, perf) in headlines {
+        println!("{depth:<10} {cur:<8.3} {lb:<10.3} {perf:<8.3}");
+    }
+}

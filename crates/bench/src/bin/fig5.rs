@@ -1,0 +1,18 @@
+//! Regenerates Figure 5: (a) load-branch fraction per benchmark across
+//! pipeline depths; (b) prediction accuracy of calculated vs load
+//! branches (20-stage, ARVI current value).
+//!
+//! Usage: `fig5 [--quick]`
+
+use arvi_bench::{fig5_tables, Spec};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let spec = if quick { Spec::quick() } else { Spec::default() };
+    let (fig5a, fig5b) = fig5_tables(spec, true);
+    println!("== Figure 5(a): fraction of load branches ==\n{}", fig5a.to_text());
+    println!(
+        "== Figure 5(b): prediction accuracy, calculated vs load branches (20-stage, ARVI current value) ==\n{}",
+        fig5b.to_text()
+    );
+}

@@ -1,0 +1,36 @@
+//! Regenerates Figure 6 for one pipeline depth: prediction accuracy
+//! (a/c/e) and normalized IPC (b/d/f) for the four configurations.
+//!
+//! Usage: `fig6 [20|40|60] [--quick]`
+
+use arvi_bench::{Fig6Data, Spec};
+use arvi_sim::{Depth, PredictorConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let depth = match args.iter().find(|a| !a.starts_with("--")).map(|s| s.as_str()) {
+        Some("40") => Depth::D40,
+        Some("60") => Depth::D60,
+        _ => Depth::D20,
+    };
+    let quick = args.iter().any(|a| a == "--quick");
+    let spec = if quick { Spec::quick() } else { Spec::default() };
+
+    let data = Fig6Data::collect(depth, spec, true);
+    println!(
+        "== Figure 6: prediction accuracy, {depth} pipeline ==\n{}",
+        data.accuracy_table().to_text()
+    );
+    println!(
+        "== Figure 6: normalized IPC, {depth} pipeline ==\n{}",
+        data.normalized_ipc_table().to_text()
+    );
+    println!(
+        "headline: ARVI current value mean normalized IPC = {:.3} (paper: 1.126 at 20 stages, 1.156 at 60)",
+        data.mean_normalized_ipc(PredictorConfig::ArviCurrent)
+    );
+    println!(
+        "          ARVI perfect value mean normalized IPC = {:.3} (paper: 1.251 at 20 stages)",
+        data.mean_normalized_ipc(PredictorConfig::ArviPerfect)
+    );
+}

@@ -1,0 +1,7 @@
+//! Regenerates the paper's configuration tables (Tables 1-4).
+
+fn main() {
+    for (title, table) in arvi_bench::paper_tables() {
+        println!("== {title} ==\n{}\n", table.to_text());
+    }
+}

@@ -1,0 +1,23 @@
+//! # arvi-bench
+//!
+//! The experiment harness of the ARVI reproduction: regenerates every
+//! table and figure of the paper's evaluation (see DESIGN.md §5 for the
+//! experiment index).
+//!
+//! Binaries:
+//!
+//! * `tables` — Tables 1–4 (design/configuration tables).
+//! * `fig5` — Figure 5(a) load-branch fractions and 5(b) per-class
+//!   accuracy.
+//! * `fig6` — Figure 6 prediction accuracy and normalized IPC for all
+//!   four configurations at a given pipeline depth.
+//! * `experiments` — the full sweep, emitting every figure and the
+//!   headline averages.
+//!
+//! Criterion microbenchmarks (under `benches/`) measure the hardware
+//! structures themselves (DDT insert/chain-read, RSE extraction, BVIT
+//! lookup, predictor throughput, emulator and whole-machine speed).
+
+pub mod harness;
+
+pub use harness::{fig5_tables, fig6_tables, paper_tables, run_one, Fig6Data, Spec};

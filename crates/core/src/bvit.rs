@@ -1,0 +1,293 @@
+//! The Branch Value Information Table (BVIT) — paper Section 4.1/4.3.
+//!
+//! A four-way set-associative table indexed by a hash of the branch PC and
+//! the values of the extracted register set. Each entry holds:
+//!
+//! * an **ID tag** — the 3-bit sum of the register set's logical IDs
+//!   (path differentiator, Section 4.4);
+//! * a **depth tag** — the 5-bit dependence-chain span (loop-iteration
+//!   differentiator, Section 4.5);
+//! * a **performance counter** — 3 bits, "based on Heil's design", tracking
+//!   the effectiveness of the entry and selecting the replacement victim;
+//! * the **prediction** — a 2-bit saturating direction counter.
+
+use arvi_predict::SatCounter;
+
+/// Shape parameters for a [`Bvit`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BvitConfig {
+    /// log2 of the number of sets (the paper's index hash is 11 bits).
+    pub sets_log2: u32,
+    /// Associativity (4 in the paper).
+    pub ways: usize,
+    /// ID-sum tag width in bits (3 in the paper).
+    pub id_tag_bits: u32,
+    /// Depth tag width in bits (5 in the paper).
+    pub depth_bits: u32,
+    /// Performance counter width in bits (3 in the paper).
+    pub perf_bits: u32,
+}
+
+impl Default for BvitConfig {
+    /// The paper's configuration: 2^11 sets, 4-way.
+    fn default() -> BvitConfig {
+        BvitConfig {
+            sets_log2: 11,
+            ways: 4,
+            id_tag_bits: 3,
+            depth_bits: 5,
+            perf_bits: 3,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    valid: bool,
+    id_tag: u8,
+    depth_tag: u8,
+    perf: SatCounter,
+    dir: SatCounter,
+}
+
+/// The BVIT: prior branch behaviour keyed by (value hash, register-set ID
+/// sum, chain depth).
+///
+/// # Example
+///
+/// ```
+/// use arvi_core::{Bvit, BvitConfig};
+/// let mut b = Bvit::new(BvitConfig::default());
+/// assert_eq!(b.lookup(100, 3, 7), None);     // cold miss
+/// b.update(100, 3, 7, true, true);           // allocate + train taken
+/// assert_eq!(b.lookup(100, 3, 7), Some(true));
+/// assert_eq!(b.lookup(100, 4, 7), None);     // ID tag mismatch
+/// ```
+#[derive(Debug, Clone)]
+pub struct Bvit {
+    cfg: BvitConfig,
+    entries: Vec<Entry>,
+    set_mask: usize,
+}
+
+impl Bvit {
+    /// Creates an empty BVIT.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets_log2` is 0 or greater than 24, or `ways` is 0.
+    pub fn new(cfg: BvitConfig) -> Bvit {
+        assert!((1..=24).contains(&cfg.sets_log2));
+        assert!(cfg.ways > 0, "BVIT needs at least one way");
+        let sets = 1usize << cfg.sets_log2;
+        Bvit {
+            cfg,
+            entries: vec![
+                Entry {
+                    valid: false,
+                    id_tag: 0,
+                    depth_tag: 0,
+                    perf: SatCounter::new(cfg.perf_bits, 0),
+                    dir: SatCounter::two_bit(),
+                };
+                sets * cfg.ways
+            ],
+            set_mask: sets - 1,
+        }
+    }
+
+    /// The configured shape.
+    pub fn config(&self) -> BvitConfig {
+        self.cfg
+    }
+
+    #[inline]
+    fn set_range(&self, index: usize) -> std::ops::Range<usize> {
+        let set = index & self.set_mask;
+        let base = set * self.cfg.ways;
+        base..base + self.cfg.ways
+    }
+
+    /// Looks up a prediction. Both tags must match (the paper's "compare
+    /// the ID and depth tags, return a prediction").
+    pub fn lookup(&self, index: usize, id_tag: u8, depth_tag: u8) -> Option<bool> {
+        self.lookup_entry(index, id_tag, depth_tag).map(|(dir, ..)| dir)
+    }
+
+    /// Looks up a prediction together with the entry's performance-counter
+    /// value and whether the direction counter is saturated (*strong*).
+    /// Heil's counter doubles as a usefulness estimate and the strong bit
+    /// as a consistency estimate: hosts gate overrides on them so unproven
+    /// or oscillating entries never flip the level-1 result.
+    pub fn lookup_entry(&self, index: usize, id_tag: u8, depth_tag: u8) -> Option<(bool, u8, bool)> {
+        self.entries[self.set_range(index)]
+            .iter()
+            .find(|e| e.valid && e.id_tag == id_tag && e.depth_tag == depth_tag)
+            .map(|e| {
+                let v = e.dir.value();
+                (e.dir.is_set(), e.perf.value(), v == 0 || v == e.dir.max())
+            })
+    }
+
+    /// Trains the table with a resolved branch outcome.
+    ///
+    /// On a tag hit the direction counter moves toward the outcome and the
+    /// performance counter is incremented if the entry's prediction was
+    /// correct, decremented otherwise. On a miss, if `allocate` is set (the
+    /// host allocates only for low-confidence branches, dedicating "ARVI
+    /// resources to difficult branches"), the way with the lowest
+    /// performance counter is replaced.
+    pub fn update(&mut self, index: usize, id_tag: u8, depth_tag: u8, taken: bool, allocate: bool) {
+        let range = self.set_range(index);
+        let ways = &mut self.entries[range];
+
+        if let Some(e) = ways
+            .iter_mut()
+            .find(|e| e.valid && e.id_tag == id_tag && e.depth_tag == depth_tag)
+        {
+            let was_correct = e.dir.is_set() == taken;
+            if was_correct {
+                e.perf.increment();
+            } else {
+                e.perf.decrement();
+            }
+            e.dir.update(taken);
+            return;
+        }
+
+        if !allocate {
+            return;
+        }
+
+        // Victim: first invalid way, else the lowest performance counter.
+        let victim = match ways.iter().position(|e| !e.valid) {
+            Some(i) => i,
+            None => {
+                let mut best = 0usize;
+                for (i, e) in ways.iter().enumerate() {
+                    if e.perf.value() < ways[best].perf.value() {
+                        best = i;
+                    }
+                }
+                best
+            }
+        };
+        // "The prior outcome is used as the prediction": a fresh entry
+        // starts saturated toward the observed outcome, so deterministic
+        // signatures predict from their second encounter.
+        ways[victim] = Entry {
+            valid: true,
+            id_tag,
+            depth_tag,
+            perf: SatCounter::new(self.cfg.perf_bits, 1),
+            dir: SatCounter::new(2, if taken { 3 } else { 0 }),
+        };
+    }
+
+    /// Number of valid entries (diagnostics).
+    pub fn valid_entries(&self) -> usize {
+        self.entries.iter().filter(|e| e.valid).count()
+    }
+
+    /// Storage bits: per entry, valid + ID tag + depth tag + performance
+    /// counter + 2-bit direction counter.
+    pub fn storage_bits(&self) -> usize {
+        let per_entry =
+            1 + self.cfg.id_tag_bits as usize + self.cfg.depth_bits as usize
+                + self.cfg.perf_bits as usize
+                + 2;
+        self.entries.len() * per_entry
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Bvit {
+        Bvit::new(BvitConfig {
+            sets_log2: 4,
+            ways: 4,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn miss_then_learn() {
+        let mut b = small();
+        assert_eq!(b.lookup(5, 1, 2), None);
+        b.update(5, 1, 2, false, true);
+        assert_eq!(b.lookup(5, 1, 2), Some(false));
+    }
+
+    #[test]
+    fn tags_disambiguate_same_set() {
+        let mut b = small();
+        b.update(5, 1, 2, true, true);
+        b.update(5, 1, 3, false, true); // same ID, different depth
+        b.update(5, 2, 2, false, true); // different ID, same depth
+        assert_eq!(b.lookup(5, 1, 2), Some(true));
+        assert_eq!(b.lookup(5, 1, 3), Some(false));
+        assert_eq!(b.lookup(5, 2, 2), Some(false));
+    }
+
+    #[test]
+    fn direction_counter_has_hysteresis() {
+        let mut b = small();
+        b.update(9, 0, 0, true, true);
+        b.update(9, 0, 0, true, true); // strongly taken
+        b.update(9, 0, 0, false, true); // one flip
+        assert_eq!(b.lookup(9, 0, 0), Some(true));
+        b.update(9, 0, 0, false, true);
+        assert_eq!(b.lookup(9, 0, 0), Some(false));
+    }
+
+    #[test]
+    fn no_allocation_without_permission() {
+        let mut b = small();
+        b.update(7, 1, 1, true, false);
+        assert_eq!(b.lookup(7, 1, 1), None);
+        assert_eq!(b.valid_entries(), 0);
+    }
+
+    #[test]
+    fn replacement_evicts_lowest_performance() {
+        let mut b = Bvit::new(BvitConfig {
+            sets_log2: 1,
+            ways: 2,
+            ..Default::default()
+        });
+        // Fill both ways of set 0.
+        b.update(0, 1, 0, true, true);
+        b.update(0, 2, 0, true, true);
+        // Entry (1,0) predicts correctly many times: perf rises.
+        for _ in 0..6 {
+            b.update(0, 1, 0, true, true);
+        }
+        // Entry (2,0) mispredicts: perf falls to 0.
+        b.update(0, 2, 0, false, true);
+        b.update(0, 2, 0, true, true);
+        b.update(0, 2, 0, false, true);
+        // A new signature must evict (2,0), not the high-performer.
+        b.update(0, 3, 0, true, true);
+        assert_eq!(b.lookup(0, 1, 0), Some(true), "high performer survives");
+        assert_eq!(b.lookup(0, 2, 0), None, "low performer evicted");
+        assert_eq!(b.lookup(0, 3, 0), Some(true));
+    }
+
+    #[test]
+    fn index_wraps_to_set_count() {
+        let mut b = small();
+        b.update(3, 1, 1, true, true);
+        // 3 + 16 maps to the same set; different tags still miss.
+        assert_eq!(b.lookup(3 + 16, 9, 9), None);
+        assert_eq!(b.lookup(3 + 16, 1, 1), Some(true));
+    }
+
+    #[test]
+    fn paper_config_storage() {
+        let b = Bvit::new(BvitConfig::default());
+        // 2048 sets x 4 ways = 8192 entries of 14 bits.
+        assert_eq!(b.storage_bits(), 8192 * 14);
+    }
+}

@@ -1,0 +1,608 @@
+//! The Data Dependence Table (DDT) — paper Section 2.
+//!
+//! The DDT is a RAM with one row per physical register and one bit-column
+//! per in-flight instruction. Row `r` holds the *data dependence chain* of
+//! the youngest in-flight producer of `r`: the set of in-flight
+//! instructions the value of `r` transitively depends on. On insertion of
+//! an instruction the hardware computes
+//!
+//! ```text
+//! DDT[dest] = (DDT[src1] OR DDT[src2]) AND ValidVector  |  own bit
+//! ```
+//!
+//! Instruction entries are allocated in circular FIFO order; a commit
+//! clears the instruction's valid bit (removing it from all future chain
+//! reads immediately), and a branch misprediction rolls the head pointer
+//! back exactly like the ROB.
+//!
+//! ## Software representation
+//!
+//! This model is bit-exact with the hardware but avoids the hardware's
+//! column-clear-on-reuse sweep. Slots are allocated strictly round-robin
+//! (`slot = seq % capacity`), so the occupant of a slot changes exactly
+//! every `capacity` allocations. A row written when instruction `W` was
+//! inserted can only legitimately reference instructions with sequence
+//! numbers in `[tail, W]`; masking a row read with the circular range
+//! `[tail, W]` (plus the valid vector, which also accounts for squashes)
+//! yields exactly the bits a column-clearing hardware implementation would
+//! see, in `O(capacity/64)` word operations.
+
+use crate::types::{InstSlot, PhysReg};
+
+/// Shape parameters for a [`Ddt`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DdtConfig {
+    /// Number of instruction entries (columns) — the in-flight window.
+    pub slots: usize,
+    /// Number of physical registers (rows).
+    pub phys_regs: usize,
+}
+
+impl DdtConfig {
+    /// The paper's sizing example (Section 2.1): the Alpha 21264's 80 ROB
+    /// entries and 72 physical integer registers, giving a 730-byte RAM.
+    pub fn alpha_21264() -> DdtConfig {
+        DdtConfig {
+            slots: 80,
+            phys_regs: 72,
+        }
+    }
+}
+
+/// A dependence-chain bit vector over instruction slots.
+///
+/// Produced by [`Ddt::chain`]; iterate the member slots with
+/// [`ChainMask::slots`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChainMask {
+    words: Vec<u64>,
+    slots: usize,
+}
+
+impl ChainMask {
+    fn zeroed(slots: usize) -> ChainMask {
+        ChainMask {
+            words: vec![0; slots.div_ceil(64)],
+            slots,
+        }
+    }
+
+    /// Whether the chain is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Number of instructions in the chain.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether `slot` is a member of the chain.
+    pub fn contains(&self, slot: InstSlot) -> bool {
+        let i = slot.index();
+        i < self.slots && self.words[i / 64] >> (i % 64) & 1 == 1
+    }
+
+    /// Iterates the member slots in column order.
+    pub fn slots(&self) -> impl Iterator<Item = InstSlot> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut bits = w;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    None
+                } else {
+                    let b = bits.trailing_zeros();
+                    bits &= bits - 1;
+                    Some(InstSlot((wi * 64) as u32 + b))
+                }
+            })
+        })
+    }
+
+    /// Unions another chain into this one.
+    pub fn union_with(&mut self, other: &ChainMask) {
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// The raw words of the mask (low bit of word 0 = slot 0).
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+}
+
+/// The Data Dependence Table.
+///
+/// # Example
+///
+/// ```
+/// use arvi_core::{Ddt, DdtConfig, PhysReg};
+///
+/// let mut ddt = Ddt::new(DdtConfig { slots: 8, phys_regs: 16 });
+/// let p1 = PhysReg(1);
+/// let p2 = PhysReg(2);
+/// let s0 = ddt.insert(Some(p1), [None, None]);        // p1 = ...
+/// let s1 = ddt.insert(Some(p2), [Some(p1), None]);    // p2 = f(p1)
+/// let chain = ddt.chain(&[p2]);
+/// assert!(chain.contains(s0) && chain.contains(s1));
+/// ddt.commit_oldest();                                 // retire producer of p1
+/// assert!(!ddt.chain(&[p2]).contains(s0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Ddt {
+    cfg: DdtConfig,
+    words: usize,
+    /// Row bits, `phys_regs * words`, row-major.
+    rows: Vec<u64>,
+    /// Sequence number current when each row was last written.
+    row_seq: Vec<u64>,
+    /// Whether each row has ever been written (a fresh row is empty).
+    row_written: Vec<bool>,
+    /// Valid vector, one bit per slot.
+    valid: Vec<u64>,
+    /// Sequence number of each slot's current occupant.
+    slot_seq: Vec<u64>,
+    /// Sequence number of the next instruction to insert (head pointer).
+    head_seq: u64,
+    /// Sequence number of the oldest in-flight instruction (tail pointer).
+    tail_seq: u64,
+}
+
+impl Ddt {
+    /// Creates an empty DDT.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(cfg: DdtConfig) -> Ddt {
+        assert!(cfg.slots > 0, "DDT needs at least one slot");
+        assert!(cfg.phys_regs > 0, "DDT needs at least one register row");
+        let words = cfg.slots.div_ceil(64);
+        Ddt {
+            cfg,
+            words,
+            rows: vec![0; cfg.phys_regs * words],
+            row_seq: vec![0; cfg.phys_regs],
+            row_written: vec![false; cfg.phys_regs],
+            valid: vec![0; words],
+            slot_seq: vec![0; cfg.slots],
+            head_seq: 0,
+            tail_seq: 0,
+        }
+    }
+
+    /// The configured shape.
+    pub fn config(&self) -> DdtConfig {
+        self.cfg
+    }
+
+    /// Number of in-flight (inserted, not yet committed or squashed past)
+    /// instruction entries.
+    pub fn occupancy(&self) -> usize {
+        (self.head_seq - self.tail_seq) as usize
+    }
+
+    /// Whether all instruction entries are occupied.
+    pub fn is_full(&self) -> bool {
+        self.occupancy() == self.cfg.slots
+    }
+
+    /// Whether no instructions are in flight.
+    pub fn is_empty(&self) -> bool {
+        self.head_seq == self.tail_seq
+    }
+
+    /// The sequence number the next inserted instruction will receive.
+    pub fn next_seq(&self) -> u64 {
+        self.head_seq
+    }
+
+    /// The sequence number of the oldest in-flight instruction.
+    pub fn tail_seq(&self) -> u64 {
+        self.tail_seq
+    }
+
+    /// The sequence number of the occupant of `slot`.
+    pub fn slot_seq(&self, slot: InstSlot) -> u64 {
+        self.slot_seq[slot.index()]
+    }
+
+    /// RAM bits of the hardware structure: rows plus the valid vector.
+    ///
+    /// For the paper's Alpha 21264 sizing (80 slots, 72 registers) this is
+    /// 5840 bits = 730 bytes.
+    pub fn storage_bits(&self) -> usize {
+        self.cfg.slots * self.cfg.phys_regs + self.cfg.slots
+    }
+
+    #[inline]
+    fn slot_of(&self, seq: u64) -> usize {
+        (seq % self.cfg.slots as u64) as usize
+    }
+
+    #[inline]
+    fn row(&self, r: PhysReg) -> &[u64] {
+        let base = r.index() * self.words;
+        &self.rows[base..base + self.words]
+    }
+
+    /// Sets bits `[start, start+len)` (linear, no wraparound) in `out`.
+    fn set_linear(out: &mut [u64], start: usize, end: usize) {
+        if start >= end {
+            return;
+        }
+        let (sw, sb) = (start / 64, start % 64);
+        let (ew, eb) = ((end - 1) / 64, (end - 1) % 64 + 1);
+        if sw == ew {
+            let mask = (u64::MAX >> (64 - (eb - sb))) << sb;
+            out[sw] |= mask;
+        } else {
+            out[sw] |= u64::MAX << sb;
+            for w in &mut out[sw + 1..ew] {
+                *w = u64::MAX;
+            }
+            out[ew] |= u64::MAX >> (64 - eb);
+        }
+    }
+
+    /// Builds the circular slot mask for the live sequence range
+    /// `[from_seq, to_seq)` into `out` (cleared first).
+    fn live_range_mask(&self, from_seq: u64, to_seq: u64, out: &mut [u64]) {
+        out.fill(0);
+        if to_seq <= from_seq {
+            return;
+        }
+        let len = (to_seq - from_seq) as usize;
+        debug_assert!(len <= self.cfg.slots, "live range exceeds capacity");
+        let start = self.slot_of(from_seq);
+        let end = start + len;
+        if end <= self.cfg.slots {
+            Ddt::set_linear(out, start, end);
+        } else {
+            Ddt::set_linear(out, start, self.cfg.slots);
+            Ddt::set_linear(out, 0, end - self.cfg.slots);
+        }
+    }
+
+    /// Reads row `r` masked to its genuine live bits, OR-ing into `out`.
+    fn read_row_into(&self, r: PhysReg, scratch: &mut [u64], out: &mut [u64]) {
+        if !self.row_written[r.index()] {
+            return;
+        }
+        let w = self.row_seq[r.index()];
+        // Bits of the row can only legitimately name instructions in
+        // [tail, W]; anything else is a recycled column.
+        self.live_range_mask(self.tail_seq, w + 1, scratch);
+        let row = self.row(r);
+        for i in 0..self.words {
+            out[i] |= row[i] & self.valid[i] & scratch[i];
+        }
+    }
+
+    /// Inserts an instruction at the head of the circular buffer.
+    ///
+    /// If `dest` is present, its row is rewritten with the union of the
+    /// source rows (masked by the valid vector) plus the instruction's own
+    /// bit — the paper's `DDT[Target] = (DDT[Src1] OR DDT[Src2]) AND
+    /// ValidVector` update, which takes one read cycle and one write cycle
+    /// in hardware.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the DDT is full (the host pipeline must stall rename).
+    pub fn insert(&mut self, dest: Option<PhysReg>, srcs: [Option<PhysReg>; 2]) -> InstSlot {
+        assert!(!self.is_full(), "DDT full: host must stall rename");
+        let seq = self.head_seq;
+        let slot = self.slot_of(seq);
+
+        if let Some(d) = dest {
+            let mut new_row = vec![0u64; self.words];
+            let mut scratch = vec![0u64; self.words];
+            for src in srcs.into_iter().flatten() {
+                self.read_row_into(src, &mut scratch, &mut new_row);
+            }
+            // Every register is trivially dependent on its own producer.
+            new_row[slot / 64] |= 1u64 << (slot % 64);
+            let base = d.index() * self.words;
+            self.rows[base..base + self.words].copy_from_slice(&new_row);
+            self.row_seq[d.index()] = seq;
+            self.row_written[d.index()] = true;
+        }
+
+        self.valid[slot / 64] |= 1u64 << (slot % 64);
+        self.slot_seq[slot] = seq;
+        self.head_seq = seq + 1;
+        InstSlot(slot as u32)
+    }
+
+    /// Reads the union of the dependence chains of `regs` (the chain read
+    /// the ARVI predictor performs for a branch's operand registers).
+    pub fn chain(&self, regs: &[PhysReg]) -> ChainMask {
+        let mut out = ChainMask::zeroed(self.cfg.slots);
+        let mut scratch = vec![0u64; self.words];
+        for &r in regs {
+            self.read_row_into(r, &mut scratch, &mut out.words);
+        }
+        out
+    }
+
+    /// Commits the oldest in-flight instruction: clears its valid bit —
+    /// immediately removing it from all future chain reads — and advances
+    /// the tail pointer, freeing the entry for reuse.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the DDT is empty.
+    pub fn commit_oldest(&mut self) -> InstSlot {
+        assert!(!self.is_empty(), "DDT empty: nothing to commit");
+        let slot = self.slot_of(self.tail_seq);
+        self.valid[slot / 64] &= !(1u64 << (slot % 64));
+        self.tail_seq += 1;
+        InstSlot(slot as u32)
+    }
+
+    /// Rolls back to the state just after instruction `seq` was inserted,
+    /// squashing all younger instructions — the paper's
+    /// branch-misprediction recovery, performed identically to the ROB by
+    /// moving the head pointer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `new_head_seq` is not within `[tail, head]`.
+    pub fn rollback_to(&mut self, new_head_seq: u64) {
+        assert!(
+            new_head_seq >= self.tail_seq && new_head_seq <= self.head_seq,
+            "rollback target {new_head_seq} outside [{}, {}]",
+            self.tail_seq,
+            self.head_seq
+        );
+        for seq in new_head_seq..self.head_seq {
+            let slot = self.slot_of(seq);
+            self.valid[slot / 64] &= !(1u64 << (slot % 64));
+        }
+        self.head_seq = new_head_seq;
+    }
+
+    /// Whether the occupant of `slot` is currently valid.
+    pub fn is_slot_valid(&self, slot: InstSlot) -> bool {
+        let i = slot.index();
+        self.valid[i / 64] >> (i % 64) & 1 == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: u16) -> PhysReg {
+        PhysReg(i)
+    }
+
+    /// The worked example of the paper's Figure 1, using the program the
+    /// RSE example (Figure 3) spells out:
+    ///
+    /// ```text
+    /// 1: load p1 (p2)
+    /// 2: add  p4 = p1 + p3
+    /// 3: or   p5 = p4 | p1
+    /// 4: sub  p6 = p5 - p4
+    /// 5: add  p7 = p1 + 1
+    /// 6: add  p8 = p4 + p7
+    /// ```
+    fn figure_1_ddt() -> (Ddt, Vec<InstSlot>) {
+        let mut ddt = Ddt::new(DdtConfig {
+            slots: 9,
+            phys_regs: 10,
+        });
+        let s = vec![
+            ddt.insert(Some(p(1)), [Some(p(2)), None]),
+            ddt.insert(Some(p(4)), [Some(p(1)), Some(p(3))]),
+            ddt.insert(Some(p(5)), [Some(p(4)), Some(p(1))]),
+            ddt.insert(Some(p(6)), [Some(p(5)), Some(p(4))]),
+            ddt.insert(Some(p(7)), [Some(p(1)), None]),
+            ddt.insert(Some(p(8)), [Some(p(4)), Some(p(7))]),
+        ];
+        (ddt, s)
+    }
+
+    #[test]
+    fn paper_figure_1() {
+        let (ddt, s) = figure_1_ddt();
+        // "physical register p5 is data dependent on both instructions 1
+        // and 2" (and trivially on its own instruction 3).
+        let c5 = ddt.chain(&[p(5)]);
+        assert_eq!(
+            c5.slots().collect::<Vec<_>>(),
+            vec![s[0], s[1], s[2]],
+            "chain of p5"
+        );
+        // "The entry for physical register p8 now contains the data
+        // dependence chain consisting of instructions 1, 2, 5, and 6."
+        let c8 = ddt.chain(&[p(8)]);
+        assert_eq!(
+            c8.slots().collect::<Vec<_>>(),
+            vec![s[0], s[1], s[4], s[5]],
+            "chain of p8"
+        );
+    }
+
+    #[test]
+    fn paper_sizing_example() {
+        // "the DDT would contain 5760 bits, or 730 bytes" including the
+        // 80-bit valid vector.
+        let ddt = Ddt::new(DdtConfig::alpha_21264());
+        assert_eq!(ddt.storage_bits(), 5760 + 80);
+        assert_eq!(ddt.storage_bits() / 8, 730);
+    }
+
+    #[test]
+    fn commit_removes_from_chains_immediately() {
+        let (mut ddt, s) = figure_1_ddt();
+        ddt.commit_oldest(); // retire the load (instruction 1)
+        let c8 = ddt.chain(&[p(8)]);
+        assert!(!c8.contains(s[0]), "committed load must leave the chain");
+        assert_eq!(c8.slots().collect::<Vec<_>>(), vec![s[1], s[4], s[5]]);
+    }
+
+    #[test]
+    fn rollback_squashes_younger() {
+        let (mut ddt, s) = figure_1_ddt();
+        // Squash instructions 5 and 6 (seq 4,5); keep 1..4.
+        ddt.rollback_to(4);
+        assert_eq!(ddt.occupancy(), 4);
+        let c8 = ddt.chain(&[p(8)]);
+        // p8's row was written by a squashed instruction; its live range
+        // still filters to surviving producers only.
+        assert!(!c8.contains(s[5]));
+        assert!(!c8.contains(s[4]));
+        // p6's chain is intact.
+        let c6 = ddt.chain(&[p(6)]);
+        assert_eq!(c6.slots().collect::<Vec<_>>(), vec![s[0], s[1], s[2], s[3]]);
+    }
+
+    #[test]
+    fn slot_reuse_does_not_resurrect_stale_bits() {
+        let mut ddt = Ddt::new(DdtConfig {
+            slots: 4,
+            phys_regs: 8,
+        });
+        // Fill the ring: p1..p4 in slots 0..3.
+        ddt.insert(Some(p(1)), [None, None]);
+        ddt.insert(Some(p(2)), [Some(p(1)), None]);
+        ddt.insert(Some(p(3)), [Some(p(2)), None]);
+        ddt.insert(Some(p(4)), [Some(p(3)), None]);
+        // Retire two, reuse their slots with unrelated instructions.
+        ddt.commit_oldest();
+        ddt.commit_oldest();
+        let s4 = ddt.insert(Some(p(5)), [None, None]); // reuses slot 0
+        let s5 = ddt.insert(Some(p(6)), [Some(p(5)), None]); // reuses slot 1
+        assert_eq!((s4.index(), s5.index()), (0, 1));
+        // p4's chain was {0,1,2,3}; slots 0 and 1 now hold unrelated
+        // instructions and must NOT appear in it.
+        let c4 = ddt.chain(&[p(4)]);
+        assert_eq!(c4.len(), 2, "only slots 2 and 3 remain genuine");
+        assert!(c4.contains(InstSlot(2)) && c4.contains(InstSlot(3)));
+        // The new instructions' own chain is correct.
+        let c6 = ddt.chain(&[p(6)]);
+        assert_eq!(c6.slots().collect::<Vec<_>>(), vec![s4, s5]);
+    }
+
+    #[test]
+    fn chain_of_unwritten_register_is_empty() {
+        let ddt = Ddt::new(DdtConfig {
+            slots: 4,
+            phys_regs: 4,
+        });
+        assert!(ddt.chain(&[p(3)]).is_empty());
+    }
+
+    #[test]
+    fn chain_union_of_two_operands() {
+        let mut ddt = Ddt::new(DdtConfig {
+            slots: 8,
+            phys_regs: 8,
+        });
+        let a = ddt.insert(Some(p(1)), [None, None]);
+        let b = ddt.insert(Some(p(2)), [None, None]);
+        let c = ddt.chain(&[p(1), p(2)]);
+        assert_eq!(c.slots().collect::<Vec<_>>(), vec![a, b]);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "DDT full")]
+    fn insert_when_full_panics() {
+        let mut ddt = Ddt::new(DdtConfig {
+            slots: 2,
+            phys_regs: 4,
+        });
+        ddt.insert(None, [None, None]);
+        ddt.insert(None, [None, None]);
+        ddt.insert(None, [None, None]);
+    }
+
+    #[test]
+    #[should_panic(expected = "DDT empty")]
+    fn commit_when_empty_panics() {
+        let mut ddt = Ddt::new(DdtConfig {
+            slots: 2,
+            phys_regs: 4,
+        });
+        ddt.commit_oldest();
+    }
+
+    #[test]
+    fn long_running_wraparound_consistency() {
+        // Stream a long dependent chain through a small ring, committing
+        // as we go; the chain must always consist of exactly the live
+        // window of producers.
+        let cap = 6usize;
+        let mut ddt = Ddt::new(DdtConfig {
+            slots: cap,
+            phys_regs: 64,
+        });
+        let mut live = 0usize;
+        for i in 0..200u16 {
+            if live == cap {
+                ddt.commit_oldest();
+                live -= 1;
+            }
+            let dest = p(i % 60);
+            let src = if i == 0 { None } else { Some(p((i - 1) % 60)) };
+            ddt.insert(Some(dest), [src, None]);
+            live += 1;
+            let chain = ddt.chain(&[dest]);
+            assert_eq!(chain.len(), live, "at step {i}");
+        }
+    }
+
+    #[test]
+    fn valid_vector_gates_mid_chain_commits() {
+        // Commit only the oldest while the chain spans it: the younger
+        // reader must lose exactly that one bit.
+        let mut ddt = Ddt::new(DdtConfig {
+            slots: 8,
+            phys_regs: 8,
+        });
+        ddt.insert(Some(p(1)), [None, None]);
+        ddt.insert(Some(p(2)), [Some(p(1)), None]);
+        ddt.insert(Some(p(3)), [Some(p(2)), None]);
+        assert_eq!(ddt.chain(&[p(3)]).len(), 3);
+        ddt.commit_oldest();
+        assert_eq!(ddt.chain(&[p(3)]).len(), 2);
+        ddt.commit_oldest();
+        assert_eq!(ddt.chain(&[p(3)]).len(), 1);
+    }
+
+    #[test]
+    fn wide_ddt_multiword_masks() {
+        // Exercise the multi-word (slots > 64) paths.
+        let cap = 200usize;
+        let mut ddt = Ddt::new(DdtConfig {
+            slots: cap,
+            phys_regs: 128,
+        });
+        let mut last = None;
+        for i in 0..150u16 {
+            let dest = p(i % 120);
+            ddt.insert(Some(dest), [last, None]);
+            last = Some(dest);
+        }
+        let chain = ddt.chain(&[last.unwrap()]);
+        assert_eq!(chain.len(), 150);
+        // Slots span multiple words.
+        assert!(chain.contains(InstSlot(0)) && chain.contains(InstSlot(149)));
+    }
+
+    #[test]
+    fn chain_mask_helpers() {
+        let (ddt, s) = figure_1_ddt();
+        let c = ddt.chain(&[p(8)]);
+        assert!(!c.is_empty());
+        let mut other = ddt.chain(&[p(6)]);
+        other.union_with(&c);
+        assert!(other.contains(s[3]) && other.contains(s[5]));
+        assert_eq!(other.words().len(), 1);
+    }
+}

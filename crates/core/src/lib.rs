@@ -1,0 +1,37 @@
+//! # arvi-core
+//!
+//! The primary contribution of *"Dynamic Data Dependence Tracking and its
+//! Application to Branch Prediction"* (Chen, Dropsho & Albonesi, HPCA
+//! 2003), as a reusable library:
+//!
+//! * [`Ddt`] — the **Data Dependence Table**: a RAM with one row per
+//!   physical register and one column per in-flight instruction,
+//!   maintaining every in-flight dependence chain cycle-by-cycle at
+//!   register rename (paper Section 2).
+//! * [`Tracker`] — the DDT combined with the **Register Set Extractor**
+//!   (RSE): given a branch, extracts the minimal set of registers whose
+//!   values generate the branch's comparison inputs (Section 4.2), plus
+//!   the Section 3 trailing-dependent counters.
+//! * [`ShadowRegFile`] / [`ShadowMapTable`] — the 11-bit shadow value file
+//!   and 3-bit logical-ID shadow map (Sections 4.3–4.4).
+//! * [`Bvit`] — the Branch Value Information Table (Section 4.1).
+//! * [`ArviPredictor`] — the complete ARVI value-based branch predictor.
+//!
+//! The structures are host-agnostic: `arvi-sim` drives them from a full
+//! out-of-order pipeline model, while unit tests and examples drive them
+//! directly (see the Figure 1 and Figure 3 worked-example tests in
+//! [`ddt`] and [`tracker`]).
+
+pub mod arvi;
+pub mod bvit;
+pub mod ddt;
+pub mod shadow;
+pub mod tracker;
+pub mod types;
+
+pub use arvi::{ArviConfig, ArviPredictor, ArviPrediction, Values};
+pub use bvit::{Bvit, BvitConfig};
+pub use ddt::{ChainMask, Ddt, DdtConfig};
+pub use shadow::{ShadowMapTable, ShadowRegFile};
+pub use tracker::{LeafSet, RenamedOp, Tracker, TrackerConfig};
+pub use types::{BranchClass, InstSlot, PhysReg};

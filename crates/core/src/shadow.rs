@@ -1,0 +1,189 @@
+//! Shadow structures — paper Sections 4.3 and 4.4.
+//!
+//! To avoid additional register-file ports, ARVI keeps a *shadow register
+//! file* holding only the low 11 bits of each physical register's value,
+//! updated one cycle after the real register file. A *shadow map table*
+//! records the low 3 bits of the logical register ID assigned to each
+//! physical register at rename, used to form the register-set tag (logical
+//! IDs are used "because the physical register assignments are likely to
+//! vary between occurrences").
+
+use crate::types::PhysReg;
+use arvi_isa::Reg;
+
+/// The shadow register file: per physical register, a truncated value and
+/// a ready (written-back) bit.
+///
+/// For the paper's Alpha 21264 sizing (72 physical integer registers at 11
+/// bits each) the value array is 792 bits.
+#[derive(Debug, Clone)]
+pub struct ShadowRegFile {
+    values: Vec<u16>,
+    ready: Vec<bool>,
+    value_bits: u32,
+}
+
+impl ShadowRegFile {
+    /// Creates a shadow file for `phys_regs` registers keeping
+    /// `value_bits` low bits per value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value_bits` is 0 or greater than 16.
+    pub fn new(phys_regs: usize, value_bits: u32) -> ShadowRegFile {
+        assert!(
+            (1..=16).contains(&value_bits),
+            "value width {value_bits} unsupported"
+        );
+        ShadowRegFile {
+            values: vec![0; phys_regs],
+            ready: vec![true; phys_regs],
+            value_bits,
+        }
+    }
+
+    /// Marks `r` as allocated to a new producer: not ready until the
+    /// producer writes back. The stale previous value remains readable, as
+    /// in hardware.
+    pub fn alloc(&mut self, r: PhysReg) {
+        self.ready[r.index()] = false;
+    }
+
+    /// Records a writeback: stores the truncated value and sets ready.
+    pub fn write(&mut self, r: PhysReg, value: u64) {
+        self.values[r.index()] = (value & ((1u64 << self.value_bits) - 1)) as u16;
+        self.ready[r.index()] = true;
+    }
+
+    /// The truncated value currently held for `r` (stale if not ready).
+    pub fn value(&self, r: PhysReg) -> u64 {
+        self.values[r.index()] as u64
+    }
+
+    /// Whether `r`'s current producer has written back.
+    pub fn is_ready(&self, r: PhysReg) -> bool {
+        self.ready[r.index()]
+    }
+
+    /// Number of physical registers covered.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the file covers no registers.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Storage bits of the value array (the paper's 792-bit example).
+    pub fn storage_bits(&self) -> usize {
+        self.values.len() * self.value_bits as usize
+    }
+}
+
+/// The shadow register map table: low 3 bits of the logical register
+/// mapped to each physical register.
+///
+/// Structured in the paper as "a vector of 96 bits" for 32 logical
+/// registers — 3 bits per *architectural* mapping; we keep the
+/// per-physical-register mirror the tag hardware reads.
+#[derive(Debug, Clone)]
+pub struct ShadowMapTable {
+    logical3: Vec<u8>,
+    id_bits: u32,
+}
+
+impl ShadowMapTable {
+    /// Creates a map table for `phys_regs` registers keeping `id_bits`
+    /// (3 in the paper) of each logical ID.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id_bits` is 0 or greater than 5.
+    pub fn new(phys_regs: usize, id_bits: u32) -> ShadowMapTable {
+        assert!(
+            (1..=5).contains(&id_bits),
+            "id width {id_bits} unsupported"
+        );
+        ShadowMapTable {
+            logical3: vec![0; phys_regs],
+            id_bits,
+        }
+    }
+
+    /// Records that `phys` was allocated to logical register `logical`.
+    pub fn set(&mut self, phys: PhysReg, logical: Reg) {
+        self.logical3[phys.index()] = logical.low_bits(self.id_bits) as u8;
+    }
+
+    /// The truncated logical ID of `phys`.
+    pub fn id(&self, phys: PhysReg) -> u8 {
+        self.logical3[phys.index()]
+    }
+
+    /// Sums the truncated logical IDs of a register set into a `sum_bits`-
+    /// wide tag (the paper's 3-bit adder tree, Section 4.4).
+    pub fn id_sum(&self, regs: &[PhysReg], sum_bits: u32) -> u8 {
+        let mask = (1u32 << sum_bits) - 1;
+        let sum: u32 = regs.iter().map(|r| self.logical3[r.index()] as u32).sum();
+        (sum & mask) as u8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arvi_isa::Reg;
+
+    #[test]
+    fn ready_lifecycle() {
+        let mut f = ShadowRegFile::new(8, 11);
+        let r = PhysReg(3);
+        assert!(f.is_ready(r)); // never allocated: architecturally live
+        f.alloc(r);
+        assert!(!f.is_ready(r));
+        f.write(r, 0xFFFF);
+        assert!(f.is_ready(r));
+        assert_eq!(f.value(r), 0x7FF); // truncated to 11 bits
+    }
+
+    #[test]
+    fn stale_value_remains_readable() {
+        let mut f = ShadowRegFile::new(8, 11);
+        let r = PhysReg(1);
+        f.write(r, 42);
+        f.alloc(r);
+        assert!(!f.is_ready(r));
+        assert_eq!(f.value(r), 42); // hardware reads whatever is there
+    }
+
+    #[test]
+    fn paper_sizing_example() {
+        // "A shadow register file for an Alpha 21264 with 72 physical
+        // integer registers would require 792 bits."
+        let f = ShadowRegFile::new(72, 11);
+        assert_eq!(f.storage_bits(), 792);
+    }
+
+    #[test]
+    fn map_table_truncates_ids() {
+        let mut m = ShadowMapTable::new(8, 3);
+        m.set(PhysReg(0), Reg::new(13)); // 0b1101 -> 0b101
+        assert_eq!(m.id(PhysReg(0)), 5);
+    }
+
+    #[test]
+    fn id_sum_wraps_to_three_bits() {
+        let mut m = ShadowMapTable::new(8, 3);
+        m.set(PhysReg(0), Reg::new(7));
+        m.set(PhysReg(1), Reg::new(6));
+        // 7 + 6 = 13 -> 13 & 7 = 5
+        assert_eq!(m.id_sum(&[PhysReg(0), PhysReg(1)], 3), 5);
+    }
+
+    #[test]
+    fn id_sum_of_empty_set_is_zero() {
+        let m = ShadowMapTable::new(4, 3);
+        assert_eq!(m.id_sum(&[], 3), 0);
+    }
+}

@@ -1,0 +1,90 @@
+//! Identifier types shared by the dependence-tracking structures.
+
+use std::fmt;
+
+/// A physical register identifier.
+///
+/// The DDT is a RAM with one row per *physical* register (paper Section 2.1);
+/// the rename stage of the host pipeline assigns these.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PhysReg(pub u16);
+
+impl PhysReg {
+    /// The row index of this register.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for PhysReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// A DDT instruction-entry (column) index.
+///
+/// Instruction entries are allocated in circular FIFO fashion with head and
+/// tail pointers (paper Section 2.1); a slot is the physical column, reused
+/// once its previous occupant commits and the ring wraps around.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct InstSlot(pub u32);
+
+impl InstSlot {
+    /// The column index of this slot.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for InstSlot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "slot{}", self.0)
+    }
+}
+
+/// The paper's two branch classes (Section 4.1).
+///
+/// * `Calculated` — every register value the branch outcome depends on is
+///   available at prediction time; "the input state precisely defines the
+///   outcome".
+/// * `Load` — the dependence chain has values that depend on outstanding
+///   load instructions, so the machine state does not precisely define the
+///   outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BranchClass {
+    /// All leaf register values available: deterministic signature.
+    Calculated,
+    /// At least one leaf value pends on an outstanding load.
+    Load,
+}
+
+impl fmt::Display for BranchClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BranchClass::Calculated => f.write_str("calculated"),
+            BranchClass::Load => f.write_str("load"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(PhysReg(5).to_string(), "p5");
+        assert_eq!(InstSlot(3).to_string(), "slot3");
+        assert_eq!(BranchClass::Calculated.to_string(), "calculated");
+        assert_eq!(BranchClass::Load.to_string(), "load");
+    }
+
+    #[test]
+    fn indices() {
+        assert_eq!(PhysReg(9).index(), 9);
+        assert_eq!(InstSlot(7).index(), 7);
+    }
+}

@@ -1,0 +1,296 @@
+//! A small assembler: builds [`Program`]s with labels and forward
+//! references.
+
+use crate::inst::{AluOp, Cond, Inst};
+use crate::program::Program;
+use crate::reg::Reg;
+
+/// An abstract code location usable as a branch/jump target before it is
+/// bound to a concrete instruction index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Label(usize);
+
+/// Incremental builder for [`Program`]s.
+///
+/// Supports backward targets via [`here`](ProgramBuilder::here) and forward
+/// targets via [`label`](ProgramBuilder::label) / [`bind`](ProgramBuilder::bind);
+/// all references are resolved by [`build`](ProgramBuilder::build).
+///
+/// # Example
+///
+/// ```
+/// use arvi_isa::{ProgramBuilder, AluOp, Cond, regs};
+///
+/// let mut b = ProgramBuilder::new();
+/// let done = b.label();
+/// b.li(regs::T0, 3);
+/// let head = b.here();
+/// b.branch_to_label(Cond::Eq, regs::T0, regs::ZERO, done);
+/// b.alu_imm(AluOp::Sub, regs::T0, regs::T0, 1);
+/// b.jump(head);
+/// b.bind(done);
+/// b.halt();
+/// let p = b.build();
+/// assert_eq!(p.len(), 5);
+/// ```
+#[derive(Debug, Default)]
+pub struct ProgramBuilder {
+    insts: Vec<Inst>,
+    /// Resolved index for each label, if bound.
+    labels: Vec<Option<u32>>,
+    /// (instruction index, label) pairs awaiting resolution.
+    fixups: Vec<(usize, Label)>,
+    init_mem: Vec<(u64, u64)>,
+    entry: u32,
+}
+
+impl ProgramBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> ProgramBuilder {
+        ProgramBuilder::default()
+    }
+
+    /// The index the *next* emitted instruction will occupy. Useful as a
+    /// backward branch target.
+    pub fn here(&self) -> u32 {
+        self.insts.len() as u32
+    }
+
+    /// Allocates an unbound label for a forward reference.
+    pub fn label(&mut self) -> Label {
+        self.labels.push(None);
+        Label(self.labels.len() - 1)
+    }
+
+    /// Binds `label` to the current position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label was already bound.
+    pub fn bind(&mut self, label: Label) {
+        let position = self.here();
+        let slot = &mut self.labels[label.0];
+        assert!(slot.is_none(), "label bound twice");
+        *slot = Some(position);
+    }
+
+    /// Sets the entry point to the current position.
+    pub fn set_entry_here(&mut self) {
+        self.entry = self.here();
+    }
+
+    /// Seeds a 64-bit word in the initial memory image.
+    pub fn data(&mut self, addr: u64, value: u64) {
+        self.init_mem.push((addr, value));
+    }
+
+    fn push(&mut self, inst: Inst) -> u32 {
+        self.insts.push(inst);
+        (self.insts.len() - 1) as u32
+    }
+
+    /// Emits a register-register ALU operation.
+    pub fn alu(&mut self, op: AluOp, rd: Reg, rs1: Reg, rs2: Reg) -> u32 {
+        self.push(Inst::Alu { op, rd, rs1, rs2 })
+    }
+
+    /// Emits a register-immediate ALU operation.
+    pub fn alu_imm(&mut self, op: AluOp, rd: Reg, rs1: Reg, imm: i64) -> u32 {
+        self.push(Inst::AluImm { op, rd, rs1, imm })
+    }
+
+    /// Emits `rd = imm` (encoded as `add rd, r0, imm`).
+    pub fn li(&mut self, rd: Reg, imm: i64) -> u32 {
+        self.alu_imm(AluOp::Add, rd, Reg::ZERO, imm)
+    }
+
+    /// Emits `rd = rs` (encoded as `add rd, rs, r0`).
+    pub fn mv(&mut self, rd: Reg, rs: Reg) -> u32 {
+        self.alu(AluOp::Add, rd, rs, Reg::ZERO)
+    }
+
+    /// Emits a load: `rd = mem[base + offset]`.
+    pub fn load(&mut self, rd: Reg, base: Reg, offset: i64) -> u32 {
+        self.push(Inst::Load { rd, base, offset })
+    }
+
+    /// Emits a store: `mem[base + offset] = src`.
+    pub fn store(&mut self, src: Reg, base: Reg, offset: i64) -> u32 {
+        self.push(Inst::Store { src, base, offset })
+    }
+
+    /// Emits a conditional branch to a known (backward) index.
+    pub fn branch(&mut self, cond: Cond, rs1: Reg, rs2: Reg, target: u32) -> u32 {
+        self.push(Inst::Branch {
+            cond,
+            rs1,
+            rs2,
+            target,
+        })
+    }
+
+    /// Emits a conditional branch to a (possibly unbound) label.
+    pub fn branch_to_label(&mut self, cond: Cond, rs1: Reg, rs2: Reg, label: Label) -> u32 {
+        let idx = self.push(Inst::Branch {
+            cond,
+            rs1,
+            rs2,
+            target: u32::MAX,
+        });
+        self.fixups.push((idx as usize, label));
+        idx
+    }
+
+    /// Emits an unconditional jump to a known (backward) index.
+    pub fn jump(&mut self, target: u32) -> u32 {
+        self.push(Inst::Jump { target, link: None })
+    }
+
+    /// Emits an unconditional jump to a (possibly unbound) label.
+    pub fn jump_to_label(&mut self, label: Label) -> u32 {
+        let idx = self.push(Inst::Jump {
+            target: u32::MAX,
+            link: None,
+        });
+        self.fixups.push((idx as usize, label));
+        idx
+    }
+
+    /// Emits a call (jump-and-link) to a label.
+    pub fn call_label(&mut self, label: Label, link: Reg) -> u32 {
+        let idx = self.push(Inst::Jump {
+            target: u32::MAX,
+            link: Some(link),
+        });
+        self.fixups.push((idx as usize, label));
+        idx
+    }
+
+    /// Emits an indirect jump through `rs` (return / dispatch).
+    pub fn jump_reg(&mut self, rs: Reg) -> u32 {
+        self.push(Inst::JumpReg { rs })
+    }
+
+    /// Emits a halt.
+    pub fn halt(&mut self) -> u32 {
+        self.push(Inst::Halt)
+    }
+
+    /// Resolves all label references and produces the program.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any referenced label was never bound.
+    pub fn build(mut self) -> Program {
+        for (idx, label) in std::mem::take(&mut self.fixups) {
+            let resolved = self.labels[label.0]
+                .unwrap_or_else(|| panic!("label {label:?} referenced but never bound"));
+            match &mut self.insts[idx] {
+                Inst::Branch { target, .. } | Inst::Jump { target, .. } => *target = resolved,
+                other => unreachable!("fixup on non-control instruction {other:?}"),
+            }
+        }
+        Program::new(self.insts, self.entry, self.init_mem)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reg::names::*;
+
+    #[test]
+    fn forward_and_backward_references_resolve() {
+        let mut b = ProgramBuilder::new();
+        let done = b.label();
+        b.li(T0, 2);
+        let head = b.here();
+        b.branch_to_label(Cond::Eq, T0, ZERO, done);
+        b.alu_imm(AluOp::Sub, T0, T0, 1);
+        b.jump(head);
+        b.bind(done);
+        b.halt();
+        let p = b.build();
+        match p[1] {
+            Inst::Branch { target, .. } => assert_eq!(target, 4),
+            ref other => panic!("expected branch, got {other}"),
+        }
+        match p[3] {
+            Inst::Jump { target, .. } => assert_eq!(target, 1),
+            ref other => panic!("expected jump, got {other}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "never bound")]
+    fn unbound_label_panics() {
+        let mut b = ProgramBuilder::new();
+        let l = b.label();
+        b.jump_to_label(l);
+        let _ = b.build();
+    }
+
+    #[test]
+    #[should_panic(expected = "bound twice")]
+    fn double_bind_panics() {
+        let mut b = ProgramBuilder::new();
+        let l = b.label();
+        b.bind(l);
+        b.bind(l);
+    }
+
+    #[test]
+    fn data_and_entry() {
+        let mut b = ProgramBuilder::new();
+        b.data(0x100, 7);
+        b.halt();
+        b.set_entry_here();
+        b.halt();
+        let p = b.build();
+        assert_eq!(p.entry(), 1);
+        assert_eq!(p.init_mem(), &[(0x100, 7)]);
+    }
+
+    #[test]
+    fn pseudo_ops_encode_as_expected() {
+        let mut b = ProgramBuilder::new();
+        b.li(T0, 5);
+        b.mv(T1, T0);
+        b.halt();
+        let p = b.build();
+        assert!(matches!(
+            p[0],
+            Inst::AluImm {
+                op: AluOp::Add,
+                imm: 5,
+                ..
+            }
+        ));
+        assert!(matches!(
+            p[1],
+            Inst::Alu {
+                op: AluOp::Add,
+                rs2: Reg::ZERO,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn call_links_through_label() {
+        let mut b = ProgramBuilder::new();
+        let f = b.label();
+        b.call_label(f, RA);
+        b.halt();
+        b.bind(f);
+        b.jump_reg(RA);
+        let p = b.build();
+        assert!(matches!(
+            p[0],
+            Inst::Jump {
+                target: 2,
+                link: Some(RA)
+            }
+        ));
+    }
+}

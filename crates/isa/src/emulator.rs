@@ -1,0 +1,472 @@
+//! Architectural emulator: functional execution producing the committed
+//! dynamic instruction stream.
+
+use crate::inst::Inst;
+use crate::mem::Memory;
+use crate::program::Program;
+use crate::reg::{Reg, NUM_LOGICAL_REGS};
+use crate::trace::{BranchInfo, DynInst};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Maximum load-back hoist distance tracked by the oracle (dynamic
+/// instructions). Distances saturate here; the timing simulator never needs
+/// more than the in-flight window.
+pub const MAX_HOIST: u32 = 512;
+
+/// Errors surfaced by [`Emulator::try_step`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EmuError {
+    /// The program counter left the program text.
+    PcOutOfRange {
+        /// The offending instruction index.
+        pc: u32,
+    },
+    /// The program executed a halt instruction.
+    Halted,
+}
+
+impl fmt::Display for EmuError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EmuError::PcOutOfRange { pc } => write!(f, "program counter {pc} out of range"),
+            EmuError::Halted => write!(f, "program halted"),
+        }
+    }
+}
+
+impl std::error::Error for EmuError {}
+
+/// Functional emulator for [`Program`]s.
+///
+/// Each [`step`](Emulator::step) retires one instruction and returns its
+/// [`DynInst`] record. The emulator also computes the *load-back oracle*
+/// (see [`DynInst::hoist`]): for every load, how many dynamic instructions
+/// earlier it could have executed while respecting its address-register
+/// producer and the most recent older store to the same word.
+///
+/// The emulator implements `Iterator<Item = DynInst>`; iteration ends at a
+/// halt instruction or when the PC escapes the program.
+pub struct Emulator {
+    program: Program,
+    regs: [u64; NUM_LOGICAL_REGS],
+    mem: Memory,
+    pc: u32,
+    seq: u64,
+    halted: bool,
+    /// Dynamic sequence number of the most recent writer of each logical
+    /// register (for the load-back oracle). `None` = program entry value.
+    reg_writer: [Option<u64>; NUM_LOGICAL_REGS],
+    /// Most recent store sequence number per 8-byte-aligned address.
+    store_writer: HashMap<u64, u64>,
+}
+
+impl Emulator {
+    /// Creates an emulator with the program's initial memory image loaded
+    /// and all registers zero.
+    pub fn new(program: Program) -> Emulator {
+        let mut mem = Memory::new();
+        mem.load_image(program.init_mem());
+        let pc = program.entry();
+        Emulator {
+            program,
+            regs: [0; NUM_LOGICAL_REGS],
+            mem,
+            pc,
+            seq: 0,
+            halted: false,
+            reg_writer: [None; NUM_LOGICAL_REGS],
+            store_writer: HashMap::new(),
+        }
+    }
+
+    /// Current architectural value of a register.
+    #[inline]
+    pub fn reg(&self, r: Reg) -> u64 {
+        self.regs[r.index()]
+    }
+
+    /// Sets a register (used by tests and workload warm-starts). Writes to
+    /// the zero register are ignored.
+    pub fn set_reg(&mut self, r: Reg, value: u64) {
+        if !r.is_zero() {
+            self.regs[r.index()] = value;
+        }
+    }
+
+    /// The data memory.
+    pub fn memory(&self) -> &Memory {
+        &self.mem
+    }
+
+    /// Mutable access to the data memory (workload seeding).
+    pub fn memory_mut(&mut self) -> &mut Memory {
+        &mut self.mem
+    }
+
+    /// The current program counter.
+    pub fn pc(&self) -> u32 {
+        self.pc
+    }
+
+    /// Number of instructions retired so far.
+    pub fn retired(&self) -> u64 {
+        self.seq
+    }
+
+    /// Whether the program has halted.
+    pub fn is_halted(&self) -> bool {
+        self.halted
+    }
+
+    /// The program being executed.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    #[inline]
+    fn read_reg(&self, r: Reg) -> u64 {
+        if r.is_zero() {
+            0
+        } else {
+            self.regs[r.index()]
+        }
+    }
+
+    /// Hoist distance for a load at sequence `seq`: the number of dynamic
+    /// instructions between the load and its latest producer (address
+    /// register write or aliasing older store), minus one — i.e. how far
+    /// back the load could move. Saturates at [`MAX_HOIST`].
+    fn hoist_distance(&self, base: Reg, addr: u64) -> u32 {
+        let mut latest_dep: Option<u64> = None;
+        if !base.is_zero() {
+            latest_dep = self.reg_writer[base.index()];
+        }
+        if let Some(&s) = self.store_writer.get(&(addr & !7)) {
+            latest_dep = Some(latest_dep.map_or(s, |d| d.max(s)));
+        }
+        let dist = match latest_dep {
+            // Producer at sequence d; load at self.seq. Instructions between
+            // them: seq - d - 1; the load can move back that far.
+            Some(d) => self.seq - d - 1,
+            // No tracked producer: the load could have moved to the top.
+            None => self.seq,
+        };
+        dist.min(MAX_HOIST as u64) as u32
+    }
+
+    /// Retires one instruction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmuError::Halted`] once a halt has executed and
+    /// [`EmuError::PcOutOfRange`] if control flow escapes the program text.
+    pub fn try_step(&mut self) -> Result<DynInst, EmuError> {
+        if self.halted {
+            return Err(EmuError::Halted);
+        }
+        let pc = self.pc;
+        let inst = *self
+            .program
+            .get(pc)
+            .ok_or(EmuError::PcOutOfRange { pc })?;
+
+        let kind = inst.kind();
+        let srcs_raw = inst.srcs();
+        // The zero register is not renamed and carries no dependence.
+        let srcs = [
+            srcs_raw[0].filter(|r| !r.is_zero()),
+            srcs_raw[1].filter(|r| !r.is_zero()),
+        ];
+        let dest = inst.dest();
+
+        let mut result = 0u64;
+        let mut mem_addr = 0u64;
+        let mut branch = None;
+        let mut hoist = 0u32;
+        let mut next_pc = pc + 1;
+
+        match inst {
+            Inst::Alu { op, rs1, rs2, .. } => {
+                result = op.apply(self.read_reg(rs1), self.read_reg(rs2));
+            }
+            Inst::AluImm { op, rs1, imm, .. } => {
+                result = op.apply(self.read_reg(rs1), imm as u64);
+            }
+            Inst::Load { base, offset, .. } => {
+                mem_addr = self.read_reg(base).wrapping_add(offset as u64);
+                result = self.mem.read(mem_addr);
+                hoist = self.hoist_distance(base, mem_addr);
+            }
+            Inst::Store { src, base, offset } => {
+                mem_addr = self.read_reg(base).wrapping_add(offset as u64);
+                let value = self.read_reg(src);
+                self.mem.write(mem_addr, value);
+                self.store_writer.insert(mem_addr & !7, self.seq);
+            }
+            Inst::Branch {
+                cond,
+                rs1,
+                rs2,
+                target,
+            } => {
+                let taken = cond.eval(self.read_reg(rs1), self.read_reg(rs2));
+                next_pc = if taken { target } else { pc + 1 };
+                branch = Some(BranchInfo {
+                    taken,
+                    next_pc,
+                    fallthrough: pc + 1,
+                    conditional: true,
+                });
+            }
+            Inst::Jump { target, link } => {
+                if link.is_some() {
+                    result = (pc + 1) as u64;
+                }
+                next_pc = target;
+                branch = Some(BranchInfo {
+                    taken: true,
+                    next_pc,
+                    fallthrough: pc + 1,
+                    conditional: false,
+                });
+            }
+            Inst::JumpReg { rs } => {
+                next_pc = self.read_reg(rs) as u32;
+                branch = Some(BranchInfo {
+                    taken: true,
+                    next_pc,
+                    fallthrough: pc + 1,
+                    conditional: false,
+                });
+            }
+            Inst::Halt => {
+                self.halted = true;
+                return Err(EmuError::Halted);
+            }
+        }
+
+        if let Some(d) = dest {
+            self.regs[d.index()] = result;
+            self.reg_writer[d.index()] = Some(self.seq);
+        }
+
+        let record = DynInst {
+            seq: self.seq,
+            pc,
+            kind,
+            srcs,
+            dest,
+            result,
+            mem_addr,
+            branch,
+            hoist,
+        };
+        self.seq += 1;
+        self.pc = next_pc;
+        Ok(record)
+    }
+
+    /// Retires one instruction, returning `None` at halt or when control
+    /// flow escapes the program.
+    pub fn step(&mut self) -> Option<DynInst> {
+        self.try_step().ok()
+    }
+}
+
+impl Iterator for Emulator {
+    type Item = DynInst;
+
+    fn next(&mut self) -> Option<DynInst> {
+        self.step()
+    }
+}
+
+impl fmt::Debug for Emulator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Emulator")
+            .field("program", &self.program.name())
+            .field("pc", &self.pc)
+            .field("retired", &self.seq)
+            .field("halted", &self.halted)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::inst::{AluOp, Cond};
+    use crate::reg::names::*;
+
+    #[test]
+    fn straight_line_arithmetic() {
+        let mut b = ProgramBuilder::new();
+        b.li(T0, 6);
+        b.li(T1, 7);
+        b.alu(AluOp::Mul, T2, T0, T1);
+        b.halt();
+        let mut emu = Emulator::new(b.build());
+        let t: Vec<_> = emu.by_ref().collect();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t[2].result, 42);
+        assert_eq!(emu.reg(T2), 42);
+        assert!(emu.is_halted());
+    }
+
+    #[test]
+    fn zero_register_reads_zero_and_discards_writes() {
+        let mut b = ProgramBuilder::new();
+        b.alu_imm(AluOp::Add, ZERO, ZERO, 99);
+        b.alu(AluOp::Add, T0, ZERO, ZERO);
+        b.halt();
+        let mut emu = Emulator::new(b.build());
+        let t: Vec<_> = emu.by_ref().collect();
+        assert_eq!(t[0].dest, None);
+        assert_eq!(emu.reg(T0), 0);
+        // zero-register sources carry no dependence
+        assert_eq!(t[1].srcs, [None, None]);
+    }
+
+    #[test]
+    fn loads_and_stores_round_trip() {
+        let mut b = ProgramBuilder::new();
+        b.data(0x100, 5);
+        b.li(S0, 0x100);
+        b.load(T0, S0, 0);
+        b.alu_imm(AluOp::Add, T0, T0, 1);
+        b.store(T0, S0, 8);
+        b.load(T1, S0, 8);
+        b.halt();
+        let mut emu = Emulator::new(b.build());
+        let t: Vec<_> = emu.by_ref().collect();
+        assert_eq!(t[1].result, 5);
+        assert_eq!(t[1].mem_addr, 0x100);
+        assert_eq!(t[4].result, 6);
+        assert_eq!(emu.reg(T1), 6);
+    }
+
+    #[test]
+    fn branch_loop_iterates_exact_count() {
+        let mut b = ProgramBuilder::new();
+        b.li(T0, 0);
+        b.li(T1, 5);
+        let head = b.here();
+        b.alu_imm(AluOp::Add, T0, T0, 1);
+        b.branch(Cond::Ne, T0, T1, head);
+        b.halt();
+        let emu = Emulator::new(b.build());
+        let t: Vec<_> = emu.collect();
+        let branches: Vec<_> = t.iter().filter(|d| d.is_branch()).collect();
+        assert_eq!(branches.len(), 5);
+        assert!(branches[..4].iter().all(|d| d.branch.unwrap().taken));
+        assert!(!branches[4].branch.unwrap().taken);
+    }
+
+    #[test]
+    fn call_and_return() {
+        let mut b = ProgramBuilder::new();
+        let f = b.label();
+        b.call_label(f, RA); // 0
+        b.halt(); // 1
+        b.bind(f);
+        b.li(V0, 9); // 2
+        b.jump_reg(RA); // 3
+        let mut emu = Emulator::new(b.build());
+        let t: Vec<_> = emu.by_ref().collect();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t[0].result, 1); // link value
+        assert_eq!(t[2].branch.unwrap().next_pc, 1);
+        assert_eq!(emu.reg(V0), 9);
+    }
+
+    #[test]
+    fn pc_out_of_range_reported() {
+        let mut b = ProgramBuilder::new();
+        b.li(T0, 1); // runs off the end
+        let mut emu = Emulator::new(b.build());
+        emu.try_step().unwrap();
+        assert_eq!(emu.try_step(), Err(EmuError::PcOutOfRange { pc: 1 }));
+    }
+
+    #[test]
+    fn halt_is_sticky() {
+        let mut b = ProgramBuilder::new();
+        b.halt();
+        let mut emu = Emulator::new(b.build());
+        assert_eq!(emu.try_step(), Err(EmuError::Halted));
+        assert_eq!(emu.try_step(), Err(EmuError::Halted));
+        assert!(emu.is_halted());
+    }
+
+    #[test]
+    fn hoist_respects_address_register_producer() {
+        let mut b = ProgramBuilder::new();
+        b.li(S0, 0x200); // seq 0: producer of address
+        b.li(T4, 1); // seq 1 filler
+        b.li(T5, 2); // seq 2 filler
+        b.load(T0, S0, 0); // seq 3: can hoist past 2 fillers
+        b.halt();
+        let t: Vec<_> = Emulator::new(b.build()).collect();
+        assert_eq!(t[3].hoist, 2);
+    }
+
+    #[test]
+    fn hoist_respects_aliasing_store() {
+        let mut b = ProgramBuilder::new();
+        b.li(S0, 0x200); // seq 0
+        b.li(T1, 7); // seq 1
+        b.store(T1, S0, 0); // seq 2: aliasing store
+        b.li(T4, 1); // seq 3 filler
+        b.load(T0, S0, 0); // seq 4: blocked by store at seq 2
+        b.halt();
+        let t: Vec<_> = Emulator::new(b.build()).collect();
+        assert_eq!(t[4].hoist, 1);
+        assert_eq!(t[4].result, 7);
+    }
+
+    #[test]
+    fn hoist_ignores_non_aliasing_store() {
+        let mut b = ProgramBuilder::new();
+        b.li(S0, 0x200); // seq 0
+        b.li(T1, 7); // seq 1
+        b.store(T1, S0, 64); // seq 2: different word
+        b.li(T4, 1); // seq 3 filler
+        b.load(T0, S0, 0); // seq 4: only blocked by seq 0
+        b.halt();
+        let t: Vec<_> = Emulator::new(b.build()).collect();
+        assert_eq!(t[4].hoist, 3);
+    }
+
+    #[test]
+    fn determinism() {
+        let build = || {
+            let mut b = ProgramBuilder::new();
+            b.li(T0, 0);
+            b.li(T1, 100);
+            let head = b.here();
+            b.alu_imm(AluOp::Add, T0, T0, 3);
+            b.alu(AluOp::Rem, T2, T0, T1);
+            b.branch(Cond::Ne, T2, ZERO, head);
+            b.halt();
+            b.build()
+        };
+        let a: Vec<_> = Emulator::new(build()).collect();
+        let b: Vec<_> = Emulator::new(build()).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn seq_numbers_are_dense() {
+        let mut b = ProgramBuilder::new();
+        b.li(T0, 1);
+        b.li(T1, 2);
+        b.alu(AluOp::Add, T2, T0, T1);
+        b.halt();
+        let t: Vec<_> = Emulator::new(b.build()).collect();
+        for (i, d) in t.iter().enumerate() {
+            assert_eq!(d.seq, i as u64);
+        }
+    }
+}

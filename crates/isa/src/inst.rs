@@ -1,0 +1,487 @@
+//! Static instruction definitions.
+
+use crate::reg::Reg;
+use std::fmt;
+
+/// Integer ALU operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AluOp {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Bitwise AND.
+    And,
+    /// Bitwise OR.
+    Or,
+    /// Bitwise XOR.
+    Xor,
+    /// Logical shift left (by `rhs & 63`).
+    Sll,
+    /// Logical shift right (by `rhs & 63`).
+    Srl,
+    /// Arithmetic shift right (by `rhs & 63`).
+    Sra,
+    /// Wrapping multiplication (multi-cycle unit).
+    Mul,
+    /// Unsigned division; division by zero yields all-ones (multi-cycle unit).
+    Div,
+    /// Unsigned remainder; remainder by zero yields the dividend (multi-cycle unit).
+    Rem,
+    /// Set-if-less-than, signed (1 or 0).
+    Slt,
+    /// Set-if-less-than, unsigned (1 or 0).
+    Sltu,
+}
+
+impl AluOp {
+    /// Applies the operation to two 64-bit operand values.
+    #[inline]
+    pub fn apply(self, a: u64, b: u64) -> u64 {
+        match self {
+            AluOp::Add => a.wrapping_add(b),
+            AluOp::Sub => a.wrapping_sub(b),
+            AluOp::And => a & b,
+            AluOp::Or => a | b,
+            AluOp::Xor => a ^ b,
+            AluOp::Sll => a.wrapping_shl((b & 63) as u32),
+            AluOp::Srl => a.wrapping_shr((b & 63) as u32),
+            AluOp::Sra => ((a as i64).wrapping_shr((b & 63) as u32)) as u64,
+            AluOp::Mul => a.wrapping_mul(b),
+            AluOp::Div => {
+                if b == 0 {
+                    u64::MAX
+                } else {
+                    a / b
+                }
+            }
+            AluOp::Rem => {
+                if b == 0 {
+                    a
+                } else {
+                    a % b
+                }
+            }
+            AluOp::Slt => ((a as i64) < (b as i64)) as u64,
+            AluOp::Sltu => (a < b) as u64,
+        }
+    }
+
+    /// Whether this operation executes on the multi-cycle multiply/divide
+    /// unit (the architectural parameters in the paper's Table 2 provide a
+    /// single integer mult/div unit next to four single-cycle ALUs).
+    #[inline]
+    pub fn is_long_latency(self) -> bool {
+        matches!(self, AluOp::Mul | AluOp::Div | AluOp::Rem)
+    }
+
+    fn mnemonic(self) -> &'static str {
+        match self {
+            AluOp::Add => "add",
+            AluOp::Sub => "sub",
+            AluOp::And => "and",
+            AluOp::Or => "or",
+            AluOp::Xor => "xor",
+            AluOp::Sll => "sll",
+            AluOp::Srl => "srl",
+            AluOp::Sra => "sra",
+            AluOp::Mul => "mul",
+            AluOp::Div => "div",
+            AluOp::Rem => "rem",
+            AluOp::Slt => "slt",
+            AluOp::Sltu => "sltu",
+        }
+    }
+}
+
+impl fmt::Display for AluOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// Branch comparison condition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Cond {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Signed less-than.
+    Lt,
+    /// Signed greater-or-equal.
+    Ge,
+    /// Unsigned less-than.
+    Ltu,
+    /// Unsigned greater-or-equal.
+    Geu,
+}
+
+impl Cond {
+    /// Evaluates the condition on two 64-bit operand values.
+    #[inline]
+    pub fn eval(self, a: u64, b: u64) -> bool {
+        match self {
+            Cond::Eq => a == b,
+            Cond::Ne => a != b,
+            Cond::Lt => (a as i64) < (b as i64),
+            Cond::Ge => (a as i64) >= (b as i64),
+            Cond::Ltu => a < b,
+            Cond::Geu => a >= b,
+        }
+    }
+
+    /// The logically inverted condition.
+    #[inline]
+    pub fn negate(self) -> Cond {
+        match self {
+            Cond::Eq => Cond::Ne,
+            Cond::Ne => Cond::Eq,
+            Cond::Lt => Cond::Ge,
+            Cond::Ge => Cond::Lt,
+            Cond::Ltu => Cond::Geu,
+            Cond::Geu => Cond::Ltu,
+        }
+    }
+
+    fn mnemonic(self) -> &'static str {
+        match self {
+            Cond::Eq => "beq",
+            Cond::Ne => "bne",
+            Cond::Lt => "blt",
+            Cond::Ge => "bge",
+            Cond::Ltu => "bltu",
+            Cond::Geu => "bgeu",
+        }
+    }
+}
+
+impl fmt::Display for Cond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// A static instruction.
+///
+/// Program counters are *instruction indices* into the
+/// [`Program`](crate::Program); the timing simulator scales them by four
+/// bytes when indexing instruction caches and branch predictor tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Inst {
+    /// Register-register ALU operation: `rd = op(rs1, rs2)`.
+    Alu {
+        /// The operation.
+        op: AluOp,
+        /// Destination register.
+        rd: Reg,
+        /// First source operand.
+        rs1: Reg,
+        /// Second source operand.
+        rs2: Reg,
+    },
+    /// Register-immediate ALU operation: `rd = op(rs1, imm)`.
+    AluImm {
+        /// The operation.
+        op: AluOp,
+        /// Destination register.
+        rd: Reg,
+        /// Source operand.
+        rs1: Reg,
+        /// Immediate operand (sign-extended).
+        imm: i64,
+    },
+    /// Load a 64-bit word: `rd = mem[rs(base) + offset]`.
+    Load {
+        /// Destination register.
+        rd: Reg,
+        /// Base address register.
+        base: Reg,
+        /// Byte offset.
+        offset: i64,
+    },
+    /// Store a 64-bit word: `mem[rs(base) + offset] = src`.
+    Store {
+        /// Register holding the value to store.
+        src: Reg,
+        /// Base address register.
+        base: Reg,
+        /// Byte offset.
+        offset: i64,
+    },
+    /// Conditional direct branch: `if cond(rs1, rs2) goto target`.
+    Branch {
+        /// Comparison condition.
+        cond: Cond,
+        /// First comparison operand.
+        rs1: Reg,
+        /// Second comparison operand.
+        rs2: Reg,
+        /// Target instruction index when taken.
+        target: u32,
+    },
+    /// Unconditional direct jump, optionally linking the return address.
+    Jump {
+        /// Target instruction index.
+        target: u32,
+        /// If present, receives the instruction index after the jump
+        /// (call semantics).
+        link: Option<Reg>,
+    },
+    /// Indirect jump through a register holding an instruction index
+    /// (returns, jump tables, interpreter dispatch).
+    JumpReg {
+        /// Register holding the target instruction index.
+        rs: Reg,
+    },
+    /// Stops the emulator (end of program).
+    Halt,
+}
+
+/// Coarse instruction class used for functional-unit selection, trace
+/// records and the DDT's load-terminator rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InstKind {
+    /// Single-cycle integer ALU operation.
+    IntAlu,
+    /// Multi-cycle integer multiply.
+    IntMul,
+    /// Multi-cycle integer divide/remainder.
+    IntDiv,
+    /// Memory load.
+    Load,
+    /// Memory store.
+    Store,
+    /// Conditional branch.
+    Branch,
+    /// Unconditional direct jump (including calls).
+    Jump,
+    /// Indirect jump through a register.
+    JumpReg,
+    /// Program halt marker.
+    Halt,
+}
+
+impl InstKind {
+    /// True for memory loads — the chain-terminator class in the paper's
+    /// Register Set Extractor (Section 4.2).
+    #[inline]
+    pub fn is_load(self) -> bool {
+        matches!(self, InstKind::Load)
+    }
+
+    /// True for control-transfer instructions.
+    #[inline]
+    pub fn is_control(self) -> bool {
+        matches!(self, InstKind::Branch | InstKind::Jump | InstKind::JumpReg)
+    }
+}
+
+impl Inst {
+    /// The coarse class of this instruction.
+    pub fn kind(&self) -> InstKind {
+        match self {
+            Inst::Alu { op, .. } | Inst::AluImm { op, .. } => match op {
+                AluOp::Mul => InstKind::IntMul,
+                AluOp::Div | AluOp::Rem => InstKind::IntDiv,
+                _ => InstKind::IntAlu,
+            },
+            Inst::Load { .. } => InstKind::Load,
+            Inst::Store { .. } => InstKind::Store,
+            Inst::Branch { .. } => InstKind::Branch,
+            Inst::Jump { .. } => InstKind::Jump,
+            Inst::JumpReg { .. } => InstKind::JumpReg,
+            Inst::Halt => InstKind::Halt,
+        }
+    }
+
+    /// The source registers read by this instruction (up to two).
+    pub fn srcs(&self) -> [Option<Reg>; 2] {
+        match *self {
+            Inst::Alu { rs1, rs2, .. } => [Some(rs1), Some(rs2)],
+            Inst::AluImm { rs1, .. } => [Some(rs1), None],
+            Inst::Load { base, .. } => [Some(base), None],
+            Inst::Store { src, base, .. } => [Some(base), Some(src)],
+            Inst::Branch { rs1, rs2, .. } => [Some(rs1), Some(rs2)],
+            Inst::Jump { .. } => [None, None],
+            Inst::JumpReg { rs } => [Some(rs), None],
+            Inst::Halt => [None, None],
+        }
+    }
+
+    /// The destination register written by this instruction, if any.
+    ///
+    /// Writes to the zero register are architectural no-ops and are
+    /// reported as `None`.
+    pub fn dest(&self) -> Option<Reg> {
+        let d = match *self {
+            Inst::Alu { rd, .. } | Inst::AluImm { rd, .. } | Inst::Load { rd, .. } => Some(rd),
+            Inst::Jump { link, .. } => link,
+            _ => None,
+        };
+        d.filter(|r| !r.is_zero())
+    }
+}
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Inst::Alu { op, rd, rs1, rs2 } => write!(f, "{op} {rd}, {rs1}, {rs2}"),
+            Inst::AluImm { op, rd, rs1, imm } => write!(f, "{op}i {rd}, {rs1}, {imm}"),
+            Inst::Load { rd, base, offset } => write!(f, "ld {rd}, {offset}({base})"),
+            Inst::Store { src, base, offset } => write!(f, "st {src}, {offset}({base})"),
+            Inst::Branch {
+                cond,
+                rs1,
+                rs2,
+                target,
+            } => write!(f, "{cond} {rs1}, {rs2}, @{target}"),
+            Inst::Jump { target, link: None } => write!(f, "j @{target}"),
+            Inst::Jump {
+                target,
+                link: Some(l),
+            } => write!(f, "call @{target}, link {l}"),
+            Inst::JumpReg { rs } => write!(f, "jr {rs}"),
+            Inst::Halt => write!(f, "halt"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reg::names::*;
+
+    #[test]
+    fn alu_semantics() {
+        assert_eq!(AluOp::Add.apply(3, 4), 7);
+        assert_eq!(AluOp::Sub.apply(3, 4), u64::MAX); // wraps
+        assert_eq!(AluOp::And.apply(0b1100, 0b1010), 0b1000);
+        assert_eq!(AluOp::Or.apply(0b1100, 0b1010), 0b1110);
+        assert_eq!(AluOp::Xor.apply(0b1100, 0b1010), 0b0110);
+        assert_eq!(AluOp::Sll.apply(1, 4), 16);
+        assert_eq!(AluOp::Srl.apply(u64::MAX, 63), 1);
+        assert_eq!(AluOp::Sra.apply(u64::MAX, 63), u64::MAX); // sign fill
+        assert_eq!(AluOp::Mul.apply(7, 6), 42);
+        assert_eq!(AluOp::Div.apply(42, 6), 7);
+        assert_eq!(AluOp::Div.apply(42, 0), u64::MAX);
+        assert_eq!(AluOp::Rem.apply(43, 6), 1);
+        assert_eq!(AluOp::Rem.apply(43, 0), 43);
+        assert_eq!(AluOp::Slt.apply(u64::MAX, 0), 1); // -1 < 0 signed
+        assert_eq!(AluOp::Sltu.apply(u64::MAX, 0), 0);
+    }
+
+    #[test]
+    fn shift_amount_masked() {
+        assert_eq!(AluOp::Sll.apply(1, 64), 1);
+        assert_eq!(AluOp::Sll.apply(1, 65), 2);
+    }
+
+    #[test]
+    fn cond_semantics() {
+        assert!(Cond::Eq.eval(5, 5));
+        assert!(Cond::Ne.eval(5, 6));
+        assert!(Cond::Lt.eval(u64::MAX, 0)); // signed -1 < 0
+        assert!(!Cond::Ltu.eval(u64::MAX, 0));
+        assert!(Cond::Ge.eval(0, u64::MAX)); // 0 >= -1 signed
+        assert!(Cond::Geu.eval(u64::MAX, 0));
+    }
+
+    #[test]
+    fn cond_negate_is_involution() {
+        for c in [Cond::Eq, Cond::Ne, Cond::Lt, Cond::Ge, Cond::Ltu, Cond::Geu] {
+            assert_eq!(c.negate().negate(), c);
+            // negation flips the outcome on a sample of operand pairs
+            for (a, b) in [(0u64, 0u64), (1, 2), (u64::MAX, 3)] {
+                assert_ne!(c.eval(a, b), c.negate().eval(a, b));
+            }
+        }
+    }
+
+    #[test]
+    fn kinds_and_operands() {
+        let i = Inst::Alu {
+            op: AluOp::Add,
+            rd: T0,
+            rs1: T1,
+            rs2: T2,
+        };
+        assert_eq!(i.kind(), InstKind::IntAlu);
+        assert_eq!(i.srcs(), [Some(T1), Some(T2)]);
+        assert_eq!(i.dest(), Some(T0));
+
+        let m = Inst::AluImm {
+            op: AluOp::Mul,
+            rd: T0,
+            rs1: T1,
+            imm: 3,
+        };
+        assert_eq!(m.kind(), InstKind::IntMul);
+
+        let d = Inst::Alu {
+            op: AluOp::Rem,
+            rd: T0,
+            rs1: T1,
+            rs2: T2,
+        };
+        assert_eq!(d.kind(), InstKind::IntDiv);
+
+        let l = Inst::Load {
+            rd: T3,
+            base: S0,
+            offset: 8,
+        };
+        assert_eq!(l.kind(), InstKind::Load);
+        assert!(l.kind().is_load());
+        assert_eq!(l.srcs(), [Some(S0), None]);
+        assert_eq!(l.dest(), Some(T3));
+
+        let s = Inst::Store {
+            src: T3,
+            base: S0,
+            offset: 8,
+        };
+        assert_eq!(s.dest(), None);
+        assert_eq!(s.srcs(), [Some(S0), Some(T3)]);
+
+        let b = Inst::Branch {
+            cond: Cond::Eq,
+            rs1: T0,
+            rs2: ZERO,
+            target: 7,
+        };
+        assert!(b.kind().is_control());
+        assert_eq!(b.dest(), None);
+    }
+
+    #[test]
+    fn zero_register_writes_report_no_dest() {
+        let i = Inst::AluImm {
+            op: AluOp::Add,
+            rd: ZERO,
+            rs1: T1,
+            imm: 1,
+        };
+        assert_eq!(i.dest(), None);
+    }
+
+    #[test]
+    fn call_links() {
+        let c = Inst::Jump {
+            target: 10,
+            link: Some(RA),
+        };
+        assert_eq!(c.dest(), Some(RA));
+        assert_eq!(c.kind(), InstKind::Jump);
+    }
+
+    #[test]
+    fn display_smoke() {
+        let i = Inst::Load {
+            rd: T3,
+            base: S0,
+            offset: -8,
+        };
+        assert_eq!(i.to_string(), "ld r11, -8(r16)");
+    }
+}

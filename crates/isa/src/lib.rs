@@ -1,0 +1,52 @@
+//! # arvi-isa
+//!
+//! A compact RISC instruction-set model, program builder, paged memory and
+//! architectural emulator. This crate is the *workload substrate* of the
+//! reproduction of *"Dynamic Data Dependence Tracking and its Application to
+//! Branch Prediction"* (Chen, Dropsho & Albonesi, HPCA 2003): the paper
+//! evaluates on SimpleScalar/PISA running SPEC95 integer binaries; here,
+//! workloads are real programs in this ISA, functionally executed by
+//! [`Emulator`] to yield a committed dynamic instruction stream
+//! ([`DynInst`]) that the timing simulator (`arvi-sim`) replays.
+//!
+//! The ISA is deliberately minimal (32 integer registers, ALU ops, loads,
+//! stores, conditional branches, direct and indirect jumps) but produces
+//! genuine register dataflow, which is exactly what the paper's Data
+//! Dependence Table observes.
+//!
+//! ## Example
+//!
+//! ```
+//! use arvi_isa::{ProgramBuilder, Emulator, AluOp, Cond, regs};
+//!
+//! // for (t0 = 0; t0 != 10; t0++) {}
+//! let mut b = ProgramBuilder::new();
+//! b.li(regs::T0, 0);
+//! b.li(regs::T1, 10);
+//! let head = b.here();
+//! b.alu_imm(AluOp::Add, regs::T0, regs::T0, 1);
+//! b.branch(Cond::Ne, regs::T0, regs::T1, head);
+//! b.halt();
+//! let program = b.build();
+//!
+//! let mut emu = Emulator::new(program);
+//! let trace: Vec<_> = emu.by_ref().take(100).collect();
+//! assert_eq!(trace.iter().filter(|d| d.is_branch()).count(), 10);
+//! ```
+
+pub mod builder;
+pub mod emulator;
+pub mod inst;
+pub mod mem;
+pub mod program;
+pub mod reg;
+pub mod trace;
+
+pub use builder::{Label, ProgramBuilder};
+pub use emulator::{EmuError, Emulator};
+pub use inst::{AluOp, Cond, Inst, InstKind};
+pub use mem::Memory;
+pub use program::Program;
+pub use reg::names as regs;
+pub use reg::{Reg, NUM_LOGICAL_REGS};
+pub use trace::{BranchInfo, DynInst};

@@ -1,0 +1,185 @@
+//! Static program representation.
+
+use crate::inst::Inst;
+use std::fmt;
+use std::ops::Index;
+
+/// A static program: a sequence of instructions addressed by instruction
+/// index, plus an entry point and an initial memory image.
+///
+/// Programs are produced by [`ProgramBuilder`](crate::ProgramBuilder) and
+/// consumed by the [`Emulator`](crate::Emulator).
+#[derive(Debug, Clone, Default)]
+pub struct Program {
+    insts: Vec<Inst>,
+    entry: u32,
+    init_mem: Vec<(u64, u64)>,
+    name: String,
+}
+
+impl Program {
+    /// Creates a program from raw parts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entry` is out of range, or if any direct control-transfer
+    /// target is out of range.
+    pub fn new(insts: Vec<Inst>, entry: u32, init_mem: Vec<(u64, u64)>) -> Program {
+        assert!(
+            (entry as usize) < insts.len() || insts.is_empty(),
+            "entry point {entry} out of range"
+        );
+        for (pc, inst) in insts.iter().enumerate() {
+            let target = match *inst {
+                Inst::Branch { target, .. } | Inst::Jump { target, .. } => Some(target),
+                _ => None,
+            };
+            if let Some(t) = target {
+                assert!(
+                    (t as usize) < insts.len(),
+                    "instruction {pc} targets out-of-range index {t}"
+                );
+            }
+        }
+        Program {
+            insts,
+            entry,
+            init_mem,
+            name: String::new(),
+        }
+    }
+
+    /// Sets a human-readable name (used in reports).
+    pub fn with_name(mut self, name: impl Into<String>) -> Program {
+        self.name = name.into();
+        self
+    }
+
+    /// The program name, or an empty string.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The entry-point instruction index.
+    pub fn entry(&self) -> u32 {
+        self.entry
+    }
+
+    /// Number of static instructions.
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Whether the program has no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// The instruction at `pc`, if in range.
+    pub fn get(&self, pc: u32) -> Option<&Inst> {
+        self.insts.get(pc as usize)
+    }
+
+    /// All instructions in index order.
+    pub fn insts(&self) -> &[Inst] {
+        &self.insts
+    }
+
+    /// The initial memory image as `(byte address, 64-bit value)` pairs.
+    pub fn init_mem(&self) -> &[(u64, u64)] {
+        &self.init_mem
+    }
+
+    /// A textual disassembly listing (for debugging and examples).
+    pub fn disassemble(&self) -> String {
+        use fmt::Write;
+        let mut out = String::new();
+        for (pc, inst) in self.insts.iter().enumerate() {
+            let marker = if pc as u32 == self.entry { '>' } else { ' ' };
+            let _ = writeln!(out, "{marker}{pc:5}: {inst}");
+        }
+        out
+    }
+}
+
+impl Index<u32> for Program {
+    type Output = Inst;
+
+    fn index(&self, pc: u32) -> &Inst {
+        &self.insts[pc as usize]
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "program {:?} ({} instructions, entry {})",
+            self.name,
+            self.insts.len(),
+            self.entry
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::{AluOp, Cond};
+    use crate::reg::names::*;
+
+    fn sample() -> Vec<Inst> {
+        vec![
+            Inst::AluImm {
+                op: AluOp::Add,
+                rd: T0,
+                rs1: ZERO,
+                imm: 1,
+            },
+            Inst::Branch {
+                cond: Cond::Ne,
+                rs1: T0,
+                rs2: ZERO,
+                target: 0,
+            },
+            Inst::Halt,
+        ]
+    }
+
+    #[test]
+    fn construction_and_access() {
+        let p = Program::new(sample(), 0, vec![(8, 42)]).with_name("sample");
+        assert_eq!(p.len(), 3);
+        assert!(!p.is_empty());
+        assert_eq!(p.entry(), 0);
+        assert_eq!(p.name(), "sample");
+        assert_eq!(p.init_mem(), &[(8, 42)]);
+        assert!(matches!(p[1], Inst::Branch { .. }));
+        assert!(p.get(3).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "out-of-range")]
+    fn rejects_out_of_range_target() {
+        let insts = vec![Inst::Jump {
+            target: 9,
+            link: None,
+        }];
+        let _ = Program::new(insts, 0, vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "entry point")]
+    fn rejects_out_of_range_entry() {
+        let _ = Program::new(sample(), 3, vec![]);
+    }
+
+    #[test]
+    fn disassembly_contains_each_instruction() {
+        let p = Program::new(sample(), 0, vec![]);
+        let d = p.disassemble();
+        assert!(d.contains("addi r8, r0, 1"));
+        assert!(d.contains("bne r8, r0, @0"));
+        assert!(d.contains("halt"));
+    }
+}

@@ -1,0 +1,181 @@
+//! Logical (architectural) integer registers.
+//!
+//! The ISA defines 32 integer registers, matching the paper's assumption
+//! ("assuming the ISA defines a set of 32 logical registers", Section 4.4).
+//! Register 0 is hard-wired to zero, as in MIPS/PISA.
+
+use std::fmt;
+
+/// Number of logical integer registers in the ISA.
+pub const NUM_LOGICAL_REGS: usize = 32;
+
+/// A logical register identifier in `0..32`.
+///
+/// `Reg(0)` is the hard-wired zero register: reads return 0 and writes are
+/// discarded by the [`Emulator`](crate::Emulator).
+///
+/// # Example
+///
+/// ```
+/// use arvi_isa::Reg;
+/// let r = Reg::new(5);
+/// assert_eq!(r.index(), 5);
+/// assert_eq!(r.low_bits(3), 5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// The hard-wired zero register.
+    pub const ZERO: Reg = Reg(0);
+
+    /// Creates a register identifier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 32`.
+    #[inline]
+    pub fn new(index: u8) -> Reg {
+        assert!(
+            (index as usize) < NUM_LOGICAL_REGS,
+            "register index {index} out of range"
+        );
+        Reg(index)
+    }
+
+    /// The register's index in `0..32`.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns true for the hard-wired zero register.
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// The low `n` bits of the register identifier.
+    ///
+    /// The paper's shadow register map table stores only the low 3 bits of
+    /// the logical register ID (Section 4.4); this is the accessor that
+    /// models that truncation.
+    #[inline]
+    pub fn low_bits(self, n: u32) -> u64 {
+        (self.0 as u64) & ((1u64 << n) - 1)
+    }
+
+    /// Iterator over all 32 logical registers.
+    pub fn all() -> impl Iterator<Item = Reg> {
+        (0..NUM_LOGICAL_REGS as u8).map(Reg)
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl From<Reg> for usize {
+    fn from(r: Reg) -> usize {
+        r.index()
+    }
+}
+
+/// Conventional register names used by the program builder and workloads.
+///
+/// The split mirrors common RISC calling conventions: `A*` for arguments,
+/// `T*` for caller-saved temporaries, `S*` for callee-saved values, plus a
+/// link register, stack pointer and global pointer.
+pub mod names {
+    use super::Reg;
+
+    /// Hard-wired zero.
+    pub const ZERO: Reg = Reg(0);
+    /// Return-address (link) register.
+    pub const RA: Reg = Reg(1);
+    /// Stack pointer.
+    pub const SP: Reg = Reg(2);
+    /// Global (data segment base) pointer.
+    pub const GP: Reg = Reg(3);
+    /// Argument registers.
+    pub const A0: Reg = Reg(4);
+    pub const A1: Reg = Reg(5);
+    pub const A2: Reg = Reg(6);
+    pub const A3: Reg = Reg(7);
+    /// Temporary registers.
+    pub const T0: Reg = Reg(8);
+    pub const T1: Reg = Reg(9);
+    pub const T2: Reg = Reg(10);
+    pub const T3: Reg = Reg(11);
+    pub const T4: Reg = Reg(12);
+    pub const T5: Reg = Reg(13);
+    pub const T6: Reg = Reg(14);
+    pub const T7: Reg = Reg(15);
+    /// Saved registers.
+    pub const S0: Reg = Reg(16);
+    pub const S1: Reg = Reg(17);
+    pub const S2: Reg = Reg(18);
+    pub const S3: Reg = Reg(19);
+    pub const S4: Reg = Reg(20);
+    pub const S5: Reg = Reg(21);
+    pub const S6: Reg = Reg(22);
+    pub const S7: Reg = Reg(23);
+    /// Extra temporaries.
+    pub const T8: Reg = Reg(24);
+    pub const T9: Reg = Reg(25);
+    pub const T10: Reg = Reg(26);
+    pub const T11: Reg = Reg(27);
+    /// Value registers.
+    pub const V0: Reg = Reg(28);
+    pub const V1: Reg = Reg(29);
+    pub const V2: Reg = Reg(30);
+    pub const V3: Reg = Reg(31);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_and_index_round_trip() {
+        for i in 0..32u8 {
+            assert_eq!(Reg::new(i).index(), i as usize);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_panics() {
+        let _ = Reg::new(32);
+    }
+
+    #[test]
+    fn zero_register() {
+        assert!(Reg::ZERO.is_zero());
+        assert!(!Reg::new(1).is_zero());
+        assert_eq!(Reg::ZERO, names::ZERO);
+    }
+
+    #[test]
+    fn low_bits_truncates() {
+        assert_eq!(Reg::new(13).low_bits(3), 5); // 13 = 0b1101 -> 0b101
+        assert_eq!(Reg::new(13).low_bits(4), 13);
+        assert_eq!(Reg::new(8).low_bits(3), 0);
+    }
+
+    #[test]
+    fn all_yields_32_distinct() {
+        let v: Vec<_> = Reg::all().collect();
+        assert_eq!(v.len(), 32);
+        for (i, r) in v.iter().enumerate() {
+            assert_eq!(r.index(), i);
+        }
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Reg::new(7).to_string(), "r7");
+    }
+}

@@ -1,0 +1,166 @@
+//! Committed dynamic instruction records (the trace format).
+//!
+//! The timing simulator in `arvi-sim` is trace-driven: it replays the
+//! committed instruction stream produced by the
+//! [`Emulator`](crate::Emulator), consulting its own predictors for timing
+//! while the functional outcome (register values, branch directions, memory
+//! addresses) comes from these records.
+
+use crate::inst::InstKind;
+use crate::reg::Reg;
+
+/// Control-flow outcome of a dynamic branch or jump.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BranchInfo {
+    /// Whether the branch was taken (always true for jumps).
+    pub taken: bool,
+    /// The instruction index executed next.
+    pub next_pc: u32,
+    /// The fall-through instruction index (`pc + 1`).
+    pub fallthrough: u32,
+    /// True for conditional branches (as opposed to jumps), which are the
+    /// instructions the direction predictors are measured on.
+    pub conditional: bool,
+}
+
+/// One committed dynamic instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DynInst {
+    /// Dynamic sequence number (0-based, commit order).
+    pub seq: u64,
+    /// Static instruction index.
+    pub pc: u32,
+    /// Coarse instruction class (functional unit selection).
+    pub kind: InstKind,
+    /// Source registers read (zero register excluded).
+    pub srcs: [Option<Reg>; 2],
+    /// Destination register written (zero register excluded).
+    pub dest: Option<Reg>,
+    /// New value of `dest` (0 when `dest` is `None`).
+    pub result: u64,
+    /// Effective byte address for loads and stores (0 otherwise).
+    pub mem_addr: u64,
+    /// Control-flow outcome for branches/jumps.
+    pub branch: Option<BranchInfo>,
+    /// Load-back oracle: the number of dynamic instructions this load could
+    /// be hoisted while respecting its address-register dependence and
+    /// memory (store-to-load) dependences. Zero for non-loads. Models the
+    /// paper's *load back* configuration (Section 5), which "aggressively
+    /// compares addresses at run-time to disambiguate memory references".
+    pub hoist: u32,
+}
+
+impl DynInst {
+    /// True for conditional branches (the instructions direction predictors
+    /// are measured on).
+    #[inline]
+    pub fn is_branch(&self) -> bool {
+        self.branch.map(|b| b.conditional).unwrap_or(false)
+    }
+
+    /// True for any control transfer (branch or jump).
+    #[inline]
+    pub fn is_control(&self) -> bool {
+        self.branch.is_some()
+    }
+
+    /// True for memory loads.
+    #[inline]
+    pub fn is_load(&self) -> bool {
+        self.kind.is_load()
+    }
+
+    /// True for memory stores.
+    #[inline]
+    pub fn is_store(&self) -> bool {
+        matches!(self.kind, InstKind::Store)
+    }
+
+    /// The byte program counter (instruction index scaled by 4), used when
+    /// indexing caches and predictor tables.
+    #[inline]
+    pub fn byte_pc(&self) -> u64 {
+        (self.pc as u64) << 2
+    }
+
+    /// The instruction index executed after this one (next sequential, or
+    /// the control-flow target).
+    #[inline]
+    pub fn next_pc(&self) -> u32 {
+        match self.branch {
+            Some(b) => b.next_pc,
+            None => self.pc + 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::InstKind;
+    use crate::reg::names::*;
+
+    fn blank(kind: InstKind) -> DynInst {
+        DynInst {
+            seq: 0,
+            pc: 10,
+            kind,
+            srcs: [None, None],
+            dest: None,
+            result: 0,
+            mem_addr: 0,
+            branch: None,
+            hoist: 0,
+        }
+    }
+
+    #[test]
+    fn classification() {
+        assert!(blank(InstKind::Load).is_load());
+        assert!(blank(InstKind::Store).is_store());
+        assert!(!blank(InstKind::IntAlu).is_load());
+
+        let mut b = blank(InstKind::Branch);
+        b.branch = Some(BranchInfo {
+            taken: true,
+            next_pc: 3,
+            fallthrough: 11,
+            conditional: true,
+        });
+        assert!(b.is_branch());
+        assert!(b.is_control());
+        assert_eq!(b.next_pc(), 3);
+
+        let mut j = blank(InstKind::Jump);
+        j.branch = Some(BranchInfo {
+            taken: true,
+            next_pc: 40,
+            fallthrough: 11,
+            conditional: false,
+        });
+        assert!(!j.is_branch());
+        assert!(j.is_control());
+    }
+
+    #[test]
+    fn byte_pc_scales_by_four() {
+        assert_eq!(blank(InstKind::IntAlu).byte_pc(), 40);
+    }
+
+    #[test]
+    fn sequential_next_pc() {
+        let d = blank(InstKind::IntAlu);
+        assert_eq!(d.next_pc(), 11);
+    }
+
+    #[test]
+    fn record_carries_operands() {
+        let mut d = blank(InstKind::Load);
+        d.srcs = [Some(S0), None];
+        d.dest = Some(T1);
+        d.result = 77;
+        d.mem_addr = 0x80;
+        assert_eq!(d.srcs[0], Some(S0));
+        assert_eq!(d.dest, Some(T1));
+    }
+}

@@ -1,0 +1,127 @@
+//! Bimodal (per-PC 2-bit counter) predictor.
+
+use crate::counter::SatCounter;
+use crate::traits::{DirectionPredictor, Prediction};
+
+/// The classic bimodal predictor: a direct-mapped table of 2-bit saturating
+/// counters indexed by the branch address.
+///
+/// # Example
+///
+/// ```
+/// use arvi_predict::{Bimodal, DirectionPredictor, traits::run_immediate};
+/// let mut p = Bimodal::new(10);
+/// // a fully biased branch converges to 100% after warmup
+/// let stream = (0..100).map(|_| (64u64, true));
+/// let (correct, total) = run_immediate(&mut p, stream);
+/// assert!(correct >= total - 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Bimodal {
+    table: Vec<SatCounter>,
+    index_mask: u64,
+}
+
+impl Bimodal {
+    /// Creates a bimodal predictor with `2^index_bits` counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index_bits` is 0 or greater than 28.
+    pub fn new(index_bits: u32) -> Bimodal {
+        assert!(
+            (1..=28).contains(&index_bits),
+            "index width {index_bits} unsupported"
+        );
+        let size = 1usize << index_bits;
+        Bimodal {
+            table: vec![SatCounter::two_bit(); size],
+            index_mask: (size - 1) as u64,
+        }
+    }
+
+    #[inline]
+    fn index(&self, pc: u64) -> usize {
+        // Instruction PCs are word aligned; drop the two zero bits.
+        ((pc >> 2) & self.index_mask) as usize
+    }
+
+    /// The number of table entries.
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Whether the table is empty (never true for a constructed predictor).
+    pub fn is_empty(&self) -> bool {
+        self.table.is_empty()
+    }
+}
+
+impl DirectionPredictor for Bimodal {
+    fn predict(&mut self, pc: u64) -> Prediction {
+        let idx = self.index(pc);
+        Prediction {
+            taken: self.table[idx].is_set(),
+            checkpoint: 0,
+        }
+    }
+
+    fn spec_push(&mut self, _taken: bool) {}
+
+    fn update(&mut self, pc: u64, _checkpoint: u64, taken: bool) {
+        let idx = self.index(pc);
+        self.table[idx].update(taken);
+    }
+
+    fn storage_bits(&self) -> usize {
+        self.table.len() * 2
+    }
+
+    fn name(&self) -> &'static str {
+        "bimodal"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::run_immediate;
+
+    #[test]
+    fn learns_bias_quickly() {
+        let mut p = Bimodal::new(8);
+        let (correct, total) = run_immediate(&mut p, (0..50).map(|_| (128u64, false)));
+        assert!(correct >= total - 2, "{correct}/{total}");
+    }
+
+    #[test]
+    fn alternating_pattern_is_hard() {
+        // T,N,T,N ... defeats a 2-bit counter (at most ~50%).
+        let mut p = Bimodal::new(8);
+        let stream = (0..200).map(|i| (256u64, i % 2 == 0));
+        let (correct, total) = run_immediate(&mut p, stream);
+        assert!(correct <= total / 2 + 2, "{correct}/{total}");
+    }
+
+    #[test]
+    fn distinct_pcs_use_distinct_counters() {
+        let mut p = Bimodal::new(8);
+        // Branch A always taken, branch B always not-taken; both learnable.
+        let stream = (0..100).flat_map(|_| [(0u64, true), (4u64, false)]);
+        let (correct, total) = run_immediate(&mut p, stream);
+        assert!(correct >= total - 4, "{correct}/{total}");
+    }
+
+    #[test]
+    fn aliasing_wraps_modulo_table() {
+        let p = Bimodal::new(4);
+        assert_eq!(p.index(0), p.index(16 << 2));
+    }
+
+    #[test]
+    fn storage_accounting() {
+        // 4096 entries x 2 bits = 8192 bits = 1 KB (one paper L1 bank).
+        let p = Bimodal::new(12);
+        assert_eq!(p.storage_bits(), 8192);
+    }
+}

@@ -1,0 +1,176 @@
+//! Branch confidence estimation.
+//!
+//! The paper (Section 5) filters which branches the ARVI second level may
+//! override: "since the L1 hybrid is used to filter easily predicted highly
+//! biased branches, a confidence estimator indicates whether the branch is
+//! more difficult to predict and that the ARVI predictor should be used."
+//! We implement the classic resetting-counter estimator (Jacobsen,
+//! Rotenberg & Smith): a table of counters incremented on a correct L1
+//! prediction and reset on a misprediction; a branch is *high confidence*
+//! when its counter has reached a threshold.
+
+use crate::counter::ResettingCounter;
+
+/// Shape parameters for [`ConfidenceEstimator`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConfidenceConfig {
+    /// log2 of the number of table entries.
+    pub index_bits: u32,
+    /// Counter width in bits.
+    pub counter_bits: u32,
+    /// Counter value at or above which the branch is high-confidence.
+    pub threshold: u8,
+    /// Global-history bits XOR'd into the index (0 = PC-only).
+    pub history_bits: u32,
+}
+
+impl Default for ConfidenceConfig {
+    /// 1K entries of 4-bit resetting counters, threshold 8, 4 history bits —
+    /// a conventional mid-size estimator.
+    fn default() -> ConfidenceConfig {
+        ConfidenceConfig {
+            index_bits: 10,
+            counter_bits: 4,
+            threshold: 8,
+            history_bits: 4,
+        }
+    }
+}
+
+/// Resetting-counter confidence estimator for the level-1 predictor.
+///
+/// # Example
+///
+/// ```
+/// use arvi_predict::ConfidenceEstimator;
+/// let mut ce = ConfidenceEstimator::new(Default::default());
+/// for _ in 0..8 {
+///     assert!(!ce.is_confident(64, 0));
+///     ce.update(64, 0, true); // L1 was correct
+/// }
+/// assert!(ce.is_confident(64, 0));
+/// ce.update(64, 0, false); // L1 mispredicted: confidence collapses
+/// assert!(!ce.is_confident(64, 0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct ConfidenceEstimator {
+    table: Vec<ResettingCounter>,
+    cfg: ConfidenceConfig,
+    mask: u64,
+}
+
+impl ConfidenceEstimator {
+    /// Creates an estimator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index_bits` is 0 or greater than 24, or the threshold is
+    /// not representable in `counter_bits`.
+    pub fn new(cfg: ConfidenceConfig) -> ConfidenceEstimator {
+        assert!((1..=24).contains(&cfg.index_bits));
+        let max = ((1u16 << cfg.counter_bits) - 1) as u8;
+        assert!(
+            cfg.threshold <= max,
+            "threshold {} not representable in {} bits",
+            cfg.threshold,
+            cfg.counter_bits
+        );
+        let size = 1usize << cfg.index_bits;
+        ConfidenceEstimator {
+            table: vec![ResettingCounter::new(cfg.counter_bits); size],
+            cfg,
+            mask: (size - 1) as u64,
+        }
+    }
+
+    #[inline]
+    fn index(&self, pc: u64, history: u64) -> usize {
+        let h = if self.cfg.history_bits == 0 {
+            0
+        } else {
+            history & ((1u64 << self.cfg.history_bits) - 1)
+        };
+        (((pc >> 2) ^ (h << 3)) & self.mask) as usize
+    }
+
+    /// Whether the branch at `pc` (under `history`) is currently
+    /// high-confidence for the level-1 predictor.
+    pub fn is_confident(&self, pc: u64, history: u64) -> bool {
+        self.table[self.index(pc, history)].value() >= self.cfg.threshold
+    }
+
+    /// Trains the estimator with whether the level-1 prediction was
+    /// correct.
+    pub fn update(&mut self, pc: u64, history: u64, l1_correct: bool) {
+        let idx = self.index(pc, history);
+        if l1_correct {
+            self.table[idx].increment();
+        } else {
+            self.table[idx].reset();
+        }
+    }
+
+    /// Table storage in bits.
+    pub fn storage_bits(&self) -> usize {
+        self.table.len() * self.cfg.counter_bits as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requires_run_of_correct_predictions() {
+        let mut ce = ConfidenceEstimator::new(ConfidenceConfig {
+            threshold: 4,
+            ..Default::default()
+        });
+        for i in 0..4 {
+            assert!(!ce.is_confident(0, 0), "confident too early at step {i}");
+            ce.update(0, 0, true);
+        }
+        assert!(ce.is_confident(0, 0));
+    }
+
+    #[test]
+    fn misprediction_resets() {
+        let mut ce = ConfidenceEstimator::new(Default::default());
+        for _ in 0..15 {
+            ce.update(0, 0, true);
+        }
+        assert!(ce.is_confident(0, 0));
+        ce.update(0, 0, false);
+        assert!(!ce.is_confident(0, 0));
+    }
+
+    #[test]
+    fn history_differentiates_contexts() {
+        let cfg = ConfidenceConfig {
+            history_bits: 4,
+            ..Default::default()
+        };
+        let mut ce = ConfidenceEstimator::new(cfg);
+        for _ in 0..15 {
+            ce.update(0, 0b0000, true);
+        }
+        assert!(ce.is_confident(0, 0b0000));
+        assert!(!ce.is_confident(0, 0b1111));
+    }
+
+    #[test]
+    #[should_panic(expected = "not representable")]
+    fn threshold_must_fit() {
+        let _ = ConfidenceEstimator::new(ConfidenceConfig {
+            counter_bits: 2,
+            threshold: 9,
+            ..Default::default()
+        });
+    }
+
+    #[test]
+    fn storage_accounting() {
+        let ce = ConfidenceEstimator::new(Default::default());
+        assert_eq!(ce.storage_bits(), 1024 * 4);
+    }
+}

@@ -1,0 +1,143 @@
+//! Gshare: global-history XOR PC indexed 2-bit counters.
+
+use crate::counter::SatCounter;
+use crate::history::GlobalHistory;
+use crate::traits::{DirectionPredictor, Prediction};
+
+/// The gshare predictor of McFarling: one table of 2-bit counters indexed
+/// by `PC XOR global history`.
+///
+/// # Example
+///
+/// ```
+/// use arvi_predict::{Gshare, traits::run_immediate};
+/// // A period-4 pattern is unlearnable by bimodal but trivial with history.
+/// let pattern = [true, true, false, true];
+/// let stream = (0..400).map(|i| (64u64, pattern[i % 4]));
+/// let mut p = Gshare::new(12, 8);
+/// let (correct, total) = run_immediate(&mut p, stream);
+/// assert!(correct as f64 / total as f64 > 0.95);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Gshare {
+    table: Vec<SatCounter>,
+    index_mask: u64,
+    history: GlobalHistory,
+    history_len: u32,
+}
+
+impl Gshare {
+    /// Creates a gshare predictor with `2^index_bits` counters and
+    /// `history_len` bits of global history.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index_bits` is 0 or greater than 28, or if `history_len`
+    /// exceeds 64.
+    pub fn new(index_bits: u32, history_len: u32) -> Gshare {
+        assert!(
+            (1..=28).contains(&index_bits),
+            "index width {index_bits} unsupported"
+        );
+        assert!(history_len <= 64, "history length {history_len} unsupported");
+        let size = 1usize << index_bits;
+        Gshare {
+            table: vec![SatCounter::two_bit(); size],
+            index_mask: (size - 1) as u64,
+            history: GlobalHistory::new(),
+            history_len,
+        }
+    }
+
+    #[inline]
+    fn index(&self, pc: u64, history: u64) -> usize {
+        let h = if self.history_len >= 64 {
+            history
+        } else if self.history_len == 0 {
+            0
+        } else {
+            history & ((1u64 << self.history_len) - 1)
+        };
+        (((pc >> 2) ^ h) & self.index_mask) as usize
+    }
+
+    /// The current global history bits.
+    pub fn history(&self) -> u64 {
+        self.history.bits()
+    }
+}
+
+impl DirectionPredictor for Gshare {
+    fn predict(&mut self, pc: u64) -> Prediction {
+        let checkpoint = self.history.bits();
+        let idx = self.index(pc, checkpoint);
+        Prediction {
+            taken: self.table[idx].is_set(),
+            checkpoint,
+        }
+    }
+
+    fn spec_push(&mut self, taken: bool) {
+        self.history.push(taken);
+    }
+
+    fn update(&mut self, pc: u64, checkpoint: u64, taken: bool) {
+        let idx = self.index(pc, checkpoint);
+        self.table[idx].update(taken);
+    }
+
+    fn storage_bits(&self) -> usize {
+        self.table.len() * 2
+    }
+
+    fn name(&self) -> &'static str {
+        "gshare"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::run_immediate;
+
+    #[test]
+    fn learns_periodic_pattern() {
+        let pattern = [true, false, false, true, true, false];
+        let stream = (0..600).map(|i| (1024u64, pattern[i % pattern.len()]));
+        let mut p = Gshare::new(12, 10);
+        let (correct, total) = run_immediate(&mut p, stream);
+        assert!(
+            correct as f64 / total as f64 > 0.9,
+            "accuracy {correct}/{total}"
+        );
+    }
+
+    #[test]
+    fn update_uses_checkpoint_not_current_history() {
+        let mut p = Gshare::new(10, 8);
+        let pred = p.predict(0);
+        // History moves on before the delayed update.
+        p.spec_push(true);
+        p.spec_push(false);
+        p.spec_push(true);
+        p.update(0, pred.checkpoint, true);
+        // The entry trained must be the one indexed by the checkpoint.
+        let idx = p.index(0, pred.checkpoint);
+        assert_eq!(p.table[idx].value(), 2);
+        let wrong_idx = p.index(0, p.history());
+        assert_ne!(idx, wrong_idx, "test requires distinct indices");
+        assert_eq!(p.table[wrong_idx].value(), 1);
+    }
+
+    #[test]
+    fn zero_history_degenerates_to_bimodal_indexing() {
+        let p = Gshare::new(10, 0);
+        assert_eq!(p.index(64, u64::MAX), p.index(64, 0));
+    }
+
+    #[test]
+    fn storage_accounting() {
+        let p = Gshare::new(12, 12);
+        assert_eq!(p.storage_bits(), 8192);
+    }
+}

@@ -1,0 +1,85 @@
+//! Global branch history register.
+
+/// A shift register of recent branch outcomes (1 = taken), newest in the
+/// least-significant bit.
+///
+/// The simulator shifts the history *speculatively at fetch* with the
+/// followed direction; because the trace-driven model fetches the correct
+/// path, this is equivalent to speculative update with perfect repair —
+/// the policy the EV8 predictor implements in hardware.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct GlobalHistory {
+    bits: u64,
+}
+
+impl GlobalHistory {
+    /// Creates an all-zero (all not-taken) history.
+    pub fn new() -> GlobalHistory {
+        GlobalHistory::default()
+    }
+
+    /// The raw history bits, newest outcome in bit 0.
+    #[inline]
+    pub fn bits(self) -> u64 {
+        self.bits
+    }
+
+    /// The newest `len` outcomes (`len <= 64`).
+    #[inline]
+    pub fn low(self, len: u32) -> u64 {
+        if len == 0 {
+            0
+        } else if len >= 64 {
+            self.bits
+        } else {
+            self.bits & ((1u64 << len) - 1)
+        }
+    }
+
+    /// Shifts in a new outcome.
+    #[inline]
+    pub fn push(&mut self, taken: bool) {
+        self.bits = (self.bits << 1) | taken as u64;
+    }
+
+    /// Restores a checkpointed history value (misprediction repair).
+    #[inline]
+    pub fn restore(&mut self, bits: u64) {
+        self.bits = bits;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_order_is_lsb_newest() {
+        let mut h = GlobalHistory::new();
+        h.push(true);
+        h.push(false);
+        h.push(true);
+        assert_eq!(h.bits() & 0b111, 0b101);
+    }
+
+    #[test]
+    fn low_masks() {
+        let mut h = GlobalHistory::new();
+        for _ in 0..10 {
+            h.push(true);
+        }
+        assert_eq!(h.low(4), 0b1111);
+        assert_eq!(h.low(0), 0);
+        assert_eq!(h.low(64), h.bits());
+    }
+
+    #[test]
+    fn restore_round_trips() {
+        let mut h = GlobalHistory::new();
+        h.push(true);
+        let ckpt = h.bits();
+        h.push(false);
+        h.restore(ckpt);
+        assert_eq!(h.bits(), ckpt);
+    }
+}

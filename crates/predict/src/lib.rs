@@ -1,0 +1,40 @@
+//! # arvi-predict
+//!
+//! Baseline dynamic branch direction predictors for the ARVI reproduction
+//! (Chen, Dropsho & Albonesi, HPCA 2003):
+//!
+//! * [`Bimodal`] — per-PC 2-bit saturating counters.
+//! * [`Gshare`] — global history XOR PC indexed counters.
+//! * [`Local`] — two-level local-history predictor.
+//! * [`TwoBcGskew`] — the Alpha EV8-style hybrid (Seznec et al., ISCA 2002)
+//!   the paper uses for both predictor levels of its baseline: BIM/G0/G1
+//!   banks with skewed indexing, majority vote, a meta chooser and partial
+//!   update.
+//! * [`ConfidenceEstimator`] — resetting-counter confidence table used to
+//!   decide when the ARVI second level should override the first level.
+//!
+//! All predictors implement [`DirectionPredictor`]: `predict` returns the
+//! direction *and* a checkpoint of the indexing state (the global history
+//! at prediction time) which callers hand back to `update`, so that delayed
+//! (commit-time) updates index the same table entries the prediction used —
+//! as the real hardware's history checkpointing does.
+
+pub mod bimodal;
+pub mod confidence;
+pub mod counter;
+pub mod gshare;
+pub mod gskew;
+pub mod history;
+pub mod local;
+pub mod traits;
+pub mod value;
+
+pub use bimodal::Bimodal;
+pub use confidence::{ConfidenceConfig, ConfidenceEstimator};
+pub use counter::{ResettingCounter, SatCounter};
+pub use gshare::Gshare;
+pub use gskew::{GskewConfig, TwoBcGskew};
+pub use history::GlobalHistory;
+pub use local::Local;
+pub use traits::{DirectionPredictor, Prediction};
+pub use value::{LastValue, Stride};

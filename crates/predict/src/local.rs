@@ -1,0 +1,126 @@
+//! Two-level local-history predictor (PAg style, as in the Alpha 21264
+//! tournament predictor's local component).
+
+use crate::counter::SatCounter;
+use crate::traits::{DirectionPredictor, Prediction};
+
+/// A two-level local predictor: a table of per-branch history registers
+/// selecting into a shared table of counters.
+///
+/// Included as an additional baseline for predictor-comparison examples;
+/// the paper's hybrid uses global components only.
+#[derive(Debug, Clone)]
+pub struct Local {
+    histories: Vec<u16>,
+    counters: Vec<SatCounter>,
+    history_len: u32,
+    hist_mask: u64,
+    ctr_mask: u64,
+}
+
+impl Local {
+    /// Creates a local predictor with `2^hist_index_bits` history registers
+    /// of `history_len` bits and `2^counter_index_bits` counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any size parameter is zero, `history_len > 16`, or
+    /// `counter_index_bits < history_len`.
+    pub fn new(hist_index_bits: u32, history_len: u32, counter_index_bits: u32) -> Local {
+        assert!((1..=24).contains(&hist_index_bits));
+        assert!((1..=16).contains(&history_len));
+        assert!((1..=28).contains(&counter_index_bits));
+        assert!(
+            counter_index_bits >= history_len,
+            "counter table must index the full local history"
+        );
+        Local {
+            histories: vec![0; 1 << hist_index_bits],
+            counters: vec![SatCounter::two_bit(); 1 << counter_index_bits],
+            history_len,
+            hist_mask: ((1u64 << hist_index_bits) - 1) as u64,
+            ctr_mask: ((1u64 << counter_index_bits) - 1) as u64,
+        }
+    }
+
+    #[inline]
+    fn hist_index(&self, pc: u64) -> usize {
+        ((pc >> 2) & self.hist_mask) as usize
+    }
+
+    #[inline]
+    fn ctr_index(&self, pc: u64, local: u16) -> usize {
+        // Concatenate local history with low PC bits beyond the history.
+        let pc_part = (pc >> 2) << self.history_len;
+        (((local as u64) | pc_part) & self.ctr_mask) as usize
+    }
+}
+
+impl DirectionPredictor for Local {
+    fn predict(&mut self, pc: u64) -> Prediction {
+        let local = self.histories[self.hist_index(pc)];
+        Prediction {
+            taken: self.counters[self.ctr_index(pc, local)].is_set(),
+            // The checkpoint carries the *local* history used.
+            checkpoint: local as u64,
+        }
+    }
+
+    fn spec_push(&mut self, _taken: bool) {}
+
+    fn update(&mut self, pc: u64, checkpoint: u64, taken: bool) {
+        let idx = self.ctr_index(pc, checkpoint as u16);
+        self.counters[idx].update(taken);
+        let hist_idx = self.hist_index(pc);
+        let h = &mut self.histories[hist_idx];
+        *h = (((*h as u32) << 1) | taken as u32) as u16 & ((1u16 << self.history_len) - 1) as u16;
+    }
+
+    fn storage_bits(&self) -> usize {
+        self.histories.len() * self.history_len as usize + self.counters.len() * 2
+    }
+
+    fn name(&self) -> &'static str {
+        "local"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::run_immediate;
+
+    #[test]
+    fn learns_per_branch_period() {
+        // Two interleaved branches with different private periods — global
+        // history sees an interleaving, local history separates them.
+        let mut p = Local::new(10, 8, 14);
+        let stream = (0..2000).flat_map(|i| {
+            [
+                (0u64, i % 3 == 0),   // period 3
+                (400u64, i % 5 == 0), // period 5
+            ]
+        });
+        let (correct, total) = run_immediate(&mut p, stream);
+        assert!(
+            correct as f64 / total as f64 > 0.95,
+            "accuracy {correct}/{total}"
+        );
+    }
+
+    #[test]
+    fn history_length_respected() {
+        let mut p = Local::new(4, 4, 8);
+        for _ in 0..100 {
+            let pr = p.predict(0);
+            p.update(0, pr.checkpoint, true);
+        }
+        assert_eq!(p.histories[0], 0b1111);
+    }
+
+    #[test]
+    fn storage_accounting() {
+        let p = Local::new(10, 10, 10);
+        assert_eq!(p.storage_bits(), 1024 * 10 + 1024 * 2);
+    }
+}

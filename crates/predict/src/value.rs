@@ -1,0 +1,191 @@
+//! Value predictors — the substrate for the paper's selective value
+//! prediction application (Section 3) and the related-work comparisons
+//! (Lipasti & Shen's value prediction, Heil's value-difference
+//! correlation).
+
+/// A last-value predictor: predicts that an instruction produces the same
+/// value as its previous execution.
+///
+/// # Example
+///
+/// ```
+/// use arvi_predict::value::LastValue;
+/// let mut p = LastValue::new(8);
+/// assert_eq!(p.predict(0x40), None); // cold
+/// p.update(0x40, 7);
+/// assert_eq!(p.predict(0x40), Some(7));
+/// ```
+#[derive(Debug, Clone)]
+pub struct LastValue {
+    table: Vec<Option<u64>>,
+    mask: u64,
+}
+
+impl LastValue {
+    /// Creates a table of `2^index_bits` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index_bits` is 0 or greater than 24.
+    pub fn new(index_bits: u32) -> LastValue {
+        assert!((1..=24).contains(&index_bits));
+        LastValue {
+            table: vec![None; 1 << index_bits],
+            mask: (1u64 << index_bits) - 1,
+        }
+    }
+
+    #[inline]
+    fn index(&self, pc: u64) -> usize {
+        ((pc >> 2) & self.mask) as usize
+    }
+
+    /// The predicted value for the instruction at `pc`, if any history
+    /// exists.
+    pub fn predict(&self, pc: u64) -> Option<u64> {
+        self.table[self.index(pc)]
+    }
+
+    /// Trains with the actual produced value.
+    pub fn update(&mut self, pc: u64, value: u64) {
+        let idx = self.index(pc);
+        self.table[idx] = Some(value);
+    }
+}
+
+/// A stride predictor: learns `value[n+1] = value[n] + stride` patterns
+/// (induction variables, sequential pointers).
+///
+/// # Example
+///
+/// ```
+/// use arvi_predict::value::Stride;
+/// let mut p = Stride::new(8);
+/// p.update(0x40, 10);
+/// p.update(0x40, 14);
+/// p.update(0x40, 18);           // stride 4 confirmed
+/// assert_eq!(p.predict(0x40), Some(22));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Stride {
+    last: Vec<Option<u64>>,
+    stride: Vec<i64>,
+    confidence: Vec<u8>,
+    mask: u64,
+}
+
+impl Stride {
+    /// Creates a table of `2^index_bits` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index_bits` is 0 or greater than 24.
+    pub fn new(index_bits: u32) -> Stride {
+        assert!((1..=24).contains(&index_bits));
+        let n = 1usize << index_bits;
+        Stride {
+            last: vec![None; n],
+            stride: vec![0; n],
+            confidence: vec![0; n],
+            mask: (1u64 << index_bits) - 1,
+        }
+    }
+
+    #[inline]
+    fn index(&self, pc: u64) -> usize {
+        ((pc >> 2) & self.mask) as usize
+    }
+
+    /// The predicted next value, once the stride has been confirmed at
+    /// least once.
+    pub fn predict(&self, pc: u64) -> Option<u64> {
+        let i = self.index(pc);
+        match (self.last[i], self.confidence[i]) {
+            (Some(last), c) if c >= 2 => Some(last.wrapping_add(self.stride[i] as u64)),
+            _ => None,
+        }
+    }
+
+    /// Trains with the actual produced value.
+    pub fn update(&mut self, pc: u64, value: u64) {
+        let i = self.index(pc);
+        if let Some(last) = self.last[i] {
+            let observed = value.wrapping_sub(last) as i64;
+            if observed == self.stride[i] {
+                self.confidence[i] = (self.confidence[i] + 1).min(3);
+            } else {
+                self.stride[i] = observed;
+                self.confidence[i] = 1;
+            }
+        }
+        self.last[i] = Some(value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn last_value_tracks_stable_values() {
+        let mut p = LastValue::new(6);
+        p.update(0x10, 99);
+        assert_eq!(p.predict(0x10), Some(99));
+        p.update(0x10, 100);
+        assert_eq!(p.predict(0x10), Some(100));
+        assert_eq!(p.predict(0x14), None);
+    }
+
+    #[test]
+    fn stride_learns_induction_variables() {
+        let mut p = Stride::new(6);
+        for v in (0..40u64).step_by(8) {
+            p.update(0x20, v);
+        }
+        assert_eq!(p.predict(0x20), Some(40));
+    }
+
+    #[test]
+    fn stride_withholds_until_confirmed() {
+        let mut p = Stride::new(6);
+        p.update(0x20, 5);
+        assert_eq!(p.predict(0x20), None, "one sample: no stride");
+        p.update(0x20, 9);
+        assert_eq!(p.predict(0x20), None, "stride seen once, unconfirmed");
+        p.update(0x20, 13);
+        assert_eq!(p.predict(0x20), Some(17));
+    }
+
+    #[test]
+    fn stride_zero_degenerates_to_last_value() {
+        let mut p = Stride::new(6);
+        for _ in 0..4 {
+            p.update(0x30, 42);
+        }
+        assert_eq!(p.predict(0x30), Some(42));
+    }
+
+    #[test]
+    fn stride_retrains_on_pattern_change() {
+        let mut p = Stride::new(6);
+        for v in [0u64, 4, 8, 12] {
+            p.update(0x40, v);
+        }
+        assert_eq!(p.predict(0x40), Some(16));
+        // Break the pattern: new stride must be re-confirmed.
+        p.update(0x40, 100);
+        assert_eq!(p.predict(0x40), None);
+        p.update(0x40, 107);
+        p.update(0x40, 114);
+        assert_eq!(p.predict(0x40), Some(121));
+    }
+
+    #[test]
+    fn wrapping_values_are_handled() {
+        let mut p = Stride::new(6);
+        for v in [u64::MAX - 8, u64::MAX - 4, u64::MAX] {
+            p.update(0x50, v);
+        }
+        assert_eq!(p.predict(0x50), Some(3)); // wraps past zero
+    }
+}

@@ -1,0 +1,292 @@
+//! The two-level overriding branch-prediction assembly (paper Section 5).
+//!
+//! All configurations share the 4 KB single-cycle 2Bc-gskew level-1
+//! predictor. The level-2 predictor — a 32 KB 2Bc-gskew or the 32 KB ARVI
+//! — produces its result `lat(L2)` cycles later and may *override* the
+//! level-1 direction:
+//!
+//! * hybrid L2: overrides whenever it disagrees;
+//! * ARVI L2: overrides only when the confidence estimator marks the
+//!   branch low-confidence (the L1 "filters easily predicted highly biased
+//!   branches") *and* the BVIT hits.
+
+use arvi_core::{ArviConfig, ArviPrediction, ArviPredictor, BranchClass, DdtConfig, PhysReg,
+                RenamedOp, TrackerConfig, Values};
+use arvi_isa::Reg;
+use arvi_predict::{ConfidenceEstimator, DirectionPredictor, TwoBcGskew};
+
+use crate::params::{PredictorConfig, SimParams};
+
+/// The level-2 predictor variant.
+#[derive(Debug)]
+pub enum Level2 {
+    /// 32 KB 2Bc-gskew.
+    Hybrid(Box<TwoBcGskew>),
+    /// The ARVI predictor (BVIT + DDT/RSE + shadow state).
+    Arvi(Box<ArviPredictor>),
+}
+
+/// Everything recorded at prediction time for one conditional branch,
+/// consumed again at commit for training.
+#[derive(Debug, Clone)]
+pub struct BranchDecision {
+    /// Level-1 direction.
+    pub l1_taken: bool,
+    /// Level-1 history checkpoint.
+    pub l1_ckpt: u64,
+    /// Level-2 hybrid history checkpoint (0 for ARVI).
+    pub l2_ckpt: u64,
+    /// The direction the machine follows once the L2 result is in.
+    pub final_taken: bool,
+    /// Whether the L2 result overrode (differed from) the L1 direction.
+    pub override_fired: bool,
+    /// Whether the confidence estimator rated the branch high-confidence.
+    pub confident: bool,
+    /// The ARVI prediction record (ARVI configurations only).
+    pub arvi: Option<ArviPrediction>,
+}
+
+/// The complete branch-prediction stack of the simulated machine.
+#[derive(Debug)]
+pub struct BranchUnit {
+    l1: TwoBcGskew,
+    confidence: ConfidenceEstimator,
+    level2: Level2,
+    /// L2 result delay in cycles (Table 4).
+    pub l2_latency: u64,
+    gate_overrides: bool,
+}
+
+impl BranchUnit {
+    /// Builds the stack for a machine configuration.
+    pub fn new(params: &SimParams, config: PredictorConfig) -> BranchUnit {
+        let (level2, l2_latency) = if config.is_arvi() {
+            let tracker = TrackerConfig {
+                ddt: DdtConfig {
+                    slots: params.rob_entries,
+                    phys_regs: params.phys_regs,
+                },
+                track_dependents: false,
+            };
+            let mut arvi_cfg = ArviConfig::paper(tracker);
+            arvi_cfg.bvit.sets_log2 = params.arvi_tuning.bvit_sets_log2;
+            arvi_cfg.include_stale_values = params.arvi_tuning.include_stale_values;
+            (
+                Level2::Arvi(Box::new(ArviPredictor::new(arvi_cfg))),
+                params.arvi_latency,
+            )
+        } else {
+            (
+                Level2::Hybrid(Box::new(TwoBcGskew::new(params.l2_predictor))),
+                params.l2_pred_latency,
+            )
+        };
+        BranchUnit {
+            l1: TwoBcGskew::new(params.l1_predictor),
+            confidence: ConfidenceEstimator::new(params.confidence),
+            level2,
+            l2_latency,
+            gate_overrides: params.arvi_tuning.gate_overrides,
+        }
+    }
+
+    /// The level-2 predictor.
+    pub fn level2(&self) -> &Level2 {
+        &self.level2
+    }
+
+    /// Inserts a renamed instruction into the dependence tracker (ARVI
+    /// configurations; no-op for the hybrid).
+    pub fn rename_op(&mut self, op: &RenamedOp, logical_dest: Option<Reg>) {
+        if let Level2::Arvi(arvi) = &mut self.level2 {
+            arvi.rename(op, logical_dest);
+        }
+    }
+
+    /// Records a writeback into the ARVI shadow register file.
+    pub fn writeback(&mut self, phys: PhysReg, value: u64) {
+        if let Level2::Arvi(arvi) = &mut self.level2 {
+            arvi.writeback(phys, value);
+        }
+    }
+
+    /// Retires the oldest instruction from the dependence tracker.
+    pub fn commit_inst(&mut self) {
+        if let Level2::Arvi(arvi) = &mut self.level2 {
+            arvi.commit_oldest();
+        }
+    }
+
+    /// Predicts a conditional branch at fetch. `srcs_phys` are the
+    /// branch's renamed operands; `values` supplies register values for
+    /// the ARVI index (see [`Values`]); `actual` is the trace outcome used
+    /// to speculatively advance the global histories (the trace-driven
+    /// machine fetches the correct path).
+    pub fn decide(
+        &mut self,
+        pc: u64,
+        srcs_phys: [Option<PhysReg>; 2],
+        values: Values<'_>,
+        actual: bool,
+    ) -> BranchDecision {
+        let l1p = self.l1.predict(pc);
+        let confident = self.confidence.is_confident(pc, l1p.checkpoint);
+        let (final_taken, override_fired, l2_ckpt, arvi) = match &mut self.level2 {
+            Level2::Hybrid(l2) => {
+                let l2p = l2.predict(pc);
+                l2.spec_push(actual);
+                // "If the two predictions differ then the level 2
+                // prediction is used."
+                (l2p.taken, l2p.taken != l1p.taken, l2p.checkpoint, None)
+            }
+            Level2::Arvi(arvi) => {
+                let ap = arvi.predict(pc, srcs_phys, values);
+                // Override only with proven entries: the entry must have
+                // value information (an available leaf or a calculated
+                // signature), a saturated direction counter, and a
+                // net-correct Heil performance counter — so a cold,
+                // value-blind or oscillating signature never flips a good
+                // L1 result (ARVI's long latency makes bad flips
+                // expensive).
+                let informed =
+                    ap.available > 0 || ap.class == BranchClass::Calculated;
+                let proven = !self.gate_overrides || (informed && ap.strong && ap.perf >= 1);
+                let use_arvi = !confident && ap.direction.is_some() && proven;
+                let dir = if use_arvi {
+                    ap.direction.expect("gated on is_some")
+                } else {
+                    l1p.taken
+                };
+                (dir, dir != l1p.taken, 0, Some(ap))
+            }
+        };
+        self.l1.spec_push(actual);
+        BranchDecision {
+            l1_taken: l1p.taken,
+            l1_ckpt: l1p.checkpoint,
+            l2_ckpt,
+            final_taken,
+            override_fired,
+            confident,
+            arvi,
+        }
+    }
+
+    /// Trains every component at commit with the branch's actual outcome.
+    pub fn commit_branch(&mut self, pc: u64, decision: &BranchDecision, actual: bool) {
+        self.l1.update(pc, decision.l1_ckpt, actual);
+        self.confidence
+            .update(pc, decision.l1_ckpt, decision.l1_taken == actual);
+        match &mut self.level2 {
+            Level2::Hybrid(l2) => l2.update(pc, decision.l2_ckpt, actual),
+            Level2::Arvi(arvi) => {
+                let ap = decision
+                    .arvi
+                    .as_ref()
+                    .expect("ARVI decision carries its prediction");
+                // Allocate BVIT capacity only for low-confidence branches:
+                // "dedicating ARVI resources to difficult branches".
+                arvi.train(ap, actual, !decision.confident);
+            }
+        }
+    }
+
+    /// Classification of the last ARVI prediction (None for the hybrid).
+    pub fn class_of(decision: &BranchDecision) -> Option<BranchClass> {
+        decision.arvi.as_ref().map(|a| a.class)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::{Depth, SimParams};
+
+    fn unit(config: PredictorConfig) -> BranchUnit {
+        let mut p = SimParams::for_depth(Depth::D20);
+        p.rob_entries = 32;
+        p.phys_regs = 128;
+        BranchUnit::new(&p, config)
+    }
+
+    #[test]
+    fn hybrid_latency_and_override_rule() {
+        let mut bu = unit(PredictorConfig::TwoLevelGskew);
+        assert_eq!(bu.l2_latency, 2);
+        // Cold predictors agree (both weakly not-taken): no override.
+        let d = bu.decide(0x40, [None, None], Values::Current, true);
+        assert!(!d.override_fired);
+        assert_eq!(d.final_taken, d.l1_taken);
+    }
+
+    #[test]
+    fn arvi_latency_selected() {
+        let bu = unit(PredictorConfig::ArviCurrent);
+        assert_eq!(bu.l2_latency, 6);
+        assert!(matches!(bu.level2(), Level2::Arvi(_)));
+    }
+
+    #[test]
+    fn arvi_override_requires_low_confidence_and_hit() {
+        // A branch whose outcome is a pure function of a register value
+        // that arrives in pseudo-random order: history predictors hover
+        // near 50% (so confidence stays low), while ARVI resolves it
+        // exactly from the value — and must override the L1.
+        let mut bu = unit(PredictorConfig::ArviCurrent);
+        let pc = 0x80u64;
+        let srcs = [Some(PhysReg(40)), None];
+        let mut lfsr: u64 = 0xACE1;
+        let mut corrections = 0u64;
+        let mut l1_wrong = 0u64;
+        for _ in 0..400 {
+            lfsr = lfsr.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let v = if (lfsr >> 33) & 1 == 1 { 5u64 } else { 9 };
+            let taken = v == 5;
+            if let Level2::Arvi(arvi) = &mut bu.level2 {
+                arvi.writeback(PhysReg(40), v);
+            }
+            let d = bu.decide(pc, srcs, Values::Current, taken);
+            if d.l1_taken != taken {
+                l1_wrong += 1;
+                if d.override_fired && d.final_taken == taken {
+                    assert!(!d.confident, "override requires low confidence");
+                    corrections += 1;
+                }
+            }
+            bu.commit_branch(pc, &d, taken);
+        }
+        assert!(l1_wrong > 50, "L1 should struggle: wrong {l1_wrong}");
+        assert!(
+            corrections > l1_wrong / 2,
+            "ARVI corrected only {corrections} of {l1_wrong} L1 misses"
+        );
+    }
+
+    #[test]
+    fn confident_branches_never_use_arvi() {
+        let mut bu = unit(PredictorConfig::ArviCurrent);
+        let pc = 0x100u64;
+        // Drive L1 to high confidence with a biased branch.
+        for _ in 0..30 {
+            let d = bu.decide(pc, [None, None], Values::Current, true);
+            bu.commit_branch(pc, &d, true);
+        }
+        let d = bu.decide(pc, [None, None], Values::Current, true);
+        assert!(d.confident);
+        assert!(!d.override_fired, "high confidence pins the L1 result");
+    }
+
+    #[test]
+    fn hybrid_trains_both_levels() {
+        let mut bu = unit(PredictorConfig::TwoLevelGskew);
+        let pc = 0x200u64;
+        for _ in 0..40 {
+            let d = bu.decide(pc, [None, None], Values::Current, false);
+            bu.commit_branch(pc, &d, false);
+        }
+        let d = bu.decide(pc, [None, None], Values::Current, false);
+        assert!(!d.l1_taken);
+        assert!(!d.final_taken);
+    }
+}
+

@@ -1,0 +1,173 @@
+//! Set-associative cache model with LRU replacement.
+
+use crate::params::CacheConfig;
+
+/// A set-associative, write-allocate cache tracking hit/miss only (the
+/// timing simulator turns misses into latency).
+///
+/// # Example
+///
+/// ```
+/// use arvi_sim::{Cache, CacheConfig};
+/// let mut c = Cache::new(CacheConfig { size_bytes: 1024, ways: 2, line_bytes: 32 });
+/// assert!(!c.access(0x100));   // cold miss
+/// assert!(c.access(0x104));    // same line
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cache {
+    cfg: CacheConfig,
+    sets: usize,
+    /// Tag per way per set; `u64::MAX` = invalid.
+    tags: Vec<u64>,
+    /// LRU stamp per way per set.
+    stamps: Vec<u64>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl Cache {
+    /// Creates an empty cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless sizes are powers of two and consistent.
+    pub fn new(cfg: CacheConfig) -> Cache {
+        assert!(cfg.line_bytes.is_power_of_two(), "line size not 2^n");
+        assert!(cfg.ways > 0, "zero ways");
+        let lines = cfg.size_bytes / cfg.line_bytes;
+        assert!(
+            lines % cfg.ways == 0 && lines > 0,
+            "size/line/ways inconsistent"
+        );
+        let sets = lines / cfg.ways;
+        assert!(sets.is_power_of_two(), "set count not 2^n");
+        Cache {
+            cfg,
+            sets,
+            tags: vec![u64::MAX; lines],
+            stamps: vec![0; lines],
+            tick: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// The configured shape.
+    pub fn config(&self) -> CacheConfig {
+        self.cfg
+    }
+
+    /// Accesses the line containing `addr`; returns whether it hit.
+    /// Misses allocate (write-allocate for stores, fill for loads).
+    pub fn access(&mut self, addr: u64) -> bool {
+        self.tick += 1;
+        let line = addr / self.cfg.line_bytes as u64;
+        let set = (line % self.sets as u64) as usize;
+        let tag = line / self.sets as u64;
+        let base = set * self.cfg.ways;
+        let ways = base..base + self.cfg.ways;
+
+        for i in ways.clone() {
+            if self.tags[i] == tag {
+                self.stamps[i] = self.tick;
+                self.hits += 1;
+                return true;
+            }
+        }
+        self.misses += 1;
+        // LRU victim.
+        let victim = ways
+            .min_by_key(|&i| self.stamps[i])
+            .expect("nonzero ways");
+        self.tags[victim] = tag;
+        self.stamps[victim] = self.tick;
+        false
+    }
+
+    /// Probe without side effects.
+    pub fn contains(&self, addr: u64) -> bool {
+        let line = addr / self.cfg.line_bytes as u64;
+        let set = (line % self.sets as u64) as usize;
+        let tag = line / self.sets as u64;
+        let base = set * self.cfg.ways;
+        self.tags[base..base + self.cfg.ways].contains(&tag)
+    }
+
+    /// Hit count.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Miss count.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Cache {
+        // 4 sets x 2 ways x 32B lines = 256 B.
+        Cache::new(CacheConfig {
+            size_bytes: 256,
+            ways: 2,
+            line_bytes: 32,
+        })
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = small();
+        assert!(!c.access(0));
+        assert!(c.access(31));
+        assert!(!c.access(32));
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 2);
+    }
+
+    #[test]
+    fn associativity_holds_two_conflicting_lines() {
+        let mut c = small();
+        // Same set (set stride = 4 lines x 32B = 128B).
+        assert!(!c.access(0));
+        assert!(!c.access(128));
+        assert!(c.access(0));
+        assert!(c.access(128));
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = small();
+        c.access(0); // A
+        c.access(128); // B
+        c.access(0); // A again (B is LRU)
+        c.access(256); // C evicts B
+        assert!(c.contains(0));
+        assert!(!c.contains(128));
+        assert!(c.contains(256));
+    }
+
+    #[test]
+    fn distinct_sets_do_not_conflict() {
+        let mut c = small();
+        for i in 0..4u64 {
+            assert!(!c.access(i * 32));
+        }
+        for i in 0..4u64 {
+            assert!(c.access(i * 32));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not 2^n")]
+    fn rejects_bad_line_size() {
+        let _ = Cache::new(CacheConfig {
+            size_bytes: 300,
+            ways: 2,
+            line_bytes: 30,
+        });
+    }
+}

@@ -1,0 +1,895 @@
+//! The out-of-order machine model.
+//!
+//! A trace-driven, event-assisted cycle model of the paper's Table 2
+//! machine: 4-wide fetch/issue/commit, 256-entry window, LSQ, functional
+//! unit pools, the full memory hierarchy, and the two-level overriding
+//! branch predictor stack. Instructions are renamed at fetch (as the
+//! paper requires for the DDT), scheduled dataflow-fashion when their
+//! operands are produced, and committed in order.
+//!
+//! Trace-driven approximations (DESIGN.md substitution 2): fetch always
+//! follows the correct path; a mispredicted branch stalls fetch until it
+//! resolves, and a corrective level-2 override stalls fetch for the
+//! level-2 latency. Wrong-path pollution is not modeled.
+
+use std::cmp::Reverse;
+use std::collections::{BTreeSet, BinaryHeap, VecDeque};
+
+use arvi_core::{PhysReg, RenamedOp, Values};
+use arvi_isa::{DynInst, Emulator, InstKind};
+use arvi_stats::Accuracy;
+
+use crate::branch_unit::{BranchDecision, BranchUnit};
+use crate::hierarchy::Hierarchy;
+use crate::params::{PredictorConfig, SimParams};
+use crate::rename::RenameState;
+
+/// Counter block for a machine run; figures are computed from snapshot
+/// differences so warmup is excluded.
+#[derive(Debug, Clone, Default)]
+pub struct MachineStats {
+    /// Committed instructions.
+    pub committed: u64,
+    /// Elapsed cycles.
+    pub cycles: u64,
+    /// Final (post-override) direction accuracy on conditional branches.
+    pub cond_branches: Accuracy,
+    /// Level-1-only accuracy (what the machine would do without L2).
+    pub l1_only: Accuracy,
+    /// Accuracy over ARVI-classified calculated branches.
+    pub calc_class: Accuracy,
+    /// Accuracy over ARVI-classified load branches.
+    pub load_class: Accuracy,
+    /// L2 overrides fired.
+    pub overrides: u64,
+    /// Overrides that corrected a wrong level-1 direction.
+    pub overrides_correcting: u64,
+    /// BVIT tag hits among ARVI predictions.
+    pub bvit_hits: u64,
+    /// Branches whose final direction was wrong (full flush).
+    pub full_mispredicts: u64,
+    /// Fetch re-steers caused by corrective overrides.
+    pub override_restarts: u64,
+}
+
+impl MachineStats {
+    /// Counters accumulated since an earlier snapshot.
+    pub fn since(&self, earlier: &MachineStats) -> MachineStats {
+        MachineStats {
+            committed: self.committed - earlier.committed,
+            cycles: self.cycles - earlier.cycles,
+            cond_branches: self.cond_branches.since(&earlier.cond_branches),
+            l1_only: self.l1_only.since(&earlier.l1_only),
+            calc_class: self.calc_class.since(&earlier.calc_class),
+            load_class: self.load_class.since(&earlier.load_class),
+            overrides: self.overrides - earlier.overrides,
+            overrides_correcting: self.overrides_correcting - earlier.overrides_correcting,
+            bvit_hits: self.bvit_hits - earlier.bvit_hits,
+            full_mispredicts: self.full_mispredicts - earlier.full_mispredicts,
+            override_restarts: self.override_restarts - earlier.override_restarts,
+        }
+    }
+
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.committed as f64 / self.cycles as f64
+        }
+    }
+
+    /// Fraction of conditional branches classified as load branches.
+    pub fn load_branch_fraction(&self) -> f64 {
+        let total = self.calc_class.total() + self.load_class.total();
+        if total == 0 {
+            0.0
+        } else {
+            self.load_class.total() as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Entry {
+    d: DynInst,
+    dispatch_ready: u64,
+    dest_phys: Option<PhysReg>,
+    prev_phys: Option<PhysReg>,
+    deps: u8,
+    issued: bool,
+    done: bool,
+    branch: Option<BranchDecision>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FetchState {
+    Running,
+    /// Waiting out an instruction-cache miss or a flush bubble.
+    Stalled { until: u64 },
+    /// Blocked behind a branch whose followed direction is (or may be)
+    /// wrong; resumes at the override time (if the override corrects the
+    /// direction) or at branch resolution, whichever first.
+    BranchBlocked {
+        seq: u64,
+        resume_override: Option<u64>,
+    },
+}
+
+/// Per-static-branch profile (optional instrumentation; see
+/// [`Machine::enable_profiling`]).
+#[derive(Debug, Clone, Default)]
+pub struct PcProfile {
+    /// Dynamic executions.
+    pub total: u64,
+    /// Final-direction correct.
+    pub final_correct: u64,
+    /// Level-1 correct.
+    pub l1_correct: u64,
+    /// BVIT tag hits (ARVI configs).
+    pub bvit_hits: u64,
+    /// Load-class instances.
+    pub load_class: u64,
+    /// Overrides fired.
+    pub overrides: u64,
+    /// Distinct (index, id, depth) signatures observed (capped at 4096).
+    pub signatures: std::collections::HashSet<(usize, u8, u8)>,
+    /// Histogram of depth tags.
+    pub depths: std::collections::HashMap<u8, u64>,
+    /// Histogram of leaf-set sizes (total, available).
+    pub leaf_sizes: std::collections::HashMap<(u8, u8), u64>,
+}
+
+/// The machine: owns the workload emulator, predictor stack, hierarchy
+/// and scheduling state.
+pub struct Machine {
+    params: SimParams,
+    config: PredictorConfig,
+    emu: Emulator,
+    hier: Hierarchy,
+    bu: BranchUnit,
+    rename: RenameState,
+    rob: VecDeque<Entry>,
+    tail_seq: u64,
+    cycle: u64,
+    /// Per-physical-register consumer wait lists.
+    waiters: Vec<Vec<u64>>,
+    /// (earliest issue cycle, seq) of operand-ready instructions.
+    pending: BinaryHeap<Reverse<(u64, u64)>>,
+    /// (completion cycle, seq) writeback events.
+    events: BinaryHeap<Reverse<(u64, u64)>>,
+    unissued_stores: BTreeSet<u64>,
+    mem_blocked_loads: BTreeSet<u64>,
+    mem_in_flight: usize,
+    fetch_state: FetchState,
+    lookahead: Option<DynInst>,
+    current_fetch_line: u64,
+    trace_done: bool,
+    /// Load-back availability window (dynamic instructions): a hoisted
+    /// load is treated as available to ARVI if its gap-plus-hoist covers
+    /// the fetch-to-writeback distance.
+    lb_window: u64,
+    stats: MachineStats,
+    profile: Option<std::collections::HashMap<u64, PcProfile>>,
+}
+
+impl Machine {
+    /// Builds a machine running `emu`'s program under `config`.
+    pub fn new(emu: Emulator, params: SimParams, config: PredictorConfig) -> Machine {
+        let lb_window =
+            params.fetch_width as u64 * (params.frontend_latency + params.l1_latency + 1);
+        Machine {
+            hier: Hierarchy::new(&params),
+            bu: BranchUnit::new(&params, config),
+            rename: RenameState::new(params.phys_regs),
+            rob: VecDeque::with_capacity(params.rob_entries),
+            tail_seq: 0,
+            cycle: 0,
+            waiters: vec![Vec::new(); params.phys_regs],
+            pending: BinaryHeap::new(),
+            events: BinaryHeap::new(),
+            unissued_stores: BTreeSet::new(),
+            mem_blocked_loads: BTreeSet::new(),
+            mem_in_flight: 0,
+            fetch_state: FetchState::Running,
+            lookahead: None,
+            current_fetch_line: u64::MAX,
+            trace_done: false,
+            lb_window,
+            stats: MachineStats::default(),
+            profile: None,
+            emu,
+            params,
+            config,
+        }
+    }
+
+    /// Current statistics (snapshot for window differencing).
+    pub fn stats(&self) -> &MachineStats {
+        &self.stats
+    }
+
+    /// Turns on per-static-branch profiling (diagnostics; small overhead).
+    pub fn enable_profiling(&mut self) {
+        self.profile = Some(std::collections::HashMap::new());
+    }
+
+    /// The per-PC branch profiles collected since profiling was enabled.
+    pub fn profile(&self) -> Option<&std::collections::HashMap<u64, PcProfile>> {
+        self.profile.as_ref()
+    }
+
+    /// The memory hierarchy (for cache statistics).
+    pub fn hierarchy(&self) -> &Hierarchy {
+        &self.hier
+    }
+
+    /// The branch-prediction stack.
+    pub fn branch_unit(&self) -> &BranchUnit {
+        &self.bu
+    }
+
+    /// Runs until `target` total instructions have committed (or the
+    /// trace ends). Returns the number committed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the machine deadlocks (an internal invariant violation).
+    pub fn run_until_committed(&mut self, target: u64) -> u64 {
+        while self.stats.committed < target {
+            if self.trace_done && self.rob.is_empty() {
+                break;
+            }
+            self.step_cycle();
+        }
+        self.stats.committed
+    }
+
+    #[inline]
+    fn entry_mut(rob: &mut VecDeque<Entry>, tail_seq: u64, seq: u64) -> &mut Entry {
+        &mut rob[(seq - tail_seq) as usize]
+    }
+
+    fn step_cycle(&mut self) {
+        let mut activity = false;
+        activity |= self.process_events();
+        activity |= self.commit();
+        self.check_override_resume();
+        activity |= self.issue();
+        activity |= self.fetch();
+        self.stats.cycles += 1;
+
+        if activity || (self.trace_done && self.rob.is_empty()) {
+            self.cycle += 1;
+            return;
+        }
+        // Quiet cycle: jump to the next interesting time.
+        let mut next = u64::MAX;
+        if let Some(Reverse((t, _))) = self.events.peek() {
+            next = next.min(*t);
+        }
+        if let Some(Reverse((t, _))) = self.pending.peek() {
+            next = next.min(*t);
+        }
+        match self.fetch_state {
+            FetchState::Stalled { until } => next = next.min(until),
+            FetchState::BranchBlocked {
+                resume_override: Some(t),
+                ..
+            } => next = next.min(t),
+            _ => {}
+        }
+        assert!(
+            next != u64::MAX,
+            "machine deadlocked at cycle {} (rob {}, pending {}, committed {})",
+            self.cycle,
+            self.rob.len(),
+            self.pending.len(),
+            self.stats.committed
+        );
+        let jump = next.max(self.cycle + 1);
+        self.stats.cycles += jump - self.cycle - 1;
+        self.cycle = jump;
+    }
+
+    /// Processes writeback/resolution events due this cycle.
+    fn process_events(&mut self) -> bool {
+        let mut any = false;
+        while let Some(&Reverse((t, seq))) = self.events.peek() {
+            if t > self.cycle {
+                break;
+            }
+            self.events.pop();
+            any = true;
+            let (dest, value, is_branch) = {
+                let e = Machine::entry_mut(&mut self.rob, self.tail_seq, seq);
+                e.done = true;
+                (e.dest_phys, e.d.result, e.d.is_branch())
+            };
+            if let Some(p) = dest {
+                self.rename.set_ready(p, t);
+                self.bu.writeback(p, value);
+                let woken = std::mem::take(&mut self.waiters[p.index()]);
+                for w in woken {
+                    let e = Machine::entry_mut(&mut self.rob, self.tail_seq, w);
+                    e.deps -= 1;
+                    if e.deps == 0 {
+                        self.make_issue_candidate(w);
+                    }
+                }
+            }
+            if is_branch {
+                // Branch resolution: release a blocked fetch (flush +
+                // redirect costs one bubble before refetch).
+                if let FetchState::BranchBlocked { seq: blocked, .. } = self.fetch_state {
+                    if blocked == seq {
+                        self.fetch_state = FetchState::Stalled {
+                            until: self.cycle + 1,
+                        };
+                    }
+                }
+            }
+        }
+        any
+    }
+
+    /// Moves an operand-ready instruction into the scheduler, honoring
+    /// load-after-store ordering.
+    fn make_issue_candidate(&mut self, seq: u64) {
+        let e = Machine::entry_mut(&mut self.rob, self.tail_seq, seq);
+        let earliest = e.dispatch_ready.max(self.cycle);
+        if e.d.is_load() {
+            if let Some(&oldest_store) = self.unissued_stores.iter().next() {
+                if oldest_store < seq {
+                    // Older store with unknown address: wait.
+                    self.mem_blocked_loads.insert(seq);
+                    return;
+                }
+            }
+        }
+        self.pending.push(Reverse((earliest, seq)));
+    }
+
+    /// In-order commit of completed instructions.
+    fn commit(&mut self) -> bool {
+        let mut n = 0;
+        while n < self.params.commit_width {
+            let Some(front) = self.rob.front() else { break };
+            if !front.done {
+                break;
+            }
+            let e = self.rob.pop_front().expect("checked front");
+            self.tail_seq += 1;
+            if let Some(prev) = e.prev_phys {
+                self.rename.release(prev);
+            }
+            if self.config.is_arvi() {
+                self.bu.commit_inst();
+            }
+            if e.d.is_load() || e.d.is_store() {
+                self.mem_in_flight -= 1;
+            }
+            if let Some(decision) = &e.branch {
+                let actual = e.d.branch.expect("decision implies branch").taken;
+                self.bu.commit_branch(e.d.byte_pc(), decision, actual);
+                self.record_branch_stats(e.d.byte_pc(), decision, actual);
+            }
+            self.stats.committed += 1;
+            n += 1;
+        }
+        n > 0
+    }
+
+    fn record_branch_stats(&mut self, pc: u64, decision: &BranchDecision, actual: bool) {
+        let correct = decision.final_taken == actual;
+        self.stats.cond_branches.record(correct);
+        self.stats.l1_only.record(decision.l1_taken == actual);
+        if let Some(ap) = &decision.arvi {
+            match ap.class {
+                arvi_core::BranchClass::Calculated => self.stats.calc_class.record(correct),
+                arvi_core::BranchClass::Load => self.stats.load_class.record(correct),
+            }
+            if ap.direction.is_some() {
+                self.stats.bvit_hits += 1;
+            }
+        }
+        if decision.override_fired {
+            self.stats.overrides += 1;
+            if correct && decision.l1_taken != actual {
+                self.stats.overrides_correcting += 1;
+            }
+        }
+        if let Some(profile) = &mut self.profile {
+            let p = profile.entry(pc).or_default();
+            p.total += 1;
+            p.final_correct += correct as u64;
+            p.l1_correct += (decision.l1_taken == actual) as u64;
+            p.overrides += decision.override_fired as u64;
+            if let Some(ap) = &decision.arvi {
+                p.bvit_hits += ap.direction.is_some() as u64;
+                p.load_class += (ap.class == arvi_core::BranchClass::Load) as u64;
+                if p.signatures.len() < 4096 {
+                    p.signatures.insert((ap.index, ap.id_tag, ap.depth_tag));
+                }
+                *p.depths.entry(ap.depth_tag).or_default() += 1;
+                *p
+                    .leaf_sizes
+                    .entry((ap.leaf_regs.len() as u8, ap.available as u8))
+                    .or_default() += 1;
+            }
+        }
+    }
+
+    fn check_override_resume(&mut self) {
+        if let FetchState::BranchBlocked {
+            resume_override: Some(t),
+            ..
+        } = self.fetch_state
+        {
+            if t <= self.cycle {
+                self.fetch_state = FetchState::Running;
+            }
+        }
+        if let FetchState::Stalled { until } = self.fetch_state {
+            if until <= self.cycle {
+                self.fetch_state = FetchState::Running;
+            }
+        }
+    }
+
+    /// Dataflow issue: oldest-first among ready candidates, bounded by
+    /// issue width and functional-unit pools.
+    fn issue(&mut self) -> bool {
+        let mut eligible = Vec::new();
+        while let Some(&Reverse((t, seq))) = self.pending.peek() {
+            if t > self.cycle {
+                break;
+            }
+            self.pending.pop();
+            eligible.push(seq);
+        }
+        if eligible.is_empty() {
+            return false;
+        }
+        eligible.sort_unstable();
+
+        let mut alus = self.params.int_alus;
+        let mut muldiv = self.params.int_muldiv;
+        let mut ports = self.params.mem_ports;
+        let mut issued = 0usize;
+        let mut leftovers = Vec::new();
+
+        for seq in eligible {
+            if issued == self.params.issue_width {
+                leftovers.push(seq);
+                continue;
+            }
+            let kind = Machine::entry_mut(&mut self.rob, self.tail_seq, seq).d.kind;
+            let fu = match kind {
+                InstKind::IntMul | InstKind::IntDiv => &mut muldiv,
+                InstKind::Load | InstKind::Store => &mut ports,
+                _ => &mut alus,
+            };
+            if *fu == 0 {
+                leftovers.push(seq);
+                continue;
+            }
+            *fu -= 1;
+            issued += 1;
+            self.issue_one(seq);
+        }
+        for seq in leftovers {
+            self.pending.push(Reverse((self.cycle + 1, seq)));
+        }
+        issued > 0
+    }
+
+    fn issue_one(&mut self, seq: u64) {
+        let (kind, addr) = {
+            let e = Machine::entry_mut(&mut self.rob, self.tail_seq, seq);
+            debug_assert!(!e.issued, "double issue of {seq}");
+            e.issued = true;
+            (e.d.kind, e.d.mem_addr)
+        };
+        let latency = match kind {
+            InstKind::IntMul => self.params.mul_latency,
+            InstKind::IntDiv => self.params.div_latency,
+            InstKind::Load => 1 + self.hier.access_data(addr),
+            InstKind::Store => {
+                self.hier.access_data(addr);
+                self.unissued_stores.remove(&seq);
+                self.unblock_loads();
+                1
+            }
+            _ => 1,
+        };
+        self.events.push(Reverse((self.cycle + latency, seq)));
+    }
+
+    /// Re-examines loads blocked on store ordering after a store issues.
+    fn unblock_loads(&mut self) {
+        let bound = self.unissued_stores.iter().next().copied();
+        let ready: Vec<u64> = match bound {
+            Some(b) => self
+                .mem_blocked_loads
+                .range(..b)
+                .copied()
+                .collect(),
+            None => self.mem_blocked_loads.iter().copied().collect(),
+        };
+        for seq in ready {
+            self.mem_blocked_loads.remove(&seq);
+            let e = Machine::entry_mut(&mut self.rob, self.tail_seq, seq);
+            let earliest = e.dispatch_ready.max(self.cycle + 1);
+            self.pending.push(Reverse((earliest, seq)));
+        }
+    }
+
+    /// Fetches, renames and dispatches up to `fetch_width` instructions.
+    fn fetch(&mut self) -> bool {
+        if self.fetch_state != FetchState::Running || self.trace_done {
+            return false;
+        }
+        let mut fetched = 0usize;
+        while fetched < self.params.fetch_width {
+            if self.rob.len() >= self.params.rob_entries {
+                break;
+            }
+            // Pull the next trace record.
+            let d = match self.lookahead.take().or_else(|| self.emu.step()) {
+                Some(d) => d,
+                None => {
+                    self.trace_done = true;
+                    break;
+                }
+            };
+            // LSQ occupancy gate.
+            if (d.is_load() || d.is_store()) && self.mem_in_flight >= self.params.lsq_entries {
+                self.lookahead = Some(d);
+                break;
+            }
+            // Instruction-cache access, once per new line.
+            let line = d.byte_pc() / self.params.l1i.line_bytes as u64;
+            if line != self.current_fetch_line {
+                let lat = self.hier.fetch_inst(d.byte_pc());
+                self.current_fetch_line = line;
+                if lat > self.params.l1_latency {
+                    // Miss: hit latency is hidden in the front end, the
+                    // excess stalls fetch.
+                    self.fetch_state = FetchState::Stalled {
+                        until: self.cycle + (lat - self.params.l1_latency),
+                    };
+                    self.lookahead = Some(d);
+                    break;
+                }
+            }
+            let taken_control = self.fetch_one(d);
+            fetched += 1;
+            if taken_control || self.fetch_state != FetchState::Running {
+                break;
+            }
+        }
+        fetched > 0
+    }
+
+    /// Renames and dispatches one instruction; returns whether it was a
+    /// taken control transfer (ending the fetch group).
+    fn fetch_one(&mut self, d: DynInst) -> bool {
+        let seq = d.seq;
+        debug_assert_eq!(seq, self.tail_seq + self.rob.len() as u64);
+
+        // Source operands through the rename map.
+        let src_phys = [
+            d.srcs[0].map(|r| self.rename.lookup(r)),
+            d.srcs[1].map(|r| self.rename.lookup(r)),
+        ];
+
+        // Conditional branch: predict BEFORE inserting the branch into the
+        // DDT (the chain read precedes the branch's own insertion).
+        let mut decision = None;
+        if d.is_branch() {
+            let actual = d.branch.expect("is_branch").taken;
+            let pc = d.byte_pc();
+            let rename = &self.rename;
+            let now = self.cycle;
+            let lb_window = self.lb_window;
+            let fetch_seq = seq;
+            let dec = match self.config {
+                PredictorConfig::TwoLevelGskew => {
+                    self.bu.decide(pc, src_phys, Values::Current, actual)
+                }
+                PredictorConfig::ArviCurrent => {
+                    let f = |p: PhysReg| {
+                        rename.is_ready(p, now).then(|| rename.oracle_value(p))
+                    };
+                    self.bu.decide(pc, src_phys, Values::External(&f), actual)
+                }
+                PredictorConfig::ArviLoadBack => {
+                    let f = |p: PhysReg| {
+                        if rename.is_ready(p, now) {
+                            return Some(rename.oracle_value(p));
+                        }
+                        let (is_load, pseq, hoist) = rename.producer(p);
+                        if is_load && (fetch_seq - pseq) + hoist as u64 >= lb_window {
+                            Some(rename.oracle_value(p))
+                        } else {
+                            None
+                        }
+                    };
+                    self.bu.decide(pc, src_phys, Values::External(&f), actual)
+                }
+                PredictorConfig::ArviPerfect => {
+                    let f = |p: PhysReg| Some(rename.oracle_value(p));
+                    self.bu.decide(pc, src_phys, Values::External(&f), actual)
+                }
+            };
+            // Fetch disruption bookkeeping.
+            if dec.final_taken != actual {
+                self.stats.full_mispredicts += 1;
+                self.fetch_state = FetchState::BranchBlocked {
+                    seq,
+                    resume_override: None,
+                };
+            } else if dec.l1_taken != actual {
+                // The L2 override will re-steer fetch after its latency.
+                self.stats.override_restarts += 1;
+                self.fetch_state = FetchState::BranchBlocked {
+                    seq,
+                    resume_override: Some(self.cycle + self.bu.l2_latency),
+                };
+            }
+            decision = Some(dec);
+        }
+
+        // Rename the destination.
+        let (dest_phys, prev_phys) = match d.dest {
+            Some(logical) => {
+                let (new, prev) =
+                    self.rename
+                        .allocate(logical, seq, d.result, d.is_load(), d.hoist);
+                (Some(new), Some(prev))
+            }
+            None => (None, None),
+        };
+
+        // Dependence-tracker insertion (every instruction, ARVI configs).
+        if self.config.is_arvi() {
+            let op = RenamedOp {
+                dest: dest_phys,
+                srcs: src_phys,
+                is_load: d.is_load(),
+            };
+            self.bu.rename_op(&op, d.dest);
+        }
+
+        // Dataflow bookkeeping.
+        let mut deps = 0u8;
+        for p in src_phys.into_iter().flatten() {
+            if !self.rename.is_ready(p, self.cycle) {
+                self.waiters[p.index()].push(seq);
+                deps += 1;
+            }
+        }
+        let is_mem = d.is_load() || d.is_store();
+        if is_mem {
+            self.mem_in_flight += 1;
+        }
+        if d.is_store() {
+            self.unissued_stores.insert(seq);
+        }
+        let taken_control = d.branch.map(|b| b.taken).unwrap_or(false);
+        let entry = Entry {
+            dispatch_ready: self.cycle + self.params.frontend_latency,
+            dest_phys,
+            prev_phys,
+            deps,
+            issued: false,
+            done: false,
+            branch: decision,
+            d,
+        };
+        self.rob.push_back(entry);
+        if deps == 0 {
+            self.make_issue_candidate(seq);
+        }
+        taken_control
+    }
+}
+
+impl std::fmt::Debug for Machine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Machine")
+            .field("config", &self.config)
+            .field("cycle", &self.cycle)
+            .field("committed", &self.stats.committed)
+            .field("rob", &self.rob.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::Depth;
+    use arvi_isa::{regs::*, AluOp, Cond, ProgramBuilder};
+
+    fn machine_for(program: arvi_isa::Program, config: PredictorConfig) -> Machine {
+        Machine::new(Emulator::new(program), SimParams::small_test(), config)
+    }
+
+    #[test]
+    fn straight_line_commits_everything() {
+        let mut b = ProgramBuilder::new();
+        for i in 0..40 {
+            b.alu_imm(AluOp::Add, T0, T0, i);
+        }
+        b.halt();
+        let mut m = machine_for(b.build(), PredictorConfig::TwoLevelGskew);
+        let committed = m.run_until_committed(1_000);
+        assert_eq!(committed, 40);
+        assert!(m.stats().cycles > 0);
+    }
+
+    #[test]
+    fn dependent_chain_is_slower_than_independent_ops() {
+        // Loop a small body many times so the instruction cache is warm
+        // and execution, not fetch, is the bottleneck.
+        let build = |serial: bool| {
+            let mut b = ProgramBuilder::new();
+            b.li(S0, 0);
+            b.li(S1, 200);
+            let head = b.here();
+            for i in 0..16 {
+                if serial {
+                    b.alu_imm(AluOp::Add, T0, T0, 1); // dependent chain
+                } else {
+                    let rd = [T0, T1, T2, T3][i % 4];
+                    b.alu_imm(AluOp::Add, rd, ZERO, 1); // independent
+                }
+            }
+            b.alu_imm(AluOp::Add, S0, S0, 1);
+            b.branch(Cond::Ne, S0, S1, head);
+            b.halt();
+            b.build()
+        };
+        let mut mc = machine_for(build(true), PredictorConfig::TwoLevelGskew);
+        mc.run_until_committed(100_000);
+        let mut mp = machine_for(build(false), PredictorConfig::TwoLevelGskew);
+        mp.run_until_committed(100_000);
+        assert!(
+            mc.stats().cycles as f64 > mp.stats().cycles as f64 * 1.5,
+            "chain {} vs parallel {}",
+            mc.stats().cycles,
+            mp.stats().cycles
+        );
+    }
+
+    #[test]
+    fn branchy_loop_runs_and_counts_branches() {
+        let mut b = ProgramBuilder::new();
+        b.li(T0, 0);
+        b.li(T1, 500);
+        let head = b.here();
+        b.alu_imm(AluOp::Add, T0, T0, 1);
+        b.branch(Cond::Ne, T0, T1, head);
+        b.halt();
+        let mut m = machine_for(b.build(), PredictorConfig::TwoLevelGskew);
+        m.run_until_committed(100_000);
+        assert_eq!(m.stats().cond_branches.total(), 500);
+        // A counted loop back-edge is almost perfectly predictable.
+        assert!(m.stats().cond_branches.rate() > 0.95);
+    }
+
+    #[test]
+    fn misprediction_costs_cycles() {
+        // A branch driven by a value the predictor cannot learn (LFSR
+        // parity) versus the same loop with a constant branch.
+        let build = |noisy: bool| {
+            let mut b = ProgramBuilder::new();
+            b.li(S0, 0xACE1);
+            b.li(T1, 0);
+            b.li(T2, 2000);
+            let head = b.here();
+            // x = lfsr step
+            b.alu_imm(AluOp::Srl, T3, S0, 0);
+            b.alu_imm(AluOp::Srl, T4, S0, 2);
+            b.alu(AluOp::Xor, T3, T3, T4);
+            b.alu_imm(AluOp::Srl, T4, S0, 3);
+            b.alu(AluOp::Xor, T3, T3, T4);
+            b.alu_imm(AluOp::Srl, T4, S0, 5);
+            b.alu(AluOp::Xor, T3, T3, T4);
+            b.alu_imm(AluOp::And, T3, T3, 1);
+            b.alu_imm(AluOp::Srl, S0, S0, 1);
+            b.alu_imm(AluOp::Sll, T4, T3, 15);
+            b.alu(AluOp::Or, S0, S0, T4);
+            let skip = b.label();
+            if noisy {
+                b.branch_to_label(Cond::Eq, T3, ZERO, skip); // random-ish
+            } else {
+                b.branch_to_label(Cond::Eq, ZERO, ZERO, skip); // always taken
+            }
+            b.alu_imm(AluOp::Add, T5, T5, 1);
+            b.bind(skip);
+            b.alu_imm(AluOp::Add, T1, T1, 1);
+            b.branch(Cond::Ne, T1, T2, head);
+            b.halt();
+            b.build()
+        };
+        let mut noisy = machine_for(build(true), PredictorConfig::TwoLevelGskew);
+        noisy.run_until_committed(1_000_000);
+        let mut quiet = machine_for(build(false), PredictorConfig::TwoLevelGskew);
+        quiet.run_until_committed(1_000_000);
+        assert!(
+            noisy.stats().cycles as f64 > quiet.stats().cycles as f64 * 1.2,
+            "noisy {} vs quiet {}",
+            noisy.stats().cycles,
+            quiet.stats().cycles
+        );
+        assert!(noisy.stats().full_mispredicts > 300);
+    }
+
+    #[test]
+    fn arvi_config_tracks_classes() {
+        // Loads feeding branches produce load-class records.
+        let mut b = ProgramBuilder::new();
+        b.data(0x100, 1);
+        b.li(S0, 0x100);
+        b.li(T1, 0);
+        b.li(T2, 300);
+        let head = b.here();
+        b.load(T3, S0, 0);
+        let skip = b.label();
+        b.branch_to_label(Cond::Eq, T3, ZERO, skip); // load branch
+        b.alu_imm(AluOp::Add, T4, T4, 1);
+        b.bind(skip);
+        b.alu_imm(AluOp::Add, T1, T1, 1);
+        b.branch(Cond::Ne, T1, T2, head); // calculated branch
+        b.halt();
+        let mut m = machine_for(b.build(), PredictorConfig::ArviCurrent);
+        m.run_until_committed(1_000_000);
+        let s = m.stats();
+        assert!(s.load_class.total() > 100, "load-class {}", s.load_class.total());
+        assert!(s.calc_class.total() > 100, "calc-class {}", s.calc_class.total());
+    }
+
+    #[test]
+    fn deeper_pipeline_is_slower_on_mispredicts() {
+        let build = || {
+            let mut b = ProgramBuilder::new();
+            b.li(S0, 0xBEEF);
+            b.li(T1, 0);
+            b.li(T2, 1000);
+            let head = b.here();
+            b.alu_imm(AluOp::Mul, S0, S0, 6364136223846793005u64 as i64);
+            b.alu_imm(AluOp::Add, S0, S0, 1442695040888963407u64 as i64);
+            b.alu_imm(AluOp::Srl, T3, S0, 33);
+            b.alu_imm(AluOp::And, T3, T3, 1);
+            let skip = b.label();
+            b.branch_to_label(Cond::Eq, T3, ZERO, skip);
+            b.alu_imm(AluOp::Add, T4, T4, 1);
+            b.bind(skip);
+            b.alu_imm(AluOp::Add, T1, T1, 1);
+            b.branch(Cond::Ne, T1, T2, head);
+            b.halt();
+            b.build()
+        };
+        let mut d20 = Machine::new(
+            Emulator::new(build()),
+            SimParams::for_depth(Depth::D20),
+            PredictorConfig::TwoLevelGskew,
+        );
+        d20.run_until_committed(1_000_000);
+        let mut d60 = Machine::new(
+            Emulator::new(build()),
+            SimParams::for_depth(Depth::D60),
+            PredictorConfig::TwoLevelGskew,
+        );
+        d60.run_until_committed(1_000_000);
+        assert!(
+            d60.stats().cycles as f64 > d20.stats().cycles as f64 * 1.3,
+            "d60 {} vs d20 {}",
+            d60.stats().cycles,
+            d20.stats().cycles
+        );
+    }
+}

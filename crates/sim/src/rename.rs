@@ -1,0 +1,171 @@
+//! Register rename state: logical-to-physical map, free list, and
+//! per-physical-register oracle metadata used by the value-mode closures.
+
+use arvi_core::PhysReg;
+use arvi_isa::Reg;
+
+/// Rename map, free list and per-register producer metadata.
+///
+/// The paper renames at fetch so the DDT can be maintained "after register
+/// rename has assigned physical registers" and notes "early rename
+/// requires additional physical registers"; the machine model does the
+/// same, which is why `phys_regs` must cover the full fetch-to-commit
+/// window plus the 32 architectural mappings.
+#[derive(Debug, Clone)]
+pub struct RenameState {
+    map: [PhysReg; 32],
+    free: Vec<PhysReg>,
+    /// Cycle at which each physical register's value is (or became)
+    /// available; `u64::MAX` while the producer is in flight.
+    ready_at: Vec<u64>,
+    /// Architecturally correct value of the current producer (known at
+    /// rename from the trace record — the oracle the perfect-value
+    /// configuration reads).
+    value: Vec<u64>,
+    /// Whether the current producer is a load.
+    producer_is_load: Vec<bool>,
+    /// Dynamic sequence number of the current producer.
+    producer_seq: Vec<u64>,
+    /// Load-back oracle hoist distance of the producer (loads only).
+    producer_hoist: Vec<u32>,
+}
+
+impl RenameState {
+    /// Creates the reset state: logical register `i` maps to physical
+    /// register `i`, all values available and zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `phys_regs < 64` (32 mappings plus headroom).
+    pub fn new(phys_regs: usize) -> RenameState {
+        assert!(phys_regs >= 64, "need at least 64 physical registers");
+        let mut map = [PhysReg(0); 32];
+        for (i, m) in map.iter_mut().enumerate() {
+            *m = PhysReg(i as u16);
+        }
+        RenameState {
+            map,
+            free: (32..phys_regs as u16).rev().map(PhysReg).collect(),
+            ready_at: vec![0; phys_regs],
+            value: vec![0; phys_regs],
+            producer_is_load: vec![false; phys_regs],
+            producer_seq: vec![0; phys_regs],
+            producer_hoist: vec![0; phys_regs],
+        }
+    }
+
+    /// Current physical mapping of a logical register.
+    #[inline]
+    pub fn lookup(&self, r: Reg) -> PhysReg {
+        self.map[r.index()]
+    }
+
+    /// Allocates a fresh physical register for a redefinition of
+    /// `logical`, recording the producer's oracle metadata. Returns
+    /// `(new, previous)` — the previous mapping is freed when the
+    /// redefining instruction commits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the free list is empty (the host must size `phys_regs`
+    /// to cover its window).
+    pub fn allocate(
+        &mut self,
+        logical: Reg,
+        seq: u64,
+        value: u64,
+        is_load: bool,
+        hoist: u32,
+    ) -> (PhysReg, PhysReg) {
+        let new = self.free.pop().expect("physical register file exhausted");
+        let prev = self.map[logical.index()];
+        self.map[logical.index()] = new;
+        let i = new.index();
+        self.ready_at[i] = u64::MAX;
+        self.value[i] = value;
+        self.producer_is_load[i] = is_load;
+        self.producer_seq[i] = seq;
+        self.producer_hoist[i] = hoist;
+        (new, prev)
+    }
+
+    /// Returns a previously current mapping to the free list.
+    pub fn release(&mut self, phys: PhysReg) {
+        self.free.push(phys);
+    }
+
+    /// Marks a physical register's value as available at `cycle`.
+    pub fn set_ready(&mut self, phys: PhysReg, cycle: u64) {
+        self.ready_at[phys.index()] = cycle;
+    }
+
+    /// Whether the register's value has been produced by `cycle`.
+    #[inline]
+    pub fn is_ready(&self, phys: PhysReg, cycle: u64) -> bool {
+        self.ready_at[phys.index()] <= cycle
+    }
+
+    /// The oracle (architecturally correct) value of the register's
+    /// current producer.
+    #[inline]
+    pub fn oracle_value(&self, phys: PhysReg) -> u64 {
+        self.value[phys.index()]
+    }
+
+    /// Whether the current producer is a load, with its fetch sequence and
+    /// hoist distance (for the load-back availability rule).
+    #[inline]
+    pub fn producer(&self, phys: PhysReg) -> (bool, u64, u32) {
+        let i = phys.index();
+        (
+            self.producer_is_load[i],
+            self.producer_seq[i],
+            self.producer_hoist[i],
+        )
+    }
+
+    /// Number of free physical registers.
+    pub fn free_count(&self) -> usize {
+        self.free.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arvi_isa::regs::*;
+
+    #[test]
+    fn initial_identity_mapping() {
+        let r = RenameState::new(128);
+        assert_eq!(r.lookup(T0), PhysReg(T0.index() as u16));
+        assert!(r.is_ready(r.lookup(T0), 0));
+        assert_eq!(r.free_count(), 96);
+    }
+
+    #[test]
+    fn allocate_and_release_cycle() {
+        let mut r = RenameState::new(128);
+        let (new, prev) = r.allocate(T0, 5, 42, true, 3);
+        assert_eq!(prev, PhysReg(T0.index() as u16));
+        assert_eq!(r.lookup(T0), new);
+        assert!(!r.is_ready(new, 1000));
+        assert_eq!(r.oracle_value(new), 42);
+        assert_eq!(r.producer(new), (true, 5, 3));
+        r.set_ready(new, 17);
+        assert!(r.is_ready(new, 17));
+        assert!(!r.is_ready(new, 16));
+        let before = r.free_count();
+        r.release(prev);
+        assert_eq!(r.free_count(), before + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "exhausted")]
+    fn exhaustion_panics() {
+        let mut r = RenameState::new(64);
+        for i in 0..33 {
+            r.allocate(T0, i, 0, false, 0);
+        }
+    }
+}

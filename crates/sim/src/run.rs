@@ -1,0 +1,145 @@
+//! Measurement harness: warmup + measurement-window simulation.
+
+use arvi_isa::{Emulator, Program};
+
+use crate::machine::{Machine, MachineStats};
+use crate::params::{PredictorConfig, SimParams};
+
+/// The outcome of one simulation run (measurement window only; warmup is
+/// excluded, mirroring the paper's Table 3 instruction windows).
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    /// Workload name.
+    pub name: String,
+    /// Predictor configuration simulated.
+    pub config: PredictorConfig,
+    /// Machine parameters used.
+    pub depth_stages: u64,
+    /// Counters accumulated over the measurement window.
+    pub window: MachineStats,
+}
+
+impl SimResult {
+    /// Instructions per cycle over the measurement window.
+    pub fn ipc(&self) -> f64 {
+        self.window.ipc()
+    }
+
+    /// Conditional-branch direction accuracy (final, post-override).
+    pub fn accuracy(&self) -> f64 {
+        self.window.cond_branches.rate()
+    }
+
+    /// Fraction of conditional branches ARVI classified as load branches.
+    pub fn load_branch_fraction(&self) -> f64 {
+        self.window.load_branch_fraction()
+    }
+}
+
+/// Simulates `program` under `params`/`config`: runs `warmup` committed
+/// instructions to fill predictors and caches, then measures the next
+/// `measure` instructions.
+///
+/// # Panics
+///
+/// Panics if the program halts before the warmup completes (experiment
+/// workloads run indefinitely).
+pub fn simulate(
+    program: Program,
+    params: SimParams,
+    config: PredictorConfig,
+    warmup: u64,
+    measure: u64,
+) -> SimResult {
+    let name = program.name().to_string();
+    let depth_stages = params.depth.stages();
+    let mut machine = Machine::new(Emulator::new(program), params, config);
+    let committed = machine.run_until_committed(warmup);
+    assert!(
+        committed >= warmup,
+        "workload {name} halted during warmup ({committed}/{warmup})"
+    );
+    let start = machine.stats().clone();
+    machine.run_until_committed(warmup + measure);
+    let window = machine.stats().since(&start);
+    SimResult {
+        name,
+        config,
+        depth_stages,
+        window,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::Depth;
+    use arvi_isa::{regs::*, AluOp, Cond, ProgramBuilder};
+
+    fn looping_program() -> Program {
+        let mut b = ProgramBuilder::new();
+        b.li(T0, 0);
+        let head = b.here();
+        b.alu_imm(AluOp::Add, T0, T0, 1);
+        b.alu_imm(AluOp::And, T1, T0, 7);
+        b.branch(Cond::Ne, T1, ZERO, head);
+        b.alu_imm(AluOp::Xor, T2, T2, 1);
+        b.jump(head);
+        b.build().with_name("loop")
+    }
+
+    #[test]
+    fn window_excludes_warmup() {
+        let r = simulate(
+            looping_program(),
+            SimParams::small_test(),
+            PredictorConfig::TwoLevelGskew,
+            2_000,
+            8_000,
+        );
+        // Commit width is 4, so window edges can overshoot by up to 3
+        // instructions on each side.
+        assert!(
+            (7_994..=8_006).contains(&r.window.committed),
+            "window {}",
+            r.window.committed
+        );
+        assert!(r.ipc() > 0.0);
+        assert!(r.window.cond_branches.total() > 1_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "halted during warmup")]
+    fn halting_program_rejected() {
+        let mut b = ProgramBuilder::new();
+        b.li(T0, 1);
+        b.halt();
+        let _ = simulate(
+            b.build().with_name("tiny"),
+            SimParams::small_test(),
+            PredictorConfig::TwoLevelGskew,
+            1_000,
+            1_000,
+        );
+    }
+
+    #[test]
+    fn results_are_deterministic() {
+        let run = || {
+            simulate(
+                looping_program(),
+                SimParams::for_depth(Depth::D20),
+                PredictorConfig::ArviCurrent,
+                1_000,
+                5_000,
+            )
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.window.cycles, b.window.cycles);
+        assert_eq!(
+            a.window.cond_branches.correct(),
+            b.window.cond_branches.correct()
+        );
+    }
+}

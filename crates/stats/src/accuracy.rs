@@ -1,0 +1,153 @@
+//! Hit/total accuracy accumulators.
+
+use std::fmt;
+use std::ops::AddAssign;
+
+/// A correct/total accumulator with exact integer counts.
+///
+/// # Example
+///
+/// ```
+/// use arvi_stats::Accuracy;
+/// let mut a = Accuracy::new();
+/// a.record(true);
+/// a.record(true);
+/// a.record(false);
+/// assert_eq!(a.total(), 3);
+/// assert!((a.rate() - 2.0 / 3.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Accuracy {
+    correct: u64,
+    total: u64,
+}
+
+impl Accuracy {
+    /// Creates an empty accumulator.
+    pub fn new() -> Accuracy {
+        Accuracy::default()
+    }
+
+    /// Records one event.
+    #[inline]
+    pub fn record(&mut self, correct: bool) {
+        self.correct += correct as u64;
+        self.total += 1;
+    }
+
+    /// Number of correct events.
+    pub fn correct(&self) -> u64 {
+        self.correct
+    }
+
+    /// Number of incorrect events.
+    pub fn incorrect(&self) -> u64 {
+        self.total - self.correct
+    }
+
+    /// Total events.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Fraction correct; 1.0 when empty (no chances to err).
+    pub fn rate(&self) -> f64 {
+        if self.total == 0 {
+            1.0
+        } else {
+            self.correct as f64 / self.total as f64
+        }
+    }
+
+    /// Misprediction rate; 0.0 when empty.
+    pub fn miss_rate(&self) -> f64 {
+        1.0 - self.rate()
+    }
+
+    /// Whether any events were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// The events recorded since an earlier snapshot of this accumulator
+    /// (used for warmup-window exclusion).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `earlier` is not a prefix of `self`.
+    pub fn since(&self, earlier: &Accuracy) -> Accuracy {
+        assert!(
+            earlier.total <= self.total && earlier.correct <= self.correct,
+            "snapshot is not a prefix"
+        );
+        Accuracy {
+            correct: self.correct - earlier.correct,
+            total: self.total - earlier.total,
+        }
+    }
+}
+
+impl AddAssign for Accuracy {
+    fn add_assign(&mut self, rhs: Accuracy) {
+        self.correct += rhs.correct;
+        self.total += rhs.total;
+    }
+}
+
+impl fmt::Display for Accuracy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}/{} ({:.2}%)",
+            self.correct,
+            self.total,
+            self.rate() * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_and_rates() {
+        let mut a = Accuracy::new();
+        for i in 0..10 {
+            a.record(i % 2 == 0);
+        }
+        assert_eq!(a.correct(), 5);
+        assert_eq!(a.incorrect(), 5);
+        assert_eq!(a.total(), 10);
+        assert!((a.rate() - 0.5).abs() < 1e-12);
+        assert!((a.miss_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_rate_is_one() {
+        let a = Accuracy::new();
+        assert!(a.is_empty());
+        assert_eq!(a.rate(), 1.0);
+        assert_eq!(a.miss_rate(), 0.0);
+    }
+
+    #[test]
+    fn merge() {
+        let mut a = Accuracy::new();
+        a.record(true);
+        let mut b = Accuracy::new();
+        b.record(false);
+        b.record(true);
+        a += b;
+        assert_eq!(a.total(), 3);
+        assert_eq!(a.correct(), 2);
+    }
+
+    #[test]
+    fn display_form() {
+        let mut a = Accuracy::new();
+        a.record(true);
+        a.record(false);
+        assert_eq!(a.to_string(), "1/2 (50.00%)");
+    }
+}

@@ -1,0 +1,12 @@
+//! # arvi-stats
+//!
+//! Counters, accuracy/IPC aggregation and table/series formatting used by
+//! the simulator and the experiment harness of the ARVI reproduction.
+
+pub mod accuracy;
+pub mod summary;
+pub mod table;
+
+pub use accuracy::Accuracy;
+pub use summary::{amean, geomean, normalize};
+pub use table::Table;

@@ -1,0 +1,81 @@
+//! Means and series normalization for the experiment reports.
+
+/// Arithmetic mean; 0.0 for an empty slice.
+pub fn amean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+/// Geometric mean; 0.0 for an empty slice.
+///
+/// # Panics
+///
+/// Panics if any value is negative.
+pub fn geomean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    assert!(
+        values.iter().all(|&v| v >= 0.0),
+        "geometric mean requires non-negative values"
+    );
+    let log_sum: f64 = values.iter().map(|&v| v.ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+/// Divides each element of `values` by the matching element of `baseline`
+/// (the paper's *normalized IPC*, Figure 6 right column).
+///
+/// # Panics
+///
+/// Panics if lengths differ or a baseline value is zero.
+pub fn normalize(values: &[f64], baseline: &[f64]) -> Vec<f64> {
+    assert_eq!(values.len(), baseline.len(), "length mismatch");
+    values
+        .iter()
+        .zip(baseline)
+        .map(|(&v, &b)| {
+            assert!(b != 0.0, "zero baseline");
+            v / b
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn amean_basic() {
+        assert_eq!(amean(&[1.0, 2.0, 3.0]), 2.0);
+        assert_eq!(amean(&[]), 0.0);
+    }
+
+    #[test]
+    fn geomean_basic() {
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(geomean(&[]), 0.0);
+        assert!((geomean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn geomean_rejects_negative() {
+        let _ = geomean(&[-1.0]);
+    }
+
+    #[test]
+    fn normalize_basic() {
+        let n = normalize(&[2.0, 3.0], &[1.0, 2.0]);
+        assert_eq!(n, vec![2.0, 1.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn normalize_length_checked() {
+        let _ = normalize(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,175 @@
+//! Plain-text / markdown / CSV table rendering for experiment output.
+
+use std::fmt;
+
+/// A simple column-aligned table.
+///
+/// # Example
+///
+/// ```
+/// use arvi_stats::Table;
+/// let mut t = Table::new(vec!["bench".into(), "IPC".into()]);
+/// t.row(vec!["gcc".into(), "1.23".into()]);
+/// let text = t.to_text();
+/// assert!(text.contains("gcc"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: Vec<String>) -> Table {
+        Table {
+            headers,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width {} != header width {}",
+            cells.len(),
+            self.headers.len()
+        );
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    fn widths(&self) -> Vec<usize> {
+        let mut w: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                w[i] = w[i].max(c.len());
+            }
+        }
+        w
+    }
+
+    /// Renders as aligned plain text.
+    pub fn to_text(&self) -> String {
+        use fmt::Write;
+        let w = self.widths();
+        let mut out = String::new();
+        let line = |cells: &[String], out: &mut String| {
+            for (i, c) in cells.iter().enumerate() {
+                let _ = write!(out, "{:width$}  ", c, width = w[i]);
+            }
+            out.truncate(out.trim_end().len());
+            out.push('\n');
+        };
+        line(&self.headers, &mut out);
+        let total: usize = w.iter().sum::<usize>() + 2 * (w.len() - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            line(row, &mut out);
+        }
+        out
+    }
+
+    /// Renders as GitHub-flavoured markdown.
+    pub fn to_markdown(&self) -> String {
+        use fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(out, "| {} |", self.headers.join(" | "));
+        let _ = writeln!(
+            out,
+            "|{}|",
+            self.headers
+                .iter()
+                .map(|_| "---")
+                .collect::<Vec<_>>()
+                .join("|")
+        );
+        for row in &self.rows {
+            let _ = writeln!(out, "| {} |", row.join(" | "));
+        }
+        out
+    }
+
+    /// Renders as CSV (no quoting; cells must not contain commas).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.headers.join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_text())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new(vec!["name".into(), "value".into()]);
+        t.row(vec!["alpha".into(), "1".into()]);
+        t.row(vec!["b".into(), "22".into()]);
+        t
+    }
+
+    #[test]
+    fn text_alignment() {
+        let text = sample().to_text();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[2].starts_with("alpha"));
+    }
+
+    #[test]
+    fn markdown_shape() {
+        let md = sample().to_markdown();
+        assert!(md.starts_with("| name | value |"));
+        assert!(md.contains("|---|---|"));
+        assert!(md.contains("| alpha | 1 |"));
+    }
+
+    #[test]
+    fn csv_shape() {
+        let csv = sample().to_csv();
+        assert_eq!(csv, "name,value\nalpha,1\nb,22\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn width_mismatch_panics() {
+        let mut t = Table::new(vec!["a".into()]);
+        t.row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let t = Table::new(vec!["a".into()]);
+        assert!(t.is_empty());
+        assert_eq!(sample().len(), 2);
+    }
+}

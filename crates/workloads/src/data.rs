@@ -1,0 +1,177 @@
+//! Seeded input-data generators.
+//!
+//! All generators take explicit seeds and are deterministic, so every
+//! workload trace is exactly reproducible (the property the paper gets
+//! from fixed SPEC95 reference inputs).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Creates the deterministic RNG used throughout the workloads.
+pub fn rng(seed: u64) -> SmallRng {
+    SmallRng::seed_from_u64(seed)
+}
+
+/// Samples `n` items from `universe` with a Zipf-like skew: item at rank
+/// `r` has weight `1 / (r + 1)^skew`. Models hot/cold key distributions
+/// (hash lookups, token streams).
+///
+/// # Panics
+///
+/// Panics if `universe` is empty or `skew` is negative.
+pub fn zipf_stream(rng: &mut SmallRng, universe: &[u64], n: usize, skew: f64) -> Vec<u64> {
+    assert!(!universe.is_empty(), "empty universe");
+    assert!(skew >= 0.0, "negative skew");
+    let weights: Vec<f64> = (0..universe.len())
+        .map(|r| 1.0 / ((r + 1) as f64).powf(skew))
+        .collect();
+    let total: f64 = weights.iter().sum();
+    let mut cumulative = Vec::with_capacity(weights.len());
+    let mut acc = 0.0;
+    for w in &weights {
+        acc += w / total;
+        cumulative.push(acc);
+    }
+    (0..n)
+        .map(|_| {
+            let x: f64 = rng.gen();
+            let idx = cumulative.partition_point(|&c| c < x);
+            universe[idx.min(universe.len() - 1)]
+        })
+        .collect()
+}
+
+/// Generates a first-order Markov symbol stream over `alphabet` symbols.
+/// Each state strongly prefers `locality` successor states (probability
+/// `sharpness`), with the remainder uniform — models the byte/token
+/// locality real inputs exhibit (compress n-grams, parser token runs).
+///
+/// # Panics
+///
+/// Panics if `alphabet` is zero or `sharpness` is outside `[0, 1]`.
+pub fn markov_stream(
+    rng: &mut SmallRng,
+    alphabet: usize,
+    n: usize,
+    sharpness: f64,
+) -> Vec<u64> {
+    assert!(alphabet > 0, "empty alphabet");
+    assert!((0.0..=1.0).contains(&sharpness), "sharpness out of range");
+    // Two preferred successors per state.
+    let succ: Vec<[usize; 2]> = (0..alphabet)
+        .map(|_| [rng.gen_range(0..alphabet), rng.gen_range(0..alphabet)])
+        .collect();
+    let mut state = 0usize;
+    (0..n)
+        .map(|_| {
+            let x: f64 = rng.gen();
+            state = if x < sharpness / 2.0 {
+                succ[state][0]
+            } else if x < sharpness {
+                succ[state][1]
+            } else {
+                rng.gen_range(0..alphabet)
+            };
+            state as u64
+        })
+        .collect()
+}
+
+/// `n` uniform values in `[lo, hi)`.
+///
+/// # Panics
+///
+/// Panics if `lo >= hi`.
+pub fn uniform_stream(rng: &mut SmallRng, n: usize, lo: u64, hi: u64) -> Vec<u64> {
+    assert!(lo < hi, "empty range");
+    (0..n).map(|_| rng.gen_range(lo..hi)).collect()
+}
+
+/// `n` distinct values drawn from `[lo, hi)`.
+///
+/// # Panics
+///
+/// Panics if the range cannot supply `n` distinct values.
+pub fn distinct_values(rng: &mut SmallRng, n: usize, lo: u64, hi: u64) -> Vec<u64> {
+    assert!(hi - lo >= n as u64, "range too small for {n} distinct values");
+    let mut seen = std::collections::HashSet::new();
+    let mut out = Vec::with_capacity(n);
+    while out.len() < n {
+        let v = rng.gen_range(lo..hi);
+        if seen.insert(v) {
+            out.push(v);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_streams() {
+        let mk = || {
+            let mut r = rng(7);
+            (
+                zipf_stream(&mut r, &[1, 2, 3, 4], 100, 1.2),
+                markov_stream(&mut r, 16, 100, 0.8),
+                uniform_stream(&mut r, 100, 0, 50),
+            )
+        };
+        assert_eq!(mk(), mk());
+    }
+
+    #[test]
+    fn zipf_is_skewed() {
+        let mut r = rng(1);
+        let universe: Vec<u64> = (0..32).collect();
+        let s = zipf_stream(&mut r, &universe, 10_000, 1.5);
+        let head = s.iter().filter(|&&v| v == 0).count();
+        let tail = s.iter().filter(|&&v| v == 31).count();
+        assert!(head > tail * 5, "head {head} vs tail {tail}");
+    }
+
+    #[test]
+    fn markov_has_locality() {
+        let mut r = rng(2);
+        let s = markov_stream(&mut r, 64, 20_000, 0.9);
+        // With sharpness 0.9 most transition mass sits on two successors
+        // per state: the hottest 2*alphabet bigrams must carry the bulk of
+        // the stream.
+        let mut counts: std::collections::HashMap<(u64, u64), u64> = Default::default();
+        for w in s.windows(2) {
+            *counts.entry((w[0], w[1])).or_default() += 1;
+        }
+        let mut v: Vec<u64> = counts.values().copied().collect();
+        v.sort_unstable_by(|a, b| b.cmp(a));
+        let hot: u64 = v.iter().take(128).sum();
+        let total: u64 = v.iter().sum();
+        assert!(
+            hot as f64 / total as f64 > 0.7,
+            "hot bigram mass {hot}/{total}"
+        );
+    }
+
+    #[test]
+    fn uniform_in_range() {
+        let mut r = rng(3);
+        let s = uniform_stream(&mut r, 1000, 10, 20);
+        assert!(s.iter().all(|&v| (10..20).contains(&v)));
+    }
+
+    #[test]
+    fn distinct_are_distinct() {
+        let mut r = rng(4);
+        let v = distinct_values(&mut r, 100, 0, 1000);
+        let set: std::collections::HashSet<u64> = v.iter().copied().collect();
+        assert_eq!(set.len(), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "range too small")]
+    fn distinct_range_check() {
+        let mut r = rng(5);
+        let _ = distinct_values(&mut r, 10, 0, 5);
+    }
+}

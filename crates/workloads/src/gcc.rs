@@ -1,0 +1,177 @@
+//! The gcc model — token-driven parser state machines.
+//!
+//! gcc's branch population is wide (thousands of static sites) and
+//! moderately predictable: parsing decisions follow token classes and a
+//! state register whose working set is small. We replicate several parser
+//! blocks at distinct PCs (static breadth), drive them with a
+//! token stream of medium locality, and keep the state transitions
+//! register-carried — so a slice of the decisions is value-exact for ARVI
+//! while most of the population behaves like ordinary biased/history
+//! branches.
+
+use crate::common::{emit_biased_guards, emit_counted_loop, emit_stream_next, Layout};
+use crate::data;
+use arvi_isa::{regs::*, AluOp, Cond, Program, ProgramBuilder, Reg};
+
+/// Benchmark name.
+pub const NAME: &str = "gcc";
+
+const N_TOKENS: usize = 28;
+const STREAM_LEN: usize = 4096;
+const PARSER_BLOCKS: usize = 5;
+
+/// Builds the gcc model program.
+pub fn program(seed: u64) -> Program {
+    let mut rng = data::rng(seed ^ 0x6763_635f);
+    let mut b = ProgramBuilder::new();
+    let mut l = Layout::new();
+
+    let tokens = data::markov_stream(&mut rng, N_TOKENS, STREAM_LEN, 0.55);
+    let stream_addr = l.alloc(STREAM_LEN);
+    for (i, &t) in tokens.iter().enumerate() {
+        b.data(stream_addr + (i as u64) * 8, t);
+    }
+    let cursor = l.alloc(1);
+    let stats = l.alloc(1);
+    b.data(cursor, 1);
+
+    // S0 = stream base, S3 = parser state, S4 = accumulator, A1 = the
+    // state as of the previous token (reduce decisions look at the state
+    // a token behind, as shift-reduce parsers do; this also gives the
+    // value a token's worth of time to write back).
+    b.li(S0, stream_addr as i64);
+    b.li(S3, 0);
+    b.li(S7, stats as i64);
+    b.li(A1, 0);
+    // A0 holds the *lookahead* token, fetched a full iteration before the
+    // parser blocks consume it (LR parsers hold their lookahead well in
+    // advance) — so the token value has written back by classification
+    // time.
+    b.li(A0, tokens[0] as i64);
+
+    let outer = b.here();
+
+    // Replicated parser blocks: each classifies the token and advances the
+    // state machine. Distinct static PCs stress predictor capacity.
+    for blk in 0..PARSER_BLOCKS as i64 {
+        let not_this_block = b.label();
+        // Block selector: state % PARSER_BLOCKS picks the active block.
+        b.alu_imm(AluOp::Rem, T4, S3, PARSER_BLOCKS as i64);
+        b.li(T5, blk);
+        b.branch_to_label(Cond::Ne, T4, T5, not_this_block);
+
+        // Token classification ladder (token is loaded; later rungs see
+        // it written back).
+        let kw = b.label();
+        let punct = b.label();
+        let ident = b.label();
+        let class_done = b.label();
+        b.li(T6, 4);
+        b.branch_to_label(Cond::Ltu, A0, T6, kw); // tokens 0..3: keywords
+        b.li(T6, 10);
+        b.branch_to_label(Cond::Ltu, A0, T6, punct); // 4..9: punctuation
+        b.li(T6, 20);
+        b.branch_to_label(Cond::Ltu, A0, T6, ident); // 10..19: identifiers
+        // literals: fold value into state
+        b.alu(AluOp::Add, S3, S3, A0);
+        b.jump_to_label(class_done);
+        b.bind(kw);
+        b.alu_imm(AluOp::Add, S3, S3, 7);
+        b.jump_to_label(class_done);
+        b.bind(punct);
+        b.alu_imm(AluOp::Xor, S3, S3, 3);
+        b.jump_to_label(class_done);
+        b.bind(ident);
+        b.alu_imm(AluOp::Add, S4, S4, 1);
+        b.bind(class_done);
+        b.alu_imm(AluOp::And, S3, S3, 63);
+
+        // State-register decisions on the previous token's state:
+        // value-exact for ARVI, ambiguous for history under token
+        // interleaving.
+        b.alu_imm(AluOp::And, T7, A1, 12);
+        let no_reduce = b.label();
+        b.branch_to_label(Cond::Ne, T7, Reg::ZERO, no_reduce);
+        b.alu_imm(AluOp::Add, S4, S4, 2);
+        b.bind(no_reduce);
+        b.alu_imm(AluOp::And, T7, A1, 33);
+        let no_shift = b.label();
+        b.branch_to_label(Cond::Eq, T7, Reg::ZERO, no_shift);
+        b.alu_imm(AluOp::Xor, S4, S4, 5);
+        b.bind(no_shift);
+
+        b.bind(not_this_block);
+    }
+
+    // Capture the state for the next token's reduce decisions and fetch
+    // the next lookahead token.
+    b.mv(A1, S3);
+    emit_stream_next(&mut b, cursor, S0, (STREAM_LEN - 1) as i64, A0, T2, T3);
+    // Symbol-table touch (loads) plus biased error checks.
+    b.alu_imm(AluOp::And, T8, S4, (STREAM_LEN - 1) as i64);
+    b.alu_imm(AluOp::Sll, T8, T8, 3);
+    b.alu(AluOp::Add, T8, S0, T8);
+    b.load(T9, T8, 0);
+    b.alu(AluOp::Add, S4, S4, T9);
+    emit_biased_guards(&mut b, 4, Reg::ZERO, T10, S4);
+    emit_counted_loop(&mut b, 3, T11, S5);
+    b.store(S4, S7, 0);
+    b.jump(outer);
+
+    b.build().with_name(NAME)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arvi_isa::Emulator;
+
+    #[test]
+    fn runs_forever_and_is_deterministic() {
+        let a: Vec<_> = Emulator::new(program(1)).take(30_000).collect();
+        let b: Vec<_> = Emulator::new(program(1)).take(30_000).collect();
+        assert_eq!(a.len(), 30_000);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn many_static_branch_sites() {
+        let t: Vec<_> = Emulator::new(program(2)).take(100_000).collect();
+        let sites: std::collections::HashSet<u32> = t
+            .iter()
+            .filter(|d| d.is_branch())
+            .map(|d| d.pc)
+            .collect();
+        assert!(sites.len() >= 30, "static branch sites {}", sites.len());
+    }
+
+    #[test]
+    fn state_machine_visits_many_states() {
+        // The state register S3 is rewritten by `and S3, S3, 63`; collect
+        // its values.
+        let t: Vec<_> = Emulator::new(program(3)).take(200_000).collect();
+        let states: std::collections::HashSet<u64> = t
+            .iter()
+            .filter(|d| d.dest == Some(S3))
+            .map(|d| d.result & 63)
+            .collect();
+        assert!(states.len() >= 10, "states {}", states.len());
+    }
+
+    #[test]
+    fn classification_ladder_splits_tokens() {
+        let t: Vec<_> = Emulator::new(program(4)).take(100_000).collect();
+        // First ladder rung (`bltu A0, T6`) must be genuinely mixed.
+        let mut taken = 0u64;
+        let mut total = 0u64;
+        for d in &t {
+            if d.is_branch() && d.srcs == [Some(A0), Some(T6)] {
+                total += 1;
+                taken += d.branch.unwrap().taken as u64;
+            }
+        }
+        assert!(total > 1000);
+        let rate = taken as f64 / total as f64;
+        assert!((0.1..0.9).contains(&rate), "ladder taken rate {rate}");
+    }
+}

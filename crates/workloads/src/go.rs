@@ -1,0 +1,159 @@
+//! The go model — board-scan evaluation with data-dependent branches on a
+//! continuously evolving position.
+//!
+//! go is the hardest branch workload in the SPEC95 suite: tactical
+//! evaluation branches test board cells that mutate as the game proceeds,
+//! so neither outcome history nor (at prediction time) register values
+//! resolve them — the cell value is still in flight when the branch
+//! fetches. This makes go's branches predominantly poorly-predicted *load
+//! branches* (paper Figure 5), with large headroom for the *perfect value*
+//! configuration — exactly the paper's observed shape.
+
+use crate::common::{emit_counted_loop, emit_stream_next, Layout};
+use crate::data;
+use arvi_isa::{regs::*, AluOp, Cond, Program, ProgramBuilder, Reg};
+
+/// Benchmark name.
+pub const NAME: &str = "go";
+
+const BOARD: u64 = 361; // 19 x 19
+const MOVES_LEN: usize = 4096;
+
+/// Builds the go model program.
+pub fn program(seed: u64) -> Program {
+    let mut rng = data::rng(seed ^ 0x676f_5f5f);
+    let mut b = ProgramBuilder::new();
+    let mut l = Layout::new();
+
+    let board_addr = l.alloc(BOARD as usize);
+    // Initial position: scattered stones.
+    for i in 0..BOARD {
+        let v = match i * 2654435761 % 97 {
+            x if x < 30 => 1,
+            x if x < 55 => 2,
+            _ => 0,
+        };
+        b.data(board_addr + i * 8, v);
+    }
+    // Move stream: positions with mild locality (fights cluster).
+    let moves = data::markov_stream(&mut rng, BOARD as usize, MOVES_LEN, 0.85);
+    let moves_addr = l.alloc(MOVES_LEN);
+    for (i, &m) in moves.iter().enumerate() {
+        b.data(moves_addr + (i as u64) * 8, m);
+    }
+    let cursor = l.alloc(1);
+    let stats = l.alloc(1);
+
+    // S0 = move base, S1 = board base, S4 = accumulator.
+    b.li(S0, moves_addr as i64);
+    b.li(S1, board_addr as i64);
+    b.li(S7, stats as i64);
+
+    let outer = b.here();
+    // pos = next move (memory cursor).
+    emit_stream_next(&mut b, cursor, S0, (MOVES_LEN - 1) as i64, A0, T2, T3);
+
+    // Mutate: board[pos] = (board[pos] + 1) % 3 — the position evolves.
+    b.alu_imm(AluOp::Sll, T4, A0, 3);
+    b.alu(AluOp::Add, T4, S1, T4); // &board[pos]
+    b.load(T5, T4, 0);
+    b.alu_imm(AluOp::Add, T5, T5, 1);
+    b.alu_imm(AluOp::Rem, T5, T5, 3);
+    b.store(T5, T4, 0);
+
+    // Tactical scan: examine eight neighbours with stone/empty branches.
+    // The cell is loaded immediately before each test: a classic poorly
+    // predicted load branch.
+    for &off in &[1i64, -1, 19, -19, 20, -20, 18, -18] {
+        // q = (pos + off) clamped into the board by wrapping.
+        b.alu_imm(AluOp::Add, T6, A0, off);
+        b.alu_imm(AluOp::Add, T6, T6, BOARD as i64); // keep positive
+        b.alu_imm(AluOp::Rem, T6, T6, BOARD as i64);
+        b.alu_imm(AluOp::Sll, T6, T6, 3);
+        b.alu(AluOp::Add, T6, S1, T6);
+        b.load(T7, T6, 0); // neighbour stone
+        let not_empty = b.label();
+        let next = b.label();
+        b.branch_to_label(Cond::Ne, T7, Reg::ZERO, not_empty); // empty?
+        b.alu_imm(AluOp::Add, S4, S4, 1); // liberty found
+        b.jump_to_label(next);
+        b.bind(not_empty);
+        b.branch_to_label(Cond::Eq, T7, T5, next); // friendly stone?
+        b.alu_imm(AluOp::Sub, S4, S4, 1); // enemy contact
+        b.bind(next);
+    }
+
+    // Influence accumulation: a predictable counted loop.
+    emit_counted_loop(&mut b, 4, T8, S5);
+    b.store(S4, S7, 0);
+    b.jump(outer);
+
+    b.build().with_name(NAME)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arvi_isa::Emulator;
+
+    #[test]
+    fn runs_forever_and_is_deterministic() {
+        let a: Vec<_> = Emulator::new(program(1)).take(30_000).collect();
+        let b: Vec<_> = Emulator::new(program(1)).take(30_000).collect();
+        assert_eq!(a.len(), 30_000);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn board_mutates() {
+        let mut emu = Emulator::new(program(2));
+        for _ in 0..50_000 {
+            emu.step();
+        }
+        // At least a third of the cells should have been touched by now.
+        let stores: std::collections::HashSet<u64> = {
+            let t: Vec<_> = Emulator::new(program(2)).take(50_000).collect();
+            t.iter()
+                .filter(|d| d.is_store())
+                .map(|d| d.mem_addr)
+                .collect()
+        };
+        assert!(stores.len() > 100, "distinct store addrs {}", stores.len());
+    }
+
+    #[test]
+    fn scan_branches_are_volatile() {
+        // The neighbour-empty branch should hover well away from full
+        // bias: per static branch, both outcomes in 20..80%.
+        let t: Vec<_> = Emulator::new(program(3)).take(150_000).collect();
+        let mut per_pc: std::collections::HashMap<u32, (u64, u64)> = Default::default();
+        for d in &t {
+            if d.is_branch() && d.srcs[0] == Some(T7) {
+                let e = per_pc.entry(d.pc).or_default();
+                if d.branch.unwrap().taken {
+                    e.0 += 1;
+                } else {
+                    e.1 += 1;
+                }
+            }
+        }
+        assert!(!per_pc.is_empty());
+        let mut volatile = 0;
+        for (_, (t, n)) in &per_pc {
+            let rate = *t as f64 / (t + n) as f64;
+            if (0.15..0.85).contains(&rate) {
+                volatile += 1;
+            }
+        }
+        assert!(volatile >= per_pc.len() / 2, "volatile {volatile}/{}", per_pc.len());
+    }
+
+    #[test]
+    fn instruction_mix_is_load_heavy() {
+        let t: Vec<_> = Emulator::new(program(4)).take(50_000).collect();
+        let branches = t.iter().filter(|d| d.is_branch()).count() as f64 / t.len() as f64;
+        let loads = t.iter().filter(|d| d.is_load()).count() as f64 / t.len() as f64;
+        assert!((0.10..0.35).contains(&branches), "branch frac {branches}");
+        assert!(loads > 0.08, "load frac {loads}");
+    }
+}

@@ -1,0 +1,178 @@
+//! The ijpeg model — block transforms over image data.
+//!
+//! ijpeg is loop-dominated (8x8 block transforms with multiply-accumulate
+//! work) so most branches are trivially predictable loop back-edges. Its
+//! interesting branches compare *freshly loaded pixels* against
+//! thresholds: at prediction time the pixel is still in flight, so these
+//! are load branches — but the pixel loads have early-known addresses and
+//! no aliasing stores, making them maximally hoistable. This is the
+//! benchmark the paper's *load back* configuration helps most: hoisting
+//! converts the threshold tests into calculated branches whose outcome is
+//! an exact function of the (small, quantized) pixel value.
+
+use crate::common::{emit_stream_next, Layout};
+use crate::data;
+use arvi_isa::{regs::*, AluOp, Cond, Program, ProgramBuilder, Reg};
+
+/// Benchmark name.
+pub const NAME: &str = "ijpeg";
+
+const IMAGE_LEN: usize = 8192;
+const BLOCK: i64 = 8;
+
+/// Builds the ijpeg model program.
+pub fn program(seed: u64) -> Program {
+    let mut rng = data::rng(seed ^ 0x6a70_6567);
+    let mut b = ProgramBuilder::new();
+    let mut l = Layout::new();
+
+    // Image data: smooth (markov) 6-bit samples — spatial locality keeps
+    // the pixel value working set small per region.
+    let pixels = data::markov_stream(&mut rng, 64, IMAGE_LEN, 0.9);
+    let image_addr = l.alloc(IMAGE_LEN);
+    for (i, &p) in pixels.iter().enumerate() {
+        b.data(image_addr + (i as u64) * 8, p * 4); // scale to 0..255
+    }
+    let out_addr = l.alloc(64);
+    let cursor = l.alloc(1);
+
+    // S0 = image base, S1 = output base, S4/S5 = accumulators.
+    b.li(S0, image_addr as i64);
+    b.li(S1, out_addr as i64);
+
+    let outer = b.here();
+    // Block base pointer comes through a memory cursor (block walker).
+    emit_stream_next(&mut b, cursor, S0, (IMAGE_LEN - 1) as i64, A0, T2, T3);
+    b.alu_imm(AluOp::And, S6, A0, 63); // data-derived quantizer tweak
+    // The threshold pass's row pointer is computed HERE, at iteration
+    // start, ~90 instructions before its loads execute: those loads have
+    // early-known addresses and no aliasing stores, making them the
+    // maximally hoistable population the load-back study converts.
+    b.alu_imm(AluOp::Add, S2, A0, 3);
+    b.alu_imm(AluOp::Rem, S2, S2, (IMAGE_LEN - BLOCK as usize) as i64);
+    b.alu_imm(AluOp::Sll, S2, S2, 3);
+    b.alu(AluOp::Add, S2, S0, S2);
+
+    // Row transform: one 8-wide unrolled multiply-accumulate pass.
+    b.li(S4, 0);
+    b.li(T4, BLOCK); // row counter
+    let row_loop = b.here();
+    // row base = image + ((cursor value + row) * 8 within image)
+    b.alu(AluOp::Add, T5, A0, T4);
+    b.alu_imm(AluOp::Rem, T5, T5, (IMAGE_LEN - BLOCK as usize) as i64);
+    b.alu_imm(AluOp::Sll, T5, T5, 3);
+    b.alu(AluOp::Add, T5, S0, T5);
+    for k in 0..4 {
+        b.load(T6, T5, k * 8);
+        b.alu_imm(AluOp::Mul, T6, T6, [3, -2, 5, 1][k as usize]);
+        b.alu(AluOp::Add, S4, S4, T6);
+    }
+    b.alu_imm(AluOp::Sub, T4, T4, 1);
+    b.branch(Cond::Ne, T4, Reg::ZERO, row_loop); // predictable back-edge
+
+    // Clamp the transformed coefficient (biased branches on computed
+    // values, as in range-limiting tables).
+    b.alu_imm(AluOp::Sra, S4, S4, 3);
+    let no_hi = b.label();
+    b.li(T7, 255);
+    b.branch_to_label(Cond::Lt, S4, T7, no_hi);
+    b.mv(S4, T7);
+    b.bind(no_hi);
+    let no_lo = b.label();
+    b.branch_to_label(Cond::Ge, S4, Reg::ZERO, no_lo);
+    b.li(S4, 0);
+    b.bind(no_lo);
+    b.store(S4, S1, 0);
+
+    // Threshold pass: the star load branches. The row pointer (S2) was
+    // produced at iteration start, so each pixel load could be hoisted
+    // across the whole transform; under current values the pixel is still
+    // in flight when its branch predicts (a load branch), under load-back
+    // the hoisted value resolves it exactly.
+    b.li(T8, 128); // fixed quantization threshold
+    for k in 0..4i64 {
+        b.load(T9, S2, k * 8); // pixel from the early-computed row
+        let below = b.label();
+        b.branch_to_label(Cond::Lt, T9, T8, below); // star: pixel >= thr?
+        b.alu(AluOp::Add, S5, S5, T9);
+        b.bind(below);
+        b.alu_imm(AluOp::Xor, S5, S5, 1);
+    }
+    b.alu(AluOp::Add, S5, S5, S6);
+    b.store(S5, S1, 8);
+    b.jump(outer);
+
+    b.build().with_name(NAME)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arvi_isa::Emulator;
+
+    #[test]
+    fn runs_forever_and_is_deterministic() {
+        let a: Vec<_> = Emulator::new(program(1)).take(30_000).collect();
+        let b: Vec<_> = Emulator::new(program(1)).take(30_000).collect();
+        assert_eq!(a.len(), 30_000);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn loop_branches_dominate_and_are_predictable() {
+        let t: Vec<_> = Emulator::new(program(2)).take(100_000).collect();
+        // The row-loop back-edge: taken 7 of 8 times.
+        let mut taken = 0u64;
+        let mut total = 0u64;
+        for d in &t {
+            if d.is_branch() && d.srcs == [Some(T4), None] {
+                total += 1;
+                taken += d.branch.unwrap().taken as u64;
+            }
+        }
+        assert!(total > 1000);
+        let rate = taken as f64 / total as f64;
+        assert!((0.8..0.95).contains(&rate), "back-edge taken rate {rate}");
+    }
+
+    #[test]
+    fn threshold_branches_depend_on_pixels() {
+        let t: Vec<_> = Emulator::new(program(3)).take(150_000).collect();
+        let mut taken = 0u64;
+        let mut total = 0u64;
+        for d in &t {
+            if d.is_branch() && d.srcs == [Some(T9), Some(T8)] {
+                total += 1;
+                taken += d.branch.unwrap().taken as u64;
+            }
+        }
+        assert!(total > 1000, "threshold branches {total}");
+        let rate = taken as f64 / total as f64;
+        assert!((0.1..0.9).contains(&rate), "threshold taken rate {rate}");
+    }
+
+    #[test]
+    fn loads_are_hoistable() {
+        // The pixel loads must carry a healthy hoist distance (no aliasing
+        // stores, address producers far back) for the load-back study.
+        let t: Vec<_> = Emulator::new(program(4)).take(100_000).collect();
+        let hoists: Vec<u32> = t
+            .iter()
+            .filter(|d| d.is_load() && d.dest == Some(T9))
+            .map(|d| d.hoist)
+            .collect();
+        assert!(!hoists.is_empty());
+        let avg = hoists.iter().map(|&h| h as f64).sum::<f64>() / hoists.len() as f64;
+        assert!(avg > 4.0, "average hoist {avg}");
+    }
+
+    #[test]
+    fn mul_work_present() {
+        let t: Vec<_> = Emulator::new(program(5)).take(20_000).collect();
+        let muls = t
+            .iter()
+            .filter(|d| d.kind == arvi_isa::InstKind::IntMul)
+            .count();
+        assert!(muls > 500, "muls {muls}");
+    }
+}

@@ -1,0 +1,177 @@
+//! The li model — a lisp-style list walker.
+//!
+//! xlisp's hot paths chase tagged cons cells: NULL tests end traversals
+//! after a per-list length, and evaluation branches test properties of
+//! computed values (lengths, sums, type tags). The list population is
+//! stable, so these properties are exact functions of which list is being
+//! walked — value-correlated in precisely the way ARVI exploits — while
+//! the interleaving of lists (a long Zipf-recycled stream) starves
+//! pure-history predictors of context.
+
+use crate::common::{emit_biased_guards, emit_stream_next, Layout};
+use crate::data;
+use arvi_isa::{regs::*, AluOp, Cond, Program, ProgramBuilder, Reg};
+
+/// Benchmark name.
+pub const NAME: &str = "li";
+
+const N_LISTS: usize = 160;
+const RING_LEN: usize = 2048;
+const TAG_NUM: i64 = 2;
+
+/// Builds the li model program.
+pub fn program(seed: u64) -> Program {
+    let mut rng = data::rng(seed ^ 0x6c69_7370);
+    let mut b = ProgramBuilder::new();
+    let mut l = Layout::new();
+
+    // Cons heap: each cell is [tag, value, next] padded to 4 words.
+    // Lists have Zipf-ish lengths 1..=10 and homogeneous tags.
+    let lengths = data::uniform_stream(&mut rng, N_LISTS, 1, 11);
+    let total_cells: usize = lengths.iter().map(|&n| n as usize).sum();
+    let heap_addr = l.alloc(total_cells * 4);
+    let mut heads = Vec::with_capacity(N_LISTS);
+    let mut cell = 0usize;
+    for (li, &len) in lengths.iter().enumerate() {
+        let mut next = 0u64;
+        let tag = if li % 3 == 0 { 3 } else { TAG_NUM as u64 };
+        // Build back-to-front so `next` links forward.
+        let base = cell;
+        for j in (0..len as usize).rev() {
+            let addr = heap_addr + ((base + j) as u64) * 32;
+            b.data(addr, tag);
+            b.data(addr + 8, (li as u64 * 7 + j as u64) & 63);
+            b.data(addr + 16, next);
+            next = addr;
+        }
+        heads.push(next);
+        cell += len as usize;
+    }
+
+    // Work ring: which list to walk next (hot lists repeat).
+    let ring = data::zipf_stream(&mut rng, &heads, RING_LEN, 1.0);
+    let ring_addr = l.alloc(RING_LEN);
+    for (i, &h) in ring.iter().enumerate() {
+        b.data(ring_addr + (i as u64) * 8, h);
+    }
+    let cursor = l.alloc(1);
+    let stats = l.alloc(1);
+
+    // S0 = ring base, S4 = sum, S5 = global accumulator, A1 = the
+    // *previous* walk's sum. Evaluation decisions run one walk behind
+    // production (as xlisp consumes a computed value well after building
+    // it), so the sum has written back by the time its branches predict.
+    b.li(S0, ring_addr as i64);
+    b.li(S7, stats as i64);
+    b.li(A1, 0);
+
+    let outer = b.here();
+    emit_stream_next(&mut b, cursor, S0, (RING_LEN - 1) as i64, A0, T2, T3);
+    // Walk: sum elements until NIL.
+    b.li(S4, 0);
+    b.mv(T0, A0); // ptr
+    let walk_done = b.label();
+    let walk = b.here();
+    b.branch_to_label(Cond::Eq, T0, Reg::ZERO, walk_done); // NULL test
+    b.load(T1, T0, 0); // tag
+    let not_num = b.label();
+    let advance = b.label();
+    b.branch_to_label(Cond::Ne, T1, Reg::ZERO, not_num); // never: tags nonzero
+    b.alu_imm(AluOp::Add, S5, S5, 1);
+    b.bind(not_num);
+    b.load(T4, T0, 8); // value
+    b.alu(AluOp::Add, S4, S4, T4);
+    b.bind(advance);
+    b.load(T0, T0, 16); // cdr
+    b.jump(walk);
+    b.bind(walk_done);
+
+    // Evaluation decisions on the *previous* walk's sum: exact per-list
+    // values. Parity / magnitude / field tests — ambiguous to history
+    // (list order is Zipf-shuffled) but pure functions of the sum value.
+    b.alu_imm(AluOp::And, T5, A1, 1);
+    let even = b.label();
+    b.branch_to_label(Cond::Eq, T5, Reg::ZERO, even); // star: parity
+    b.alu_imm(AluOp::Add, S5, S5, 3);
+    b.bind(even);
+    b.li(T6, 96);
+    let small = b.label();
+    b.branch_to_label(Cond::Lt, A1, T6, small); // star: magnitude
+    b.alu_imm(AluOp::Xor, S5, S5, 7);
+    b.bind(small);
+    b.alu_imm(AluOp::And, T7, A1, 6);
+    let mid = b.label();
+    b.branch_to_label(Cond::Ne, T7, Reg::ZERO, mid); // star: field test
+    b.alu_imm(AluOp::Add, S5, S5, 1);
+    b.bind(mid);
+    // Hand this walk's sum to the next iteration's decisions.
+    b.mv(A1, S4);
+
+    // GC-ish bookkeeping: biased guards.
+    emit_biased_guards(&mut b, 3, Reg::ZERO, T8, S5);
+    b.store(S5, S7, 0);
+    b.jump(outer);
+
+    b.build().with_name(NAME)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arvi_isa::Emulator;
+
+    #[test]
+    fn runs_forever_and_is_deterministic() {
+        let a: Vec<_> = Emulator::new(program(1)).take(30_000).collect();
+        let b: Vec<_> = Emulator::new(program(1)).take(30_000).collect();
+        assert_eq!(a.len(), 30_000);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn null_exit_positions_vary() {
+        // Walk lengths must differ across lists, so the NULL-test branch
+        // exits after varying iteration counts.
+        let t: Vec<_> = Emulator::new(program(2)).take(150_000).collect();
+        let mut lengths = std::collections::HashSet::new();
+        let mut count = 0u64;
+        for d in &t {
+            if d.is_branch() && d.srcs == [Some(T0), None] {
+                if d.branch.unwrap().taken {
+                    lengths.insert(count);
+                    count = 0;
+                } else {
+                    count += 1;
+                }
+            }
+        }
+        assert!(lengths.len() >= 5, "distinct walk lengths {lengths:?}");
+    }
+
+    #[test]
+    fn sum_branches_are_value_determined_but_volatile() {
+        // The parity branch must see both outcomes overall (volatile to
+        // history) while being a pure function of the sum register.
+        let t: Vec<_> = Emulator::new(program(3)).take(150_000).collect();
+        let mut taken = 0u64;
+        let mut total = 0u64;
+        for d in &t {
+            if d.is_branch() && d.srcs == [Some(T5), None] {
+                total += 1;
+                taken += d.branch.unwrap().taken as u64;
+            }
+        }
+        assert!(total > 500);
+        let rate = taken as f64 / total as f64;
+        assert!((0.15..0.85).contains(&rate), "parity taken rate {rate}");
+    }
+
+    #[test]
+    fn instruction_mix_is_pointer_heavy() {
+        let t: Vec<_> = Emulator::new(program(4)).take(50_000).collect();
+        let loads = t.iter().filter(|d| d.is_load()).count() as f64 / t.len() as f64;
+        let branches = t.iter().filter(|d| d.is_branch()).count() as f64 / t.len() as f64;
+        assert!(loads > 0.15, "load frac {loads}");
+        assert!((0.12..0.40).contains(&branches), "branch frac {branches}");
+    }
+}

@@ -1,0 +1,164 @@
+//! The vortex model — object-database validation.
+//!
+//! vortex manipulates object records with layered integrity checks that
+//! essentially always pass: its branch population is overwhelmingly
+//! biased, which is why every predictor in the paper sits near 99% on it.
+//! The residual hard branches test object attributes with strong value
+//! locality (object kinds repeat).
+
+use crate::common::{emit_biased_guards, emit_counted_loop, emit_stream_next, Layout};
+use crate::data;
+use arvi_isa::{regs::*, AluOp, Cond, Program, ProgramBuilder, Reg};
+
+/// Benchmark name.
+pub const NAME: &str = "vortex";
+
+const N_OBJECTS: usize = 256;
+const RING_LEN: usize = 4096;
+const OBJ_WORDS: u64 = 8; // [kind, flags, size, link, payload x4]
+
+/// Builds the vortex model program.
+pub fn program(seed: u64) -> Program {
+    let mut rng = data::rng(seed ^ 0x766f_7274);
+    let mut b = ProgramBuilder::new();
+    let mut l = Layout::new();
+
+    // Object store: kinds from a small set; flags almost always "valid".
+    let heap_addr = l.alloc(N_OBJECTS * OBJ_WORDS as usize);
+    let kinds = data::uniform_stream(&mut rng, N_OBJECTS, 0, 6);
+    for (i, &kind) in kinds.iter().enumerate() {
+        let base = heap_addr + (i as u64) * OBJ_WORDS * 8;
+        b.data(base, kind);
+        // 3% of objects are "dirty" (flags nonzero).
+        let dirty = (i * 2654435761) % 100 < 3;
+        b.data(base + 8, dirty as u64);
+        b.data(base + 16, 16 + (kind * 8));
+        let link = heap_addr + (((i * 7 + 3) % N_OBJECTS) as u64) * OBJ_WORDS * 8;
+        b.data(base + 24, link);
+    }
+    // Access ring with hot objects.
+    let addrs: Vec<u64> = (0..N_OBJECTS as u64)
+        .map(|i| heap_addr + i * OBJ_WORDS * 8)
+        .collect();
+    let ring = data::zipf_stream(&mut rng, &addrs, RING_LEN, 0.8);
+    let ring_addr = l.alloc(RING_LEN);
+    for (i, &a) in ring.iter().enumerate() {
+        b.data(ring_addr + (i as u64) * 8, a);
+    }
+    let cursor = l.alloc(1);
+    let stats = l.alloc(1);
+
+    b.li(S0, ring_addr as i64);
+    b.li(S7, stats as i64);
+
+    let outer = b.here();
+    emit_stream_next(&mut b, cursor, S0, (RING_LEN - 1) as i64, A0, T2, T3);
+
+    // Validation cascade: flags == 0, size sane, link aligned —
+    // essentially always pass.
+    b.load(T4, A0, 8); // flags
+    let invalid = b.label();
+    let valid = b.label();
+    b.branch_to_label(Cond::Ne, T4, Reg::ZERO, invalid); // ~97% not taken
+    b.load(T5, A0, 16); // size
+    b.li(T6, 128);
+    b.branch_to_label(Cond::Geu, T5, T6, invalid); // always not taken
+    b.load(T7, A0, 24); // link
+    b.alu_imm(AluOp::And, T8, T7, 7);
+    b.branch_to_label(Cond::Ne, T8, Reg::ZERO, invalid); // always not taken
+    b.jump_to_label(valid);
+    b.bind(invalid);
+    b.alu_imm(AluOp::Add, S5, S5, 1); // repair path
+    b.bind(valid);
+
+    // Kind dispatch: moderate value locality (hot kinds repeat).
+    b.load(T9, A0, 0); // kind
+    for k in 0..3i64 {
+        let skip = b.label();
+        b.li(T10, k);
+        b.branch_to_label(Cond::Ne, T9, T10, skip);
+        b.alu_imm(AluOp::Add, S4, S4, k + 1);
+        b.bind(skip);
+    }
+
+    // Follow one link hop and re-check (pointer traffic).
+    b.load(T11, A0, 24);
+    b.load(T4, T11, 8); // linked object's flags
+    let clean = b.label();
+    b.branch_to_label(Cond::Eq, T4, Reg::ZERO, clean); // ~97% taken
+    b.alu_imm(AluOp::Add, S5, S5, 1);
+    b.bind(clean);
+
+    // Transaction bookkeeping: fully predictable.
+    emit_counted_loop(&mut b, 5, T5, S6);
+    emit_biased_guards(&mut b, 5, Reg::ZERO, T6, S6);
+    b.store(S4, S7, 0);
+    b.jump(outer);
+
+    b.build().with_name(NAME)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arvi_isa::Emulator;
+
+    #[test]
+    fn runs_forever_and_is_deterministic() {
+        let a: Vec<_> = Emulator::new(program(1)).take(30_000).collect();
+        let b: Vec<_> = Emulator::new(program(1)).take(30_000).collect();
+        assert_eq!(a.len(), 30_000);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn branches_are_heavily_biased() {
+        // The signature property of vortex: the vast majority of dynamic
+        // branches go one way.
+        let t: Vec<_> = Emulator::new(program(2)).take(100_000).collect();
+        let mut per_pc: std::collections::HashMap<u32, (u64, u64)> = Default::default();
+        for d in &t {
+            if d.is_branch() {
+                let e = per_pc.entry(d.pc).or_default();
+                if d.branch.unwrap().taken {
+                    e.0 += 1;
+                } else {
+                    e.1 += 1;
+                }
+            }
+        }
+        let mut biased = 0usize;
+        for (_, (t, n)) in &per_pc {
+            let rate = *t as f64 / (t + n) as f64;
+            if !(0.10..0.90).contains(&rate) {
+                biased += 1;
+            }
+        }
+        assert!(
+            biased as f64 / per_pc.len() as f64 > 0.6,
+            "biased {biased}/{}",
+            per_pc.len()
+        );
+    }
+
+    #[test]
+    fn dirty_objects_occasionally_fail_validation() {
+        let t: Vec<_> = Emulator::new(program(3)).take(200_000).collect();
+        let mut repairs = 0u64;
+        for d in &t {
+            if d.is_branch() && d.srcs == [Some(T4), None] && d.branch.unwrap().taken {
+                repairs += 1;
+            }
+        }
+        assert!(repairs > 20, "repairs {repairs}");
+    }
+
+    #[test]
+    fn instruction_mix_is_realistic() {
+        let t: Vec<_> = Emulator::new(program(4)).take(50_000).collect();
+        let branches = t.iter().filter(|d| d.is_branch()).count() as f64 / t.len() as f64;
+        let loads = t.iter().filter(|d| d.is_load()).count() as f64 / t.len() as f64;
+        assert!((0.12..0.40).contains(&branches), "branch frac {branches}");
+        assert!(loads > 0.1, "load frac {loads}");
+    }
+}

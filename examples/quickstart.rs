@@ -1,0 +1,30 @@
+//! Quickstart: simulate one benchmark under the baseline and ARVI
+//! predictors and compare accuracy and IPC.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use arvi::sim::{simulate, Depth, PredictorConfig, SimParams};
+use arvi::workloads::Benchmark;
+
+fn main() {
+    let bench = Benchmark::M88ksim;
+    let (warmup, measure) = (50_000, 400_000);
+    println!("benchmark: {bench}, 20-stage pipeline, {measure} measured instructions\n");
+    for config in [PredictorConfig::TwoLevelGskew, PredictorConfig::ArviCurrent] {
+        let r = simulate(
+            bench.program(42),
+            SimParams::for_depth(Depth::D20),
+            config,
+            warmup,
+            measure,
+        );
+        println!(
+            "{:<20} accuracy {:>6.2}%   IPC {:>5.3}   load-branch frac {:>5.1}%  (l1-only {:>6.2}%)",
+            r.config.label(),
+            r.accuracy() * 100.0,
+            r.ipc(),
+            r.load_branch_fraction() * 100.0,
+            r.window.l1_only.rate() * 100.0,
+        );
+    }
+}

@@ -1,0 +1,26 @@
+//! # arvi — umbrella crate
+//!
+//! Re-exports the full workspace of the reproduction of *"Dynamic Data
+//! Dependence Tracking and its Application to Branch Prediction"* (Chen,
+//! Dropsho & Albonesi, HPCA 2003).
+//!
+//! * [`isa`] — RISC ISA model, program builder and architectural emulator.
+//! * [`workloads`] — synthetic SPEC95-integer-like benchmark programs.
+//! * [`predict`] — baseline predictors (bimodal, gshare, 2Bc-gskew,
+//!   confidence estimation).
+//! * [`core`] — the paper's contribution: DDT, RSE, BVIT and the ARVI
+//!   predictor.
+//! * [`sim`] — the trace-driven out-of-order timing simulator.
+//! * [`stats`] — accuracy/IPC statistics and table formatting.
+//! * [`apps`] — Section-3 applications of on-line dependence tracking.
+//!
+//! See `README.md` for a quickstart and `DESIGN.md` for the system
+//! inventory and experiment index.
+
+pub use arvi_apps as apps;
+pub use arvi_core as core;
+pub use arvi_isa as isa;
+pub use arvi_predict as predict;
+pub use arvi_sim as sim;
+pub use arvi_stats as stats;
+pub use arvi_workloads as workloads;

@@ -1,0 +1,117 @@
+//! Property tests of the cache/TLB models against reference
+//! implementations.
+
+use arvi::sim::{Cache, CacheConfig, SimParams, Tlb, TlbConfig};
+use proptest::prelude::*;
+use std::collections::VecDeque;
+
+/// Reference fully-explicit LRU set-associative cache.
+struct RefCache {
+    sets: Vec<VecDeque<u64>>, // most-recent at the front
+    ways: usize,
+    line: u64,
+    set_count: u64,
+}
+
+impl RefCache {
+    fn new(cfg: CacheConfig) -> RefCache {
+        let lines = cfg.size_bytes / cfg.line_bytes;
+        let set_count = (lines / cfg.ways) as u64;
+        RefCache {
+            sets: (0..set_count).map(|_| VecDeque::new()).collect(),
+            ways: cfg.ways,
+            line: cfg.line_bytes as u64,
+            set_count,
+        }
+    }
+
+    fn access(&mut self, addr: u64) -> bool {
+        let line = addr / self.line;
+        let set = (line % self.set_count) as usize;
+        let tag = line / self.set_count;
+        let s = &mut self.sets[set];
+        if let Some(pos) = s.iter().position(|&t| t == tag) {
+            s.remove(pos);
+            s.push_front(tag);
+            true
+        } else {
+            if s.len() == self.ways {
+                s.pop_back();
+            }
+            s.push_front(tag);
+            false
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The cache model agrees with an explicit LRU reference on every
+    /// access of arbitrary address streams.
+    #[test]
+    fn cache_matches_lru_reference(addrs in proptest::collection::vec(0u64..(1 << 14), 1..600)) {
+        let cfg = CacheConfig { size_bytes: 1024, ways: 4, line_bytes: 32 };
+        let mut cache = Cache::new(cfg);
+        let mut reference = RefCache::new(cfg);
+        for (i, &a) in addrs.iter().enumerate() {
+            prop_assert_eq!(cache.access(a), reference.access(a), "access {} (addr {:#x})", i, a);
+        }
+    }
+
+    /// Hits plus misses equals accesses, and `contains` agrees with a
+    /// just-performed access.
+    #[test]
+    fn cache_counters_are_consistent(addrs in proptest::collection::vec(0u64..(1 << 16), 1..300)) {
+        let cfg = CacheConfig { size_bytes: 2048, ways: 2, line_bytes: 64 };
+        let mut cache = Cache::new(cfg);
+        for &a in &addrs {
+            cache.access(a);
+            prop_assert!(cache.contains(a), "line just accessed must be resident");
+        }
+        prop_assert_eq!(cache.hits() + cache.misses(), addrs.len() as u64);
+    }
+
+    /// A working set no larger than one set's associativity never
+    /// conflicts (all accesses after the first round hit).
+    #[test]
+    fn within_associativity_never_evicts(base in 0u64..(1 << 12)) {
+        let cfg = CacheConfig { size_bytes: 4096, ways: 4, line_bytes: 32 };
+        let sets = (4096 / 32 / 4) as u64;
+        let mut cache = Cache::new(cfg);
+        // Four lines mapping to the same set.
+        let lines: Vec<u64> = (0..4).map(|i| (base + i * sets) * 32).collect();
+        for &l in &lines {
+            cache.access(l);
+        }
+        for _ in 0..3 {
+            for &l in &lines {
+                prop_assert!(cache.access(l), "steady-state working set must hit");
+            }
+        }
+    }
+
+    /// TLB translations are page-granular: all addresses within a page
+    /// share one entry.
+    #[test]
+    fn tlb_page_granularity(page in 0u64..4096, offsets in proptest::collection::vec(0u64..8192, 1..32)) {
+        let mut tlb = Tlb::new(TlbConfig { entries: 64, ways: 4, page_bytes: 8192 });
+        tlb.access(page * 8192);
+        for &off in &offsets {
+            prop_assert!(tlb.access(page * 8192 + off));
+        }
+    }
+}
+
+#[test]
+fn paper_cache_shapes_construct() {
+    // The Table 2 shapes must all be internally consistent.
+    for depth in arvi::sim::Depth::all() {
+        let p = SimParams::for_depth(depth);
+        let _ = Cache::new(p.l1i);
+        let _ = Cache::new(p.l1d);
+        let _ = Cache::new(p.l2);
+        let _ = Tlb::new(p.itlb);
+        let _ = Tlb::new(p.dtlb);
+    }
+}

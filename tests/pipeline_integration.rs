@@ -1,0 +1,186 @@
+//! End-to-end integration tests: full workloads through the complete
+//! timing simulator under every predictor configuration.
+
+use arvi::sim::{simulate, Depth, PredictorConfig, SimParams, SimResult};
+use arvi::workloads::Benchmark;
+
+fn quick(bench: Benchmark, depth: Depth, config: PredictorConfig) -> SimResult {
+    simulate(
+        bench.program(42),
+        SimParams::for_depth(depth),
+        config,
+        30_000,
+        120_000,
+    )
+}
+
+#[test]
+fn every_configuration_simulates_every_benchmark() {
+    // One smoke cell per (benchmark, config) at 20 stages.
+    for bench in Benchmark::all() {
+        for config in PredictorConfig::all() {
+            let r = quick(bench, Depth::D20, config);
+            assert!(
+                r.ipc() > 0.05 && r.ipc() < 4.1,
+                "{bench}/{config}: IPC {} out of range",
+                r.ipc()
+            );
+            assert!(
+                r.accuracy() > 0.5,
+                "{bench}/{config}: accuracy {} out of range",
+                r.accuracy()
+            );
+            assert!(r.window.cond_branches.total() > 5_000, "{bench}: too few branches");
+        }
+    }
+}
+
+#[test]
+fn simulation_is_deterministic() {
+    let a = quick(Benchmark::Compress, Depth::D20, PredictorConfig::ArviCurrent);
+    let b = quick(Benchmark::Compress, Depth::D20, PredictorConfig::ArviCurrent);
+    assert_eq!(a.window.cycles, b.window.cycles);
+    assert_eq!(a.window.cond_branches.correct(), b.window.cond_branches.correct());
+    assert_eq!(a.window.full_mispredicts, b.window.full_mispredicts);
+}
+
+#[test]
+fn arvi_beats_baseline_on_value_correlated_workloads() {
+    // The paper's central claim, on its strongest benchmarks.
+    for bench in [Benchmark::M88ksim, Benchmark::Li, Benchmark::Compress] {
+        let base = quick(bench, Depth::D20, PredictorConfig::TwoLevelGskew);
+        let arvi = quick(bench, Depth::D20, PredictorConfig::ArviCurrent);
+        assert!(
+            arvi.accuracy() > base.accuracy(),
+            "{bench}: ARVI {:.4} must beat hybrid {:.4}",
+            arvi.accuracy(),
+            base.accuracy()
+        );
+        assert!(
+            arvi.ipc() > base.ipc(),
+            "{bench}: ARVI IPC {:.3} must beat hybrid {:.3}",
+            arvi.ipc(),
+            base.ipc()
+        );
+    }
+}
+
+#[test]
+fn m88ksim_headline_shape() {
+    // Paper Section 6: near-perfect accuracy versus ~95% for the hybrid,
+    // yielding a very large IPC gain on the 20-stage machine.
+    let base = quick(Benchmark::M88ksim, Depth::D20, PredictorConfig::TwoLevelGskew);
+    let arvi = quick(Benchmark::M88ksim, Depth::D20, PredictorConfig::ArviCurrent);
+    assert!(
+        arvi.accuracy() - base.accuracy() > 0.03,
+        "accuracy gap too small: {:.4} vs {:.4}",
+        arvi.accuracy(),
+        base.accuracy()
+    );
+    assert!(
+        arvi.ipc() / base.ipc() > 1.3,
+        "IPC speedup too small: {:.3}",
+        arvi.ipc() / base.ipc()
+    );
+}
+
+#[test]
+fn perfect_value_dominates_current_on_average() {
+    // Figure 6: perfect value is the bound for ARVI. Individual
+    // benchmarks may tie; the suite-level mean must order.
+    let mut current_mean = 0.0;
+    let mut perfect_mean = 0.0;
+    for bench in Benchmark::all() {
+        let base = quick(bench, Depth::D20, PredictorConfig::TwoLevelGskew).ipc();
+        current_mean += quick(bench, Depth::D20, PredictorConfig::ArviCurrent).ipc() / base;
+        perfect_mean += quick(bench, Depth::D20, PredictorConfig::ArviPerfect).ipc() / base;
+    }
+    assert!(
+        perfect_mean >= current_mean,
+        "perfect {perfect_mean:.3} must dominate current {current_mean:.3}"
+    );
+}
+
+#[test]
+fn load_back_converts_ijpeg() {
+    // "With the exception of ijpeg, the load back scheme only slightly
+    // increases predictor accuracy" — ijpeg's hoistable pixel loads are
+    // the exception.
+    let current = quick(Benchmark::Ijpeg, Depth::D20, PredictorConfig::ArviCurrent);
+    let loadback = quick(Benchmark::Ijpeg, Depth::D20, PredictorConfig::ArviLoadBack);
+    assert!(
+        loadback.accuracy() - current.accuracy() > 0.05,
+        "load-back {:.4} vs current {:.4}",
+        loadback.accuracy(),
+        current.accuracy()
+    );
+    // And it converts load branches into calculated ones.
+    assert!(
+        loadback.load_branch_fraction() < current.load_branch_fraction(),
+        "load fraction must fall: {:.3} -> {:.3}",
+        current.load_branch_fraction(),
+        loadback.load_branch_fraction()
+    );
+}
+
+#[test]
+fn load_branch_fraction_grows_with_depth() {
+    // Figure 5(a): deeper pipelines keep more loads outstanding at
+    // prediction time.
+    for bench in [Benchmark::Go, Benchmark::Compress] {
+        let d20 = quick(bench, Depth::D20, PredictorConfig::ArviCurrent);
+        let d60 = quick(bench, Depth::D60, PredictorConfig::ArviCurrent);
+        assert!(
+            d60.load_branch_fraction() >= d20.load_branch_fraction() - 0.02,
+            "{bench}: load fraction {:.3} @20 vs {:.3} @60",
+            d20.load_branch_fraction(),
+            d60.load_branch_fraction()
+        );
+    }
+}
+
+#[test]
+fn deeper_pipelines_lower_ipc() {
+    for config in [PredictorConfig::TwoLevelGskew, PredictorConfig::ArviCurrent] {
+        let d20 = quick(Benchmark::Gcc, Depth::D20, config);
+        let d60 = quick(Benchmark::Gcc, Depth::D60, config);
+        assert!(
+            d60.ipc() < d20.ipc(),
+            "{config}: IPC must fall with depth ({:.3} -> {:.3})",
+            d20.ipc(),
+            d60.ipc()
+        );
+    }
+}
+
+#[test]
+fn calculated_branches_predict_better_than_load_branches() {
+    // Figure 5(b): across the suite, calculated branches are the easier
+    // class under ARVI.
+    let mut calc_correct = 0u64;
+    let mut calc_total = 0u64;
+    let mut load_correct = 0u64;
+    let mut load_total = 0u64;
+    for bench in Benchmark::all() {
+        let r = quick(bench, Depth::D20, PredictorConfig::ArviCurrent);
+        calc_correct += r.window.calc_class.correct();
+        calc_total += r.window.calc_class.total();
+        load_correct += r.window.load_class.correct();
+        load_total += r.window.load_class.total();
+    }
+    let calc = calc_correct as f64 / calc_total as f64;
+    let load = load_correct as f64 / load_total as f64;
+    assert!(
+        calc > load,
+        "calculated {calc:.4} must beat load {load:.4} suite-wide"
+    );
+}
+
+#[test]
+fn override_restarts_only_in_two_level_operation() {
+    // Corrective overrides exist in both configs; their count is bounded
+    // by total overrides.
+    let r = quick(Benchmark::Li, Depth::D20, PredictorConfig::ArviCurrent);
+    assert!(r.window.overrides >= r.window.overrides_correcting);
+    assert!(r.window.override_restarts <= r.window.overrides + 1);
+}

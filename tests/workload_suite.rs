@@ -1,0 +1,154 @@
+//! Suite-level workload validation: every benchmark produces a realistic,
+//! deterministic, steady-state instruction stream.
+
+use arvi::isa::{Emulator, InstKind};
+use arvi::workloads::Benchmark;
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+#[test]
+fn suite_has_eight_benchmarks_in_paper_order() {
+    let names: Vec<&str> = Benchmark::all().iter().map(|b| b.name()).collect();
+    assert_eq!(
+        names,
+        ["gcc", "compress", "go", "ijpeg", "li", "m88ksim", "perl", "vortex"]
+    );
+}
+
+#[test]
+fn all_benchmarks_run_one_million_instructions() {
+    for bench in Benchmark::all() {
+        let mut emu = Emulator::new(bench.program(42));
+        let mut n = 0u64;
+        while n < 1_000_000 {
+            assert!(
+                emu.step().is_some(),
+                "{bench} halted after {n} instructions"
+            );
+            n += 1;
+        }
+    }
+}
+
+#[test]
+fn instruction_mixes_are_integer_code_like() {
+    for bench in Benchmark::all() {
+        let t: Vec<_> = Emulator::new(bench.program(42)).take(60_000).collect();
+        let n = t.len() as f64;
+        let branches = t.iter().filter(|d| d.is_branch()).count() as f64 / n;
+        let loads = t.iter().filter(|d| d.is_load()).count() as f64 / n;
+        let stores = t.iter().filter(|d| d.is_store()).count() as f64 / n;
+        assert!(
+            (0.05..0.40).contains(&branches),
+            "{bench}: branch fraction {branches:.3}"
+        );
+        assert!((0.02..0.45).contains(&loads), "{bench}: load fraction {loads:.3}");
+        assert!(stores > 0.001, "{bench}: store fraction {stores:.4}");
+        assert!(
+            branches + loads + stores < 0.85,
+            "{bench}: too little ALU work"
+        );
+    }
+}
+
+#[test]
+fn branch_populations_have_both_biased_and_volatile_sites() {
+    for bench in Benchmark::all() {
+        let t: Vec<_> = Emulator::new(bench.program(42)).take(150_000).collect();
+        let mut per_pc: std::collections::HashMap<u32, (u64, u64)> = Default::default();
+        for d in &t {
+            if d.is_branch() {
+                let e = per_pc.entry(d.pc).or_default();
+                if d.branch.expect("is_branch").taken {
+                    e.0 += 1;
+                } else {
+                    e.1 += 1;
+                }
+            }
+        }
+        let hot: Vec<f64> = per_pc
+            .values()
+            .filter(|(t, n)| t + n > 200)
+            .map(|(t, n)| *t as f64 / (t + n) as f64)
+            .collect();
+        assert!(hot.len() >= 4, "{bench}: too few hot branch sites");
+        assert!(
+            hot.iter().any(|r| !(0.3..=0.7).contains(r)),
+            "{bench}: no leaning branches"
+        );
+    }
+}
+
+#[test]
+fn memory_footprints_are_bounded() {
+    // Steady-state workloads must not leak memory pages (cyclic working
+    // sets).
+    for bench in Benchmark::all() {
+        let mut emu = Emulator::new(bench.program(42));
+        for _ in 0..200_000 {
+            emu.step();
+        }
+        let mid = emu.memory().pages_allocated();
+        for _ in 0..200_000 {
+            emu.step();
+        }
+        let end = emu.memory().pages_allocated();
+        assert!(
+            end <= mid + 2,
+            "{bench}: pages grew {mid} -> {end} in steady state"
+        );
+    }
+}
+
+#[test]
+fn distinct_branch_sites_scale_with_benchmark_character() {
+    let count_sites = |bench: Benchmark| -> usize {
+        let sites: HashSet<u32> = Emulator::new(bench.program(42))
+            .take(100_000)
+            .filter(|d| d.is_branch())
+            .map(|d| d.pc)
+            .collect();
+        sites.len()
+    };
+    // gcc models a wide parser: more static branch sites than the
+    // kernel-dominated compress.
+    assert!(count_sites(Benchmark::Gcc) > count_sites(Benchmark::Compress));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Any seed yields a deterministic, non-halting program for every
+    /// benchmark (the generator never builds broken control flow).
+    #[test]
+    fn all_seeds_build_runnable_programs(seed in 0u64..1000) {
+        for bench in Benchmark::all() {
+            let a: Vec<_> = Emulator::new(bench.program(seed)).take(3_000).collect();
+            let b: Vec<_> = Emulator::new(bench.program(seed)).take(3_000).collect();
+            prop_assert_eq!(a.len(), 3_000, "{} halted (seed {})", bench, seed);
+            prop_assert_eq!(a, b, "{} nondeterministic (seed {})", bench, seed);
+        }
+    }
+
+    /// Traces never contain control transfers that leave the program or
+    /// malformed records (jump targets resolve, zero register never a
+    /// dest).
+    #[test]
+    fn trace_records_are_well_formed(seed in 0u64..500) {
+        let bench = Benchmark::all()[(seed % 8) as usize];
+        let program = bench.program(seed);
+        let len = program.len() as u32;
+        for d in Emulator::new(program).take(5_000) {
+            prop_assert!(d.pc < len);
+            if let Some(info) = d.branch {
+                prop_assert!(info.next_pc < len, "control left the program");
+            }
+            if matches!(d.kind, InstKind::Load | InstKind::Store) {
+                prop_assert!(d.mem_addr >= 0x1_0000, "data below the heap base");
+            }
+            if let Some(dest) = d.dest {
+                prop_assert!(!dest.is_zero());
+            }
+        }
+    }
+}
