@@ -56,7 +56,8 @@ impl CriticalityEstimator {
             .filter(|&s| self.tracker.ddt().is_slot_valid(s))
             .map(|s| (s, self.tracker.dependents(s)))
             .collect();
-        scored.sort_by_key(|&(s, score)| (std::cmp::Reverse(score), self.tracker.ddt().slot_seq(s)));
+        scored
+            .sort_by_key(|&(s, score)| (std::cmp::Reverse(score), self.tracker.ddt().slot_seq(s)));
         scored.truncate(n);
         scored
     }

@@ -13,7 +13,7 @@
 //! instructions the BEX unit would execute, plus slice-size statistics
 //! that determine how far ahead the branch engine can run.
 
-use arvi_core::{DdtConfig, InstSlot, PhysReg, RenamedOp, Tracker, TrackerConfig};
+use arvi_core::{ChainMask, DdtConfig, InstSlot, PhysReg, RenamedOp, Tracker, TrackerConfig};
 
 /// A branch's execution slice: the chain instructions a BEX unit would
 /// replicate, oldest first.
@@ -43,6 +43,9 @@ impl BranchSlice {
 #[derive(Debug)]
 pub struct BexExtractor {
     tracker: Tracker,
+    /// Reused chain mask: slice extraction does not allocate for the
+    /// chain read itself (only for the returned slot list).
+    chain_scratch: ChainMask,
 }
 
 impl BexExtractor {
@@ -53,6 +56,7 @@ impl BexExtractor {
                 ddt: DdtConfig { slots, phys_regs },
                 track_dependents: false,
             }),
+            chain_scratch: ChainMask::zeroed(slots),
         }
     }
 
@@ -68,13 +72,15 @@ impl BexExtractor {
 
     /// The slice for a branch reading `branch_srcs` (call before inserting
     /// the branch, as the ARVI predictor does).
-    pub fn slice(&self, branch_srcs: [Option<PhysReg>; 2]) -> BranchSlice {
-        let operands: Vec<PhysReg> = branch_srcs.iter().flatten().copied().collect();
-        let chain = self.tracker.chain(&operands);
-        let mut slots: Vec<InstSlot> = chain.slots().collect();
-        slots.sort_by_key(|&s| self.tracker.ddt().slot_seq(s));
+    pub fn slice(&mut self, branch_srcs: [Option<PhysReg>; 2]) -> BranchSlice {
+        let (operands, n) = Tracker::pack_operands(branch_srcs);
+        self.tracker
+            .ddt()
+            .chain_into(&operands[..n], &mut self.chain_scratch);
+        // slots_by_age, not ChainMask::slots: column order would
+        // mis-order slices that wrap the ring.
         BranchSlice {
-            slots,
+            slots: self.tracker.ddt().slots_by_age(&self.chain_scratch),
             window: self.tracker.occupancy(),
         }
     }
@@ -125,7 +131,7 @@ mod tests {
 
     #[test]
     fn empty_window_density_is_zero() {
-        let bex = BexExtractor::new(8, 16);
+        let mut bex = BexExtractor::new(8, 16);
         let s = bex.slice([Some(p(1)), None]);
         assert_eq!(s.density(), 0.0);
     }

@@ -7,16 +7,25 @@ use arvi_sim::{Depth, PredictorConfig};
 
 fn main() {
     let spec = Spec::quick();
-    println!("== regenerating paper artifacts (quick windows: {}k warm + {}k measured) ==\n",
-             spec.warmup / 1000, spec.measure / 1000);
+    println!(
+        "== regenerating paper artifacts (quick windows: {}k warm + {}k measured) ==\n",
+        spec.warmup / 1000,
+        spec.measure / 1000
+    );
 
     for (title, table) in paper_tables() {
         println!("-- {title} --\n{}", table.to_text());
     }
 
     let (fig5a, fig5b) = fig5_tables(spec, false);
-    println!("-- Figure 5(a): load-branch fraction --\n{}", fig5a.to_text());
-    println!("-- Figure 5(b): calculated vs load accuracy --\n{}", fig5b.to_text());
+    println!(
+        "-- Figure 5(a): load-branch fraction --\n{}",
+        fig5a.to_text()
+    );
+    println!(
+        "-- Figure 5(b): calculated vs load accuracy --\n{}",
+        fig5b.to_text()
+    );
 
     for depth in Depth::all() {
         let data = Fig6Data::collect(depth, spec, false);

@@ -3,9 +3,10 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
+use arvi_bench::baseline::NaiveDdt;
 use arvi_core::{
-    ArviConfig, ArviPredictor, Bvit, BvitConfig, Ddt, DdtConfig, PhysReg, RenamedOp, Tracker,
-    TrackerConfig, Values,
+    ArviConfig, ArviPredictor, Bvit, BvitConfig, ChainMask, Ddt, DdtConfig, LeafSet, PhysReg,
+    RenamedOp, Tracker, TrackerConfig, Values,
 };
 use arvi_predict::{DirectionPredictor, GskewConfig, TwoBcGskew};
 
@@ -52,6 +53,64 @@ fn bench_ddt(c: &mut Criterion) {
         }
         b.iter(|| black_box(ddt.chain(&[prev])).len());
     });
+    g.bench_function("chain_into_read_deep", |b| {
+        // The zero-allocation variant of chain_read_deep: same read, the
+        // result mask is reused across iterations.
+        let mut ddt = Ddt::new(DdtConfig {
+            slots: 256,
+            phys_regs: 320,
+        });
+        let mut prev = PhysReg(32);
+        ddt.insert(Some(prev), [None, None]);
+        for i in 1..200u16 {
+            let d = PhysReg(32 + i);
+            ddt.insert(Some(d), [Some(prev), None]);
+            prev = d;
+        }
+        let mut mask = ChainMask::zeroed(256);
+        b.iter(|| {
+            ddt.chain_into(&[prev], &mut mask);
+            black_box(mask.len())
+        });
+    });
+    g.finish();
+}
+
+/// The preserved pre-refactor DDT (arvi_bench::baseline), benchmarked on
+/// the same workloads so the optimized/naive speedup stays visible in
+/// every criterion run.
+fn bench_ddt_baseline(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ddt_baseline");
+    g.bench_function("insert_commit_steady_state", |b| {
+        let mut ddt = NaiveDdt::new(DdtConfig {
+            slots: 256,
+            phys_regs: 320,
+        });
+        let mut i = 0u16;
+        b.iter(|| {
+            if ddt.is_full() {
+                ddt.commit_oldest();
+            }
+            let dest = PhysReg(32 + (i % 280));
+            let src = PhysReg(32 + ((i + 1) % 280));
+            ddt.insert(black_box(Some(dest)), black_box([Some(src), None]));
+            i = i.wrapping_add(1);
+        });
+    });
+    g.bench_function("chain_read_deep", |b| {
+        let mut ddt = NaiveDdt::new(DdtConfig {
+            slots: 256,
+            phys_regs: 320,
+        });
+        let mut prev = PhysReg(32);
+        ddt.insert(Some(prev), [None, None]);
+        for i in 1..200u16 {
+            let d = PhysReg(32 + i);
+            ddt.insert(Some(d), [Some(prev), None]);
+            prev = d;
+        }
+        b.iter(|| black_box(ddt.chain(&[prev])).len());
+    });
     g.finish();
 }
 
@@ -71,6 +130,26 @@ fn bench_rse(c: &mut Criterion) {
             prev = d;
         }
         b.iter(|| black_box(t.leaf_set([Some(prev), None])).regs.len());
+    });
+    g.bench_function("leaf_set_into_extraction", |b| {
+        // The scratch-reusing variant the ARVI predictor uses per branch.
+        let mut t = Tracker::new(paper_tracker());
+        let mut prev = PhysReg(32);
+        t.insert(&RenamedOp::load(prev, Some(PhysReg(1))));
+        for i in 1..120u16 {
+            let d = PhysReg(32 + i);
+            if i % 5 == 0 {
+                t.insert(&RenamedOp::load(d, Some(prev)));
+            } else {
+                t.insert(&RenamedOp::alu(d, [Some(prev), Some(PhysReg(2 + i % 8))]));
+            }
+            prev = d;
+        }
+        let mut out = LeafSet::default();
+        b.iter(|| {
+            t.leaf_set_into([Some(prev), None], &mut out);
+            black_box(out.regs.len())
+        });
     });
     g.finish();
 }
@@ -92,7 +171,7 @@ fn bench_bvit(c: &mut Criterion) {
         let mut i = 0usize;
         b.iter(|| {
             i = (i + 193) & 0xFFF;
-            bvit.update(i, (i % 8) as u8, (i % 32) as u8, i % 2 == 0, true);
+            bvit.update(i, (i % 8) as u8, (i % 32) as u8, i.is_multiple_of(2), true);
         });
     });
     g.finish();
@@ -104,7 +183,10 @@ fn bench_arvi_predict(c: &mut Criterion) {
         let mut arvi = ArviPredictor::new(ArviConfig::paper(paper_tracker()));
         let mut prev = PhysReg(32);
         arvi.writeback(PhysReg(2), 42);
-        arvi.rename(&RenamedOp::load(prev, Some(PhysReg(1))), Some(arvi_isa::Reg::new(8)));
+        arvi.rename(
+            &RenamedOp::load(prev, Some(PhysReg(1))),
+            Some(arvi_isa::Reg::new(8)),
+        );
         for i in 1..64u16 {
             let d = PhysReg(32 + i);
             arvi.rename(
@@ -137,6 +219,6 @@ fn bench_predictors(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_ddt, bench_rse, bench_bvit, bench_arvi_predict, bench_predictors
+    targets = bench_ddt, bench_ddt_baseline, bench_rse, bench_bvit, bench_arvi_predict, bench_predictors
 }
 criterion_main!(benches);

@@ -1,21 +1,30 @@
 //! Runs the complete evaluation: Tables 1-4, Figure 5, and Figure 6 at
 //! all three pipeline depths, printing every artifact the paper reports.
 //!
-//! Usage: `experiments [--quick]`
+//! Usage: `experiments [--quick] [--threads N]`
 
-use arvi_bench::{fig5_tables, paper_tables, Fig6Data, Spec};
+use arvi_bench::{fig5_tables_threaded, paper_tables, threads_from_args, Fig6Data, Spec};
 use arvi_sim::{Depth, PredictorConfig};
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let spec = if quick { Spec::quick() } else { Spec::default() };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let threads = threads_from_args(&args);
+    let spec = if quick {
+        Spec::quick()
+    } else {
+        Spec::default()
+    };
 
     for (title, table) in paper_tables() {
         println!("== {title} ==\n{}\n", table.to_text());
     }
 
-    let (fig5a, fig5b) = fig5_tables(spec, true);
-    println!("== Figure 5(a): fraction of load branches ==\n{}", fig5a.to_text());
+    let (fig5a, fig5b) = fig5_tables_threaded(spec, true, threads);
+    println!(
+        "== Figure 5(a): fraction of load branches ==\n{}",
+        fig5a.to_text()
+    );
     println!(
         "== Figure 5(b): accuracy, calculated vs load branches (20-stage, ARVI current value) ==\n{}",
         fig5b.to_text()
@@ -23,7 +32,7 @@ fn main() {
 
     let mut headlines = Vec::new();
     for depth in Depth::all() {
-        let data = Fig6Data::collect(depth, spec, true);
+        let data = Fig6Data::collect_threaded(depth, spec, true, threads);
         println!(
             "== Figure 6: prediction accuracy, {depth} pipeline ==\n{}",
             data.accuracy_table().to_text()

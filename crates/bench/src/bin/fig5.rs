@@ -2,15 +2,23 @@
 //! pipeline depths; (b) prediction accuracy of calculated vs load
 //! branches (20-stage, ARVI current value).
 //!
-//! Usage: `fig5 [--quick]`
+//! Usage: `fig5 [--quick] [--threads N]`
 
-use arvi_bench::{fig5_tables, Spec};
+use arvi_bench::{fig5_tables_threaded, threads_from_args, Spec};
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let spec = if quick { Spec::quick() } else { Spec::default() };
-    let (fig5a, fig5b) = fig5_tables(spec, true);
-    println!("== Figure 5(a): fraction of load branches ==\n{}", fig5a.to_text());
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let spec = if quick {
+        Spec::quick()
+    } else {
+        Spec::default()
+    };
+    let (fig5a, fig5b) = fig5_tables_threaded(spec, true, threads_from_args(&args));
+    println!(
+        "== Figure 5(a): fraction of load branches ==\n{}",
+        fig5a.to_text()
+    );
     println!(
         "== Figure 5(b): prediction accuracy, calculated vs load branches (20-stage, ARVI current value) ==\n{}",
         fig5b.to_text()

@@ -1,22 +1,39 @@
 //! Regenerates Figure 6 for one pipeline depth: prediction accuracy
 //! (a/c/e) and normalized IPC (b/d/f) for the four configurations.
 //!
-//! Usage: `fig6 [20|40|60] [--quick]`
+//! Usage: `fig6 [20|40|60] [--quick] [--threads N]`
 
-use arvi_bench::{Fig6Data, Spec};
+use arvi_bench::{threads_from_args, Fig6Data, Spec};
 use arvi_sim::{Depth, PredictorConfig};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let depth = match args.iter().find(|a| !a.starts_with("--")).map(|s| s.as_str()) {
+    // First positional argument, skipping flag values (`--threads N`).
+    let mut positional = None;
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--threads" {
+            i += 2;
+            continue;
+        }
+        if !args[i].starts_with("--") && positional.is_none() {
+            positional = Some(args[i].as_str());
+        }
+        i += 1;
+    }
+    let depth = match positional {
         Some("40") => Depth::D40,
         Some("60") => Depth::D60,
         _ => Depth::D20,
     };
     let quick = args.iter().any(|a| a == "--quick");
-    let spec = if quick { Spec::quick() } else { Spec::default() };
+    let spec = if quick {
+        Spec::quick()
+    } else {
+        Spec::default()
+    };
 
-    let data = Fig6Data::collect(depth, spec, true);
+    let data = Fig6Data::collect_threaded(depth, spec, true, threads_from_args(&args));
     println!(
         "== Figure 6: prediction accuracy, {depth} pipeline ==\n{}",
         data.accuracy_table().to_text()

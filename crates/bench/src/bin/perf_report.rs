@@ -1,0 +1,226 @@
+//! Performance report: quantifies this repository's two hot-path claims
+//! and emits a machine-readable `BENCH_PR1.json` so the perf trajectory
+//! is tracked PR over PR.
+//!
+//! 1. **Zero-allocation DDT** — times steady-state insert+commit and
+//!    deep-chain reads on the optimized [`arvi_core::Ddt`] versus the
+//!    preserved pre-refactor baseline ([`arvi_bench::baseline::NaiveDdt`])
+//!    and reports the speedups.
+//! 2. **Parallel sweeps** — runs the same (benchmark, depth, config)
+//!    grid sequentially and on all cores and reports the wall-time
+//!    speedup.
+//!
+//! Usage: `perf_report [--quick] [--threads N] [--out PATH]`
+
+use std::time::Instant;
+
+use arvi_bench::baseline::NaiveDdt;
+use arvi_bench::{threads_from_args, write_report, Json, Spec, SweepPoint};
+use arvi_core::{ChainMask, Ddt, DdtConfig, PhysReg};
+use arvi_sim::{Depth, PredictorConfig};
+use arvi_workloads::Benchmark;
+
+/// Steady-state insert+commit throughput over a full ring, ns/op.
+fn time_insert<F: FnMut(u32)>(iters: u32, mut op: F) -> f64 {
+    let start = Instant::now();
+    for i in 0..iters {
+        op(i);
+    }
+    start.elapsed().as_secs_f64() * 1e9 / iters as f64
+}
+
+struct MicroResult {
+    insert_naive_ns: f64,
+    insert_fast_ns: f64,
+    chain_naive_ns: f64,
+    chain_fast_ns: f64,
+}
+
+fn micro(iters: u32) -> MicroResult {
+    let cfg = DdtConfig {
+        slots: 256,
+        phys_regs: 320,
+    };
+    let dest = |i: u32| PhysReg(32 + (i % 280) as u16);
+    let src = |i: u32| Some(PhysReg(32 + ((i + 1) % 280) as u16));
+
+    // Warm both tables to steady state (full window, every insert paired
+    // with a commit), then time.
+    let mut naive = NaiveDdt::new(cfg);
+    let insert_naive_ns = {
+        for i in 0..cfg.slots as u32 {
+            naive.insert(Some(dest(i)), [src(i), None]);
+        }
+        time_insert(iters, |i| {
+            naive.commit_oldest();
+            std::hint::black_box(naive.insert(Some(dest(i)), [src(i), None]));
+        })
+    };
+    let mut fast = Ddt::new(cfg);
+    let insert_fast_ns = {
+        for i in 0..cfg.slots as u32 {
+            fast.insert(Some(dest(i)), [src(i), None]);
+        }
+        time_insert(iters, |i| {
+            fast.commit_oldest();
+            std::hint::black_box(fast.insert(Some(dest(i)), [src(i), None]));
+        })
+    };
+
+    // Deep-chain read: a 200-instruction dependent chain.
+    let deep = |ddt: &mut dyn FnMut(PhysReg, Option<PhysReg>)| {
+        let mut prev = PhysReg(32);
+        ddt(prev, None);
+        for i in 1..200u16 {
+            let d = PhysReg(32 + i);
+            ddt(d, Some(prev));
+            prev = d;
+        }
+        prev
+    };
+    let mut naive = NaiveDdt::new(cfg);
+    let tip = deep(&mut |d, s| {
+        naive.insert(Some(d), [s, None]);
+    });
+    let chain_naive_ns = time_insert(iters, |_| {
+        std::hint::black_box(naive.chain(&[tip]));
+    });
+    let mut fast = Ddt::new(cfg);
+    let tip = deep(&mut |d, s| {
+        fast.insert(Some(d), [s, None]);
+    });
+    let mut mask = ChainMask::zeroed(cfg.slots);
+    let chain_fast_ns = time_insert(iters, |_| {
+        fast.chain_into(&[tip], &mut mask);
+        std::hint::black_box(&mask);
+    });
+
+    MicroResult {
+        insert_naive_ns,
+        insert_fast_ns,
+        chain_naive_ns,
+        chain_fast_ns,
+    }
+}
+
+fn sweep_points() -> Vec<SweepPoint> {
+    let mut points = Vec::new();
+    for bench in Benchmark::all() {
+        for config in [PredictorConfig::TwoLevelGskew, PredictorConfig::ArviCurrent] {
+            points.push(SweepPoint {
+                bench,
+                depth: Depth::D20,
+                config,
+            });
+        }
+    }
+    points
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let threads = threads_from_args(&args);
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+        .unwrap_or("BENCH_PR1.json")
+        .to_string();
+
+    let micro_iters = if quick { 20_000 } else { 200_000 };
+    eprintln!("perf_report: DDT microbenchmarks ({micro_iters} iters)...");
+    let m = micro(micro_iters);
+    let insert_speedup = m.insert_naive_ns / m.insert_fast_ns;
+    let chain_speedup = m.chain_naive_ns / m.chain_fast_ns;
+    eprintln!(
+        "  insert+commit: naive {:.1} ns -> optimized {:.1} ns ({insert_speedup:.2}x)",
+        m.insert_naive_ns, m.insert_fast_ns
+    );
+    eprintln!(
+        "  deep chain read: naive {:.1} ns -> optimized {:.1} ns ({chain_speedup:.2}x)",
+        m.chain_naive_ns, m.chain_fast_ns
+    );
+
+    let spec = if quick {
+        Spec {
+            warmup: 5_000,
+            measure: 15_000,
+            seed: 42,
+        }
+    } else {
+        Spec::quick()
+    };
+    let points = sweep_points();
+    eprintln!(
+        "perf_report: sweep of {} points, sequential vs {} threads...",
+        points.len(),
+        threads
+    );
+    let t0 = Instant::now();
+    let seq = arvi_bench::run_sweep(&points, spec, 1, false);
+    let seq_s = t0.elapsed().as_secs_f64();
+    let t0 = Instant::now();
+    let par = arvi_bench::run_sweep(&points, spec, threads, false);
+    let par_s = t0.elapsed().as_secs_f64();
+    let sweep_speedup = seq_s / par_s;
+    eprintln!("  sequential {seq_s:.2} s -> parallel {par_s:.2} s ({sweep_speedup:.2}x)");
+    for (s, p) in seq.iter().zip(&par) {
+        assert_eq!(
+            (s.window.cycles, s.window.cond_branches.correct()),
+            (p.window.cycles, p.window.cond_branches.correct()),
+            "parallel sweep diverged from sequential on {}",
+            s.name
+        );
+    }
+
+    let report = Json::obj([
+        ("pr", Json::Num(1.0)),
+        (
+            "title",
+            Json::str("zero-allocation DDT hot path + parallel sweeps"),
+        ),
+        (
+            "ddt_microbench",
+            Json::obj([
+                ("iters", Json::Num(micro_iters as f64)),
+                (
+                    "insert_commit",
+                    Json::obj([
+                        ("naive_ns_per_op", Json::Num(m.insert_naive_ns)),
+                        ("optimized_ns_per_op", Json::Num(m.insert_fast_ns)),
+                        ("speedup", Json::Num(insert_speedup)),
+                    ]),
+                ),
+                (
+                    "chain_read_deep",
+                    Json::obj([
+                        ("naive_ns_per_op", Json::Num(m.chain_naive_ns)),
+                        ("optimized_ns_per_op", Json::Num(m.chain_fast_ns)),
+                        ("speedup", Json::Num(chain_speedup)),
+                    ]),
+                ),
+            ]),
+        ),
+        (
+            "sweep",
+            Json::obj([
+                (
+                    "host_cores",
+                    Json::Num(arvi_bench::default_threads() as f64),
+                ),
+                ("points", Json::Num(points.len() as f64)),
+                ("warmup", Json::Num(spec.warmup as f64)),
+                ("measure", Json::Num(spec.measure as f64)),
+                ("threads", Json::Num(threads as f64)),
+                ("sequential_s", Json::Num(seq_s)),
+                ("parallel_s", Json::Num(par_s)),
+                ("speedup", Json::Num(sweep_speedup)),
+            ]),
+        ),
+    ]);
+    write_report(std::path::Path::new(&out_path), &report).expect("write BENCH json");
+    eprintln!("perf_report: wrote {out_path}");
+    println!("{}", report.render());
+}

@@ -1,8 +1,14 @@
 //! Experiment driver: one function per paper artifact.
+//!
+//! The Figure-5/6 grids fan out over the multi-threaded sweep runner in
+//! [`crate::sweep`]; results are assembled in deterministic grid order,
+//! so parallel output is identical to a sequential run.
 
 use arvi_sim::{simulate, Depth, PredictorConfig, SimParams, SimResult};
 use arvi_stats::{amean, Table};
 use arvi_workloads::Benchmark;
+
+use crate::sweep::{default_threads, run_sweep, SweepPoint};
 
 /// Sweep parameters: instruction windows and the workload input seed.
 #[derive(Debug, Clone, Copy)]
@@ -52,6 +58,24 @@ pub fn run_one(bench: Benchmark, depth: Depth, config: PredictorConfig, spec: Sp
 /// pipeline depth, and (b) prediction accuracy of calculated versus load
 /// branches (20-stage, ARVI current value) — returns the two tables.
 pub fn fig5_tables(spec: Spec, progress: bool) -> (Table, Table) {
+    fig5_tables_threaded(spec, progress, default_threads())
+}
+
+/// [`fig5_tables`] with an explicit worker count (`1` = sequential).
+pub fn fig5_tables_threaded(spec: Spec, progress: bool, threads: usize) -> (Table, Table) {
+    let depths = Depth::all();
+    let mut points = Vec::new();
+    for bench in Benchmark::all() {
+        for depth in depths {
+            points.push(SweepPoint {
+                bench,
+                depth,
+                config: PredictorConfig::ArviCurrent,
+            });
+        }
+    }
+    let results = run_sweep(&points, spec, threads, progress);
+
     let mut fig5a = Table::new(vec![
         "benchmark".into(),
         "20-cycle".into(),
@@ -63,27 +87,20 @@ pub fn fig5_tables(spec: Spec, progress: bool) -> (Table, Table) {
         "calc branch".into(),
         "load branch".into(),
     ]);
-    for bench in Benchmark::all() {
-        let mut fracs = Vec::new();
-        let mut calc_load: Option<(f64, f64)> = None;
-        for depth in Depth::all() {
-            if progress {
-                eprintln!("fig5: {bench} {depth}");
-            }
-            let r = run_one(bench, depth, PredictorConfig::ArviCurrent, spec);
-            fracs.push(format!("{:.3}", r.load_branch_fraction()));
-            if depth == Depth::D20 {
-                calc_load = Some((r.window.calc_class.rate(), r.window.load_class.rate()));
-            }
-        }
+    for (bi, bench) in Benchmark::all().iter().enumerate() {
+        let per_depth = &results[bi * depths.len()..(bi + 1) * depths.len()];
         let mut row = vec![bench.name().to_string()];
-        row.extend(fracs);
+        row.extend(
+            per_depth
+                .iter()
+                .map(|r| format!("{:.3}", r.load_branch_fraction())),
+        );
         fig5a.row(row);
-        let (calc, load) = calc_load.expect("D20 runs first");
+        let d20 = &per_depth[0];
         fig5b.row(vec![
             bench.name().to_string(),
-            format!("{calc:.4}"),
-            format!("{load:.4}"),
+            format!("{:.4}", d20.window.calc_class.rate()),
+            format!("{:.4}", d20.window.load_class.rate()),
         ]);
     }
     (fig5a, fig5b)
@@ -100,18 +117,31 @@ pub struct Fig6Data {
 }
 
 impl Fig6Data {
-    /// Runs the sweep.
+    /// Runs the sweep on all available cores.
     pub fn collect(depth: Depth, spec: Spec, progress: bool) -> Fig6Data {
-        let mut results = Vec::new();
+        Fig6Data::collect_threaded(depth, spec, progress, default_threads())
+    }
+
+    /// [`Fig6Data::collect`] with an explicit worker count (`1` =
+    /// sequential).
+    pub fn collect_threaded(depth: Depth, spec: Spec, progress: bool, threads: usize) -> Fig6Data {
+        let configs = PredictorConfig::all();
+        let mut points = Vec::new();
         for bench in Benchmark::all() {
-            let mut per_config = Vec::new();
-            for config in PredictorConfig::all() {
-                if progress {
-                    eprintln!("fig6 {depth}: {bench} / {config}");
-                }
-                per_config.push(run_one(bench, depth, config, spec));
+            for config in configs {
+                points.push(SweepPoint {
+                    bench,
+                    depth,
+                    config,
+                });
             }
-            results.push(per_config);
+        }
+        let mut flat = run_sweep(&points, spec, threads, progress);
+        let mut results = Vec::new();
+        for _ in Benchmark::all() {
+            let rest = flat.split_off(configs.len());
+            results.push(flat);
+            flat = rest;
         }
         Fig6Data { depth, results }
     }

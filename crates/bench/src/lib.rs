@@ -13,11 +13,37 @@
 //!   four configurations at a given pipeline depth.
 //! * `experiments` — the full sweep, emitting every figure and the
 //!   headline averages.
+//! * `perf_report` — quantifies the zero-allocation hot path against the
+//!   preserved naive baseline and the parallel sweep against the
+//!   sequential one, emitting a machine-readable `BENCH_*.json`.
+//!
+//! Experiment grids fan out over [`sweep::par_map`]: every
+//! `(benchmark, depth, configuration)` cell is an independent
+//! deterministic simulation, and results are returned in grid order, so
+//! parallel sweeps are bit-identical to sequential ones. All binaries
+//! accept `--threads N` (default: all cores; `1` = sequential).
 //!
 //! Criterion microbenchmarks (under `benches/`) measure the hardware
 //! structures themselves (DDT insert/chain-read, RSE extraction, BVIT
 //! lookup, predictor throughput, emulator and whole-machine speed).
 
+pub mod baseline;
 pub mod harness;
+pub mod report;
+pub mod sweep;
 
-pub use harness::{fig5_tables, fig6_tables, paper_tables, run_one, Fig6Data, Spec};
+pub use harness::{
+    fig5_tables, fig5_tables_threaded, fig6_tables, paper_tables, run_one, Fig6Data, Spec,
+};
+pub use report::{write_report, Json};
+pub use sweep::{default_threads, full_grid, par_map, run_sweep, SweepPoint};
+
+/// Parses a `--threads N` argument pair out of `args`, defaulting to all
+/// cores.
+pub fn threads_from_args(args: &[String]) -> usize {
+    args.iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|n| n.parse().ok())
+        .unwrap_or_else(default_threads)
+}

@@ -1,0 +1,181 @@
+//! Multi-threaded experiment sweeps.
+//!
+//! The Figure-5/6 grids are embarrassingly parallel: every
+//! `(benchmark, depth, configuration)` cell is an independent,
+//! deterministic simulation. [`par_map`] fans a work list out over scoped
+//! `std::thread` workers with a shared atomic cursor, and returns results
+//! in *item order* regardless of which worker finished first — so a
+//! parallel sweep is bit-identical to the sequential one, just faster.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use arvi_sim::{Depth, PredictorConfig, SimResult};
+use arvi_workloads::Benchmark;
+
+use crate::harness::{run_one, Spec};
+
+/// Worker count to use when the caller does not care: the host's
+/// available parallelism (1 if it cannot be determined).
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Applies `f` to every item on up to `threads` scoped workers and
+/// returns the results in item order (deterministic regardless of
+/// scheduling). `threads <= 1` degenerates to a plain sequential map.
+pub fn par_map<T, U, F>(items: &[T], threads: usize, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    let threads = threads.clamp(1, items.len().max(1));
+    if threads == 1 {
+        return items.iter().map(&f).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<U>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = items.get(i) else { break };
+                let out = f(item);
+                *slots[i].lock().expect("result slot poisoned") = Some(out);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| {
+            s.into_inner()
+                .expect("result slot poisoned")
+                .expect("worker filled every slot")
+        })
+        .collect()
+}
+
+/// One cell of an experiment grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SweepPoint {
+    /// Workload.
+    pub bench: Benchmark,
+    /// Pipeline depth.
+    pub depth: Depth,
+    /// Predictor configuration.
+    pub config: PredictorConfig,
+}
+
+impl std::fmt::Display for SweepPoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} @{} / {}", self.bench, self.depth, self.config)
+    }
+}
+
+/// The full paper grid: every benchmark x depth x configuration.
+pub fn full_grid() -> Vec<SweepPoint> {
+    let mut points = Vec::new();
+    for bench in Benchmark::all() {
+        for depth in Depth::all() {
+            for config in PredictorConfig::all() {
+                points.push(SweepPoint {
+                    bench,
+                    depth,
+                    config,
+                });
+            }
+        }
+    }
+    points
+}
+
+/// Runs every point on `threads` workers; `results[i]` corresponds to
+/// `points[i]`.
+pub fn run_sweep(
+    points: &[SweepPoint],
+    spec: Spec,
+    threads: usize,
+    progress: bool,
+) -> Vec<SimResult> {
+    par_map(points, threads, |p| {
+        if progress {
+            eprintln!("sweep: {p}");
+        }
+        run_one(p.bench, p.depth, p.config, spec)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_preserves_item_order() {
+        let items: Vec<u64> = (0..64).collect();
+        let got = par_map(&items, 8, |&x| x * 3);
+        assert_eq!(got, items.iter().map(|x| x * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_map_sequential_degeneration() {
+        let items = vec![1u32, 2, 3];
+        assert_eq!(par_map(&items, 0, |&x| x + 1), vec![2, 3, 4]);
+        assert_eq!(par_map(&items, 1, |&x| x + 1), vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn par_map_handles_empty_and_oversubscribed() {
+        let empty: Vec<u8> = Vec::new();
+        assert!(par_map(&empty, 8, |&x| x).is_empty());
+        let one = vec![7u8];
+        assert_eq!(par_map(&one, 16, |&x| x), vec![7]);
+    }
+
+    #[test]
+    fn full_grid_covers_every_cell() {
+        let grid = full_grid();
+        assert_eq!(
+            grid.len(),
+            Benchmark::all().len() * Depth::all().len() * PredictorConfig::all().len()
+        );
+    }
+
+    #[test]
+    fn parallel_sweep_matches_sequential() {
+        let spec = Spec {
+            warmup: 2_000,
+            measure: 6_000,
+            seed: 42,
+        };
+        let points = [
+            SweepPoint {
+                bench: Benchmark::Compress,
+                depth: Depth::D20,
+                config: PredictorConfig::TwoLevelGskew,
+            },
+            SweepPoint {
+                bench: Benchmark::Li,
+                depth: Depth::D20,
+                config: PredictorConfig::ArviCurrent,
+            },
+            SweepPoint {
+                bench: Benchmark::Compress,
+                depth: Depth::D40,
+                config: PredictorConfig::ArviCurrent,
+            },
+        ];
+        let seq = run_sweep(&points, spec, 1, false);
+        let par = run_sweep(&points, spec, 3, false);
+        for (s, p) in seq.iter().zip(&par) {
+            assert_eq!(s.name, p.name);
+            assert_eq!(s.window.cycles, p.window.cycles);
+            assert_eq!(
+                s.window.cond_branches.correct(),
+                p.window.cond_branches.correct()
+            );
+        }
+    }
+}

@@ -16,8 +16,9 @@
 //! predictable from the available values, but less accurately.
 
 use crate::bvit::{Bvit, BvitConfig};
+use crate::reglist::RegList;
 use crate::shadow::{ShadowMapTable, ShadowRegFile};
-use crate::tracker::{RenamedOp, Tracker, TrackerConfig};
+use crate::tracker::{LeafSet, RenamedOp, Tracker, TrackerConfig};
 use crate::types::{BranchClass, InstSlot, PhysReg};
 use arvi_isa::Reg;
 
@@ -85,8 +86,9 @@ pub struct ArviPrediction {
     pub id_tag: u8,
     /// Dependence-chain depth tag.
     pub depth_tag: u8,
-    /// The extracted register set.
-    pub leaf_regs: Vec<PhysReg>,
+    /// The extracted register set (small-inline; cloning typical sets
+    /// does not allocate).
+    pub leaf_regs: RegList,
     /// How many of `leaf_regs` had available values.
     pub available: usize,
     /// Performance-counter value of the matched BVIT entry (0 on miss).
@@ -136,6 +138,8 @@ pub struct ArviPredictor {
     bvit: Bvit,
     shadow: ShadowRegFile,
     map: ShadowMapTable,
+    /// Reusable leaf-set scratch for [`ArviPredictor::predict`].
+    leaf_scratch: LeafSet,
 }
 
 impl ArviPredictor {
@@ -146,6 +150,7 @@ impl ArviPredictor {
             bvit: Bvit::new(cfg.bvit),
             shadow: ShadowRegFile::new(cfg.tracker.ddt.phys_regs, cfg.value_bits),
             map: ShadowMapTable::new(cfg.tracker.ddt.phys_regs, 3),
+            leaf_scratch: LeafSet::default(),
             cfg,
         }
     }
@@ -218,7 +223,9 @@ impl ArviPredictor {
         values: Values<'_>,
     ) -> ArviPrediction {
         let branch_seq = self.tracker.next_seq();
-        let leaf = self.tracker.leaf_set(branch_srcs);
+        self.tracker
+            .leaf_set_into(branch_srcs, &mut self.leaf_scratch);
+        let leaf = &self.leaf_scratch;
         let bvit_cfg = self.bvit.config();
         let depth_tag = leaf.depth_key(branch_seq, bvit_cfg.depth_bits);
         let id_tag = self.map.id_sum(&leaf.regs, bvit_cfg.id_tag_bits);
@@ -227,12 +234,9 @@ impl ArviPredictor {
         // PC[13:3] of the paper: the word-PC's low index bits.
         let mut index = ((pc >> 2) & ((1u64 << bvit_cfg.sets_log2) - 1)) as usize;
         let mut available = 0usize;
-        for &r in &leaf.regs {
+        for &r in leaf.regs.iter() {
             let v = match &values {
-                Values::Current => self
-                    .shadow
-                    .is_ready(r)
-                    .then(|| self.shadow.value(r)),
+                Values::Current => self.shadow.is_ready(r).then(|| self.shadow.value(r)),
                 Values::External(f) => f(r).map(|v| v & value_mask),
             };
             match v {
@@ -260,7 +264,7 @@ impl ArviPredictor {
             index,
             id_tag,
             depth_tag,
-            leaf_regs: leaf.regs,
+            leaf_regs: leaf.regs.clone(),
             available,
             perf: entry.map(|(_, perf, _)| perf).unwrap_or(0),
             strong: entry.map(|(.., strong)| strong).unwrap_or(false),
@@ -377,7 +381,10 @@ mod tests {
             let mut outcomes = Vec::new();
             for i in 0..3 {
                 let next = p(20 + (round % 4) as u16 * 8 + i as u16);
-                arvi.rename(&RenamedOp::alu(next, [Some(cur), None]), Some(counter_logical));
+                arvi.rename(
+                    &RenamedOp::alu(next, [Some(cur), None]),
+                    Some(counter_logical),
+                );
                 cur = next;
                 let pred = arvi.predict(0x200, [Some(cur), None], Values::Current);
                 let taken = i < 2;

@@ -111,7 +111,8 @@ impl Bvit {
     /// Looks up a prediction. Both tags must match (the paper's "compare
     /// the ID and depth tags, return a prediction").
     pub fn lookup(&self, index: usize, id_tag: u8, depth_tag: u8) -> Option<bool> {
-        self.lookup_entry(index, id_tag, depth_tag).map(|(dir, ..)| dir)
+        self.lookup_entry(index, id_tag, depth_tag)
+            .map(|(dir, ..)| dir)
     }
 
     /// Looks up a prediction together with the entry's performance-counter
@@ -119,7 +120,12 @@ impl Bvit {
     /// Heil's counter doubles as a usefulness estimate and the strong bit
     /// as a consistency estimate: hosts gate overrides on them so unproven
     /// or oscillating entries never flip the level-1 result.
-    pub fn lookup_entry(&self, index: usize, id_tag: u8, depth_tag: u8) -> Option<(bool, u8, bool)> {
+    pub fn lookup_entry(
+        &self,
+        index: usize,
+        id_tag: u8,
+        depth_tag: u8,
+    ) -> Option<(bool, u8, bool)> {
         self.entries[self.set_range(index)]
             .iter()
             .find(|e| e.valid && e.id_tag == id_tag && e.depth_tag == depth_tag)
@@ -192,10 +198,11 @@ impl Bvit {
     /// Storage bits: per entry, valid + ID tag + depth tag + performance
     /// counter + 2-bit direction counter.
     pub fn storage_bits(&self) -> usize {
-        let per_entry =
-            1 + self.cfg.id_tag_bits as usize + self.cfg.depth_bits as usize
-                + self.cfg.perf_bits as usize
-                + 2;
+        let per_entry = 1
+            + self.cfg.id_tag_bits as usize
+            + self.cfg.depth_bits as usize
+            + self.cfg.perf_bits as usize
+            + 2;
         self.entries.len() * per_entry
     }
 }

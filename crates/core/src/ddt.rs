@@ -51,7 +51,8 @@ impl DdtConfig {
 
 /// A dependence-chain bit vector over instruction slots.
 ///
-/// Produced by [`Ddt::chain`]; iterate the member slots with
+/// Produced by [`Ddt::chain`], or reused across reads with
+/// [`Ddt::chain_into`]; iterate the member slots with
 /// [`ChainMask::slots`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ChainMask {
@@ -60,11 +61,24 @@ pub struct ChainMask {
 }
 
 impl ChainMask {
-    fn zeroed(slots: usize) -> ChainMask {
+    /// Creates an empty (all-zero) mask sized for `slots` instruction
+    /// entries. Pair with [`Ddt::chain_into`] to reuse one allocation
+    /// across many chain reads.
+    pub fn zeroed(slots: usize) -> ChainMask {
         ChainMask {
             words: vec![0; slots.div_ceil(64)],
             slots,
         }
+    }
+
+    /// Clears every bit (capacity is retained).
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Number of instruction slots the mask covers.
+    pub fn capacity(&self) -> usize {
+        self.slots
     }
 
     /// Whether the chain is empty.
@@ -83,7 +97,13 @@ impl ChainMask {
         i < self.slots && self.words[i / 64] >> (i % 64) & 1 == 1
     }
 
-    /// Iterates the member slots in column order.
+    /// Iterates the member slots in **column order** (ascending slot
+    /// index), *not* program (age) order. Because slots are allocated
+    /// round-robin, a chain that wraps the ring end comes out mis-ordered
+    /// relative to insertion age: the slice occupying low column indices
+    /// is younger than the slice at the high indices. Callers that need
+    /// oldest-first order must sort by [`Ddt::slot_seq`] — or use
+    /// [`Ddt::slots_by_age`], which does exactly that.
     pub fn slots(&self) -> impl Iterator<Item = InstSlot> + '_ {
         self.words.iter().enumerate().flat_map(|(wi, &w)| {
             let mut bits = w;
@@ -112,6 +132,15 @@ impl ChainMask {
     }
 }
 
+/// A prepared masked row read: word offset plus the (up to two) linear
+/// exclusion segments covering columns recycled after the row's write.
+#[derive(Debug, Clone, Copy)]
+struct RowRead {
+    base: usize,
+    a: (usize, usize),
+    b: (usize, usize),
+}
+
 /// The Data Dependence Table.
 ///
 /// # Example
@@ -137,9 +166,12 @@ pub struct Ddt {
     rows: Vec<u64>,
     /// Sequence number current when each row was last written.
     row_seq: Vec<u64>,
-    /// Whether each row has ever been written (a fresh row is empty).
-    row_written: Vec<bool>,
-    /// Valid vector, one bit per slot.
+    /// Whether each row has ever been written (a fresh row is empty),
+    /// one bit per register row.
+    row_written: Vec<u64>,
+    /// Valid vector, one bit per slot. Maintained incrementally (set on
+    /// insert, cleared on commit/rollback), it is always exactly the
+    /// live-range mask of `[tail_seq, head_seq)`.
     valid: Vec<u64>,
     /// Sequence number of each slot's current occupant.
     slot_seq: Vec<u64>,
@@ -164,7 +196,7 @@ impl Ddt {
             words,
             rows: vec![0; cfg.phys_regs * words],
             row_seq: vec![0; cfg.phys_regs],
-            row_written: vec![false; cfg.phys_regs],
+            row_written: vec![0; cfg.phys_regs.div_ceil(64)],
             valid: vec![0; words],
             slot_seq: vec![0; cfg.slots],
             head_seq: 0,
@@ -221,62 +253,101 @@ impl Ddt {
         (seq % self.cfg.slots as u64) as usize
     }
 
+    /// The portion of the linear bit range `[start, end)` falling in word
+    /// `wi` (no wraparound; empty intersections yield 0).
     #[inline]
-    fn row(&self, r: PhysReg) -> &[u64] {
-        let base = r.index() * self.words;
-        &self.rows[base..base + self.words]
-    }
-
-    /// Sets bits `[start, start+len)` (linear, no wraparound) in `out`.
-    fn set_linear(out: &mut [u64], start: usize, end: usize) {
-        if start >= end {
-            return;
+    fn seg_word(start: usize, end: usize, wi: usize) -> u64 {
+        let lo = start.max(wi * 64);
+        let hi = end.min(wi * 64 + 64);
+        if lo >= hi {
+            return 0;
         }
-        let (sw, sb) = (start / 64, start % 64);
-        let (ew, eb) = ((end - 1) / 64, (end - 1) % 64 + 1);
-        if sw == ew {
-            let mask = (u64::MAX >> (64 - (eb - sb))) << sb;
-            out[sw] |= mask;
+        let width = hi - lo;
+        let ones = if width == 64 {
+            u64::MAX
         } else {
-            out[sw] |= u64::MAX << sb;
-            for w in &mut out[sw + 1..ew] {
-                *w = u64::MAX;
-            }
-            out[ew] |= u64::MAX >> (64 - eb);
-        }
+            (1u64 << width) - 1
+        };
+        ones << (lo - wi * 64)
     }
 
-    /// Builds the circular slot mask for the live sequence range
-    /// `[from_seq, to_seq)` into `out` (cleared first).
-    fn live_range_mask(&self, from_seq: u64, to_seq: u64, out: &mut [u64]) {
-        out.fill(0);
-        if to_seq <= from_seq {
-            return;
-        }
-        let len = (to_seq - from_seq) as usize;
-        debug_assert!(len <= self.cfg.slots, "live range exceeds capacity");
-        let start = self.slot_of(from_seq);
+    /// The two linear segments of the circular slot range covering `len`
+    /// slots starting at `start` (the second is empty unless it wraps).
+    #[inline]
+    fn wrap_segments(&self, start: usize, len: usize) -> [(usize, usize); 2] {
         let end = start + len;
         if end <= self.cfg.slots {
-            Ddt::set_linear(out, start, end);
+            [(start, end), (0, 0)]
         } else {
-            Ddt::set_linear(out, start, self.cfg.slots);
-            Ddt::set_linear(out, 0, end - self.cfg.slots);
+            [(start, self.cfg.slots), (0, end - self.cfg.slots)]
         }
+    }
+
+    #[inline]
+    fn row_written(&self, r: PhysReg) -> bool {
+        self.row_written[r.index() / 64] >> (r.index() % 64) & 1 == 1
+    }
+
+    /// Prepares a masked read of row `r`: its base word offset and the
+    /// exclusion segments for columns recycled after the row's write.
+    /// `None` when the row cannot contribute (never written, or every
+    /// live column postdates the write).
+    #[inline]
+    fn prep_read(&self, r: PhysReg) -> Option<RowRead> {
+        if !self.row_written(r) {
+            return None;
+        }
+        let w = self.row_seq[r.index()];
+        // Columns recycled after the write: occupants with seq in
+        // (W, head). Saturation covers a writer squashed by rollback
+        // (W >= head: nothing allocated after it survives); when the
+        // writer predates the whole live window (W < tail) every live
+        // column is a recycle and the row is dead.
+        let young = self.head_seq.saturating_sub(w + 1) as usize;
+        if young >= self.cfg.slots {
+            return None;
+        }
+        let [a, b] = if young == 0 {
+            [(0, 0), (0, 0)]
+        } else {
+            self.wrap_segments(self.slot_of(w + 1), young)
+        };
+        Some(RowRead {
+            base: r.index() * self.words,
+            a,
+            b,
+        })
+    }
+
+    /// The exclusion-mask word `wi` of a prepared read.
+    #[inline]
+    fn excl_word(rr: &RowRead, wi: usize) -> u64 {
+        Ddt::seg_word(rr.a.0, rr.a.1, wi) | Ddt::seg_word(rr.b.0, rr.b.1, wi)
     }
 
     /// Reads row `r` masked to its genuine live bits, OR-ing into `out`.
-    fn read_row_into(&self, r: PhysReg, scratch: &mut [u64], out: &mut [u64]) {
-        if !self.row_written[r.index()] {
-            return;
-        }
-        let w = self.row_seq[r.index()];
-        // Bits of the row can only legitimately name instructions in
-        // [tail, W]; anything else is a recycled column.
-        self.live_range_mask(self.tail_seq, w + 1, scratch);
-        let row = self.row(r);
-        for i in 0..self.words {
-            out[i] |= row[i] & self.valid[i] & scratch[i];
+    ///
+    /// The valid vector is maintained as exactly the live range
+    /// `[tail, head)`, so the only extra filtering a read needs is to
+    /// drop columns recycled *after* the row was written at `W`: the
+    /// circular range `(W, head)`. That exclusion mask is composed
+    /// word-by-word on the fly — no scratch buffer, no rebuild of a full
+    /// live-range mask per read.
+    #[inline]
+    fn read_row_into(&self, r: PhysReg, out: &mut [u64]) {
+        let Some(rr) = self.prep_read(r) else { return };
+        let row = &self.rows[rr.base..rr.base + self.words];
+        if rr.a.0 >= rr.a.1 {
+            // Row written by the youngest in-flight instruction: the
+            // valid vector alone is the exact filter (common case — most
+            // chain reads hit recently written rows).
+            for i in 0..self.words {
+                out[i] |= row[i] & self.valid[i];
+            }
+        } else {
+            for i in 0..self.words {
+                out[i] |= row[i] & self.valid[i] & !Ddt::excl_word(&rr, i);
+            }
         }
     }
 
@@ -297,17 +368,29 @@ impl Ddt {
         let slot = self.slot_of(seq);
 
         if let Some(d) = dest {
-            let mut new_row = vec![0u64; self.words];
-            let mut scratch = vec![0u64; self.words];
-            for src in srcs.into_iter().flatten() {
-                self.read_row_into(src, &mut scratch, &mut new_row);
-            }
-            // Every register is trivially dependent on its own producer.
-            new_row[slot / 64] |= 1u64 << (slot % 64);
+            // Fused allocation-free row write: each destination word is
+            // computed from the same-indexed source words and stored
+            // directly — no staging buffer, no clear, no copy. Writing
+            // word i only reads word i of the source rows, so this is
+            // correct even when the destination row *is* a source row.
+            let r1 = srcs[0].and_then(|s| self.prep_read(s));
+            let r2 = srcs[1].and_then(|s| self.prep_read(s));
             let base = d.index() * self.words;
-            self.rows[base..base + self.words].copy_from_slice(&new_row);
+            let (own_w, own_b) = (slot / 64, 1u64 << (slot % 64));
+            for i in 0..self.words {
+                // Every register is trivially dependent on its own
+                // producer.
+                let mut w = if i == own_w { own_b } else { 0 };
+                if let Some(rr) = &r1 {
+                    w |= self.rows[rr.base + i] & self.valid[i] & !Ddt::excl_word(rr, i);
+                }
+                if let Some(rr) = &r2 {
+                    w |= self.rows[rr.base + i] & self.valid[i] & !Ddt::excl_word(rr, i);
+                }
+                self.rows[base + i] = w;
+            }
             self.row_seq[d.index()] = seq;
-            self.row_written[d.index()] = true;
+            self.row_written[d.index() / 64] |= 1u64 << (d.index() % 64);
         }
 
         self.valid[slot / 64] |= 1u64 << (slot % 64);
@@ -318,13 +401,42 @@ impl Ddt {
 
     /// Reads the union of the dependence chains of `regs` (the chain read
     /// the ARVI predictor performs for a branch's operand registers).
+    ///
+    /// Allocates a fresh [`ChainMask`]; hot paths should reuse one via
+    /// [`Ddt::chain_into`].
     pub fn chain(&self, regs: &[PhysReg]) -> ChainMask {
         let mut out = ChainMask::zeroed(self.cfg.slots);
-        let mut scratch = vec![0u64; self.words];
-        for &r in regs {
-            self.read_row_into(r, &mut scratch, &mut out.words);
-        }
+        self.chain_into(regs, &mut out);
         out
+    }
+
+    /// In-place variant of [`Ddt::chain`]: clears `out` and ORs in the
+    /// chains of `regs`. Allocation-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` was sized for a different slot count.
+    #[inline]
+    pub fn chain_into(&self, regs: &[PhysReg], out: &mut ChainMask) {
+        assert_eq!(
+            out.slots, self.cfg.slots,
+            "ChainMask sized for {} slots, DDT has {}",
+            out.slots, self.cfg.slots
+        );
+        out.clear();
+        for &r in regs {
+            self.read_row_into(r, &mut out.words);
+        }
+    }
+
+    /// The member slots of `mask` sorted oldest-first by occupant
+    /// sequence number — the program-order view that
+    /// [`ChainMask::slots`] (column order) does not provide once a chain
+    /// wraps the ring.
+    pub fn slots_by_age(&self, mask: &ChainMask) -> Vec<InstSlot> {
+        let mut slots: Vec<InstSlot> = mask.slots().collect();
+        slots.sort_unstable_by_key(|&s| self.slot_seq[s.index()]);
+        slots
     }
 
     /// Commits the oldest in-flight instruction: clears its valid bit —
@@ -357,9 +469,13 @@ impl Ddt {
             self.tail_seq,
             self.head_seq
         );
-        for seq in new_head_seq..self.head_seq {
-            let slot = self.slot_of(seq);
-            self.valid[slot / 64] &= !(1u64 << (slot % 64));
+        let squashed = (self.head_seq - new_head_seq) as usize;
+        if squashed > 0 {
+            let [a, b] = self.wrap_segments(self.slot_of(new_head_seq), squashed);
+            for i in 0..self.words {
+                let clear = Ddt::seg_word(a.0, a.1, i) | Ddt::seg_word(b.0, b.1, i);
+                self.valid[i] &= !clear;
+            }
         }
         self.head_seq = new_head_seq;
     }
@@ -593,6 +709,66 @@ mod tests {
         assert_eq!(chain.len(), 150);
         // Slots span multiple words.
         assert!(chain.contains(InstSlot(0)) && chain.contains(InstSlot(149)));
+    }
+
+    #[test]
+    fn wraparound_chain_is_column_ordered_but_age_sortable() {
+        // Regression for the ChainMask::slots ordering contract: drive a
+        // dependent chain around the ring end so the chain occupies
+        // columns {3, 0, 1} in insertion order. Column-order iteration
+        // reports {0, 1, 3} — mis-ordered relative to age — while
+        // slots_by_age restores program order.
+        let cap = 4usize;
+        let mut ddt = Ddt::new(DdtConfig {
+            slots: cap,
+            phys_regs: 16,
+        });
+        // Fill slots 0..3, then free 0..2 so the ring wraps.
+        ddt.insert(Some(p(1)), [None, None]);
+        ddt.insert(Some(p(2)), [Some(p(1)), None]);
+        ddt.insert(Some(p(3)), [Some(p(2)), None]);
+        ddt.insert(Some(p(4)), [Some(p(3)), None]); // slot 3
+        ddt.commit_oldest();
+        ddt.commit_oldest();
+        ddt.commit_oldest();
+        let s4 = ddt.insert(Some(p(5)), [Some(p(4)), None]); // wraps to slot 0
+        let s5 = ddt.insert(Some(p(6)), [Some(p(5)), None]); // slot 1
+        assert_eq!((s4.index(), s5.index()), (0, 1));
+
+        let chain = ddt.chain(&[p(6)]);
+        // Column order: the wrapped (younger) slots come out first.
+        assert_eq!(
+            chain.slots().collect::<Vec<_>>(),
+            vec![InstSlot(0), InstSlot(1), InstSlot(3)],
+            "slots() iterates columns, not ages"
+        );
+        // Age order restores the insertion sequence p4 -> p5 -> p6.
+        assert_eq!(
+            ddt.slots_by_age(&chain),
+            vec![InstSlot(3), InstSlot(0), InstSlot(1)],
+            "slots_by_age must follow occupant sequence numbers"
+        );
+    }
+
+    #[test]
+    fn chain_into_reuses_mask_across_shapes_of_reads() {
+        let (ddt, s) = figure_1_ddt();
+        let mut mask = ChainMask::zeroed(ddt.config().slots);
+        ddt.chain_into(&[p(8)], &mut mask);
+        assert_eq!(mask, ddt.chain(&[p(8)]));
+        // Reuse for a different read: previous contents must not leak.
+        ddt.chain_into(&[p(7)], &mut mask);
+        assert_eq!(mask.slots().collect::<Vec<_>>(), vec![s[0], s[4]]);
+        ddt.chain_into(&[], &mut mask);
+        assert!(mask.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "ChainMask sized for")]
+    fn chain_into_rejects_mismatched_mask() {
+        let (ddt, _) = figure_1_ddt();
+        let mut mask = ChainMask::zeroed(4);
+        ddt.chain_into(&[p(8)], &mut mask);
     }
 
     #[test]

@@ -22,16 +22,29 @@
 //! directly (see the Figure 1 and Figure 3 worked-example tests in
 //! [`ddt`] and [`tracker`]).
 
+//!
+//! ## Hot-path discipline
+//!
+//! The per-instruction operations — [`Ddt::insert`], [`Tracker::insert`],
+//! [`ArviPredictor::predict`]/[`ArviPredictor::train`] — are steady-state
+//! allocation-free: chain reads reuse internal [`ChainMask`] scratch (or a
+//! caller-provided one via [`Ddt::chain_into`] /
+//! [`Tracker::leaf_set_into`]), and extracted register sets use
+//! small-inline [`RegList`] storage. `tests/alloc_steady_state.rs` pins
+//! this property with a counting allocator.
+
 pub mod arvi;
 pub mod bvit;
 pub mod ddt;
+pub mod reglist;
 pub mod shadow;
 pub mod tracker;
 pub mod types;
 
-pub use arvi::{ArviConfig, ArviPredictor, ArviPrediction, Values};
+pub use arvi::{ArviConfig, ArviPrediction, ArviPredictor, Values};
 pub use bvit::{Bvit, BvitConfig};
 pub use ddt::{ChainMask, Ddt, DdtConfig};
+pub use reglist::RegList;
 pub use shadow::{ShadowMapTable, ShadowRegFile};
 pub use tracker::{LeafSet, RenamedOp, Tracker, TrackerConfig};
 pub use types::{BranchClass, InstSlot, PhysReg};

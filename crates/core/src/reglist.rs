@@ -1,0 +1,185 @@
+//! A small-inline register list.
+//!
+//! The RSE's extracted register sets are tiny in practice (the paper's
+//! chains rarely expose more than a handful of leaf registers), but the
+//! previous `Vec<PhysReg>` representation heap-allocated on every branch
+//! prediction. [`RegList`] stores up to [`RegList::INLINE`] registers in
+//! place and only spills to the heap beyond that, so the steady-state
+//! prediction path is allocation-free.
+
+use crate::types::PhysReg;
+
+/// A register list with inline storage for small sets.
+///
+/// Dereferences to `[PhysReg]`, so slice methods (`iter`, `len`,
+/// indexing, `contains`) work directly. Comparison against `Vec<PhysReg>`
+/// and slices is supported for test ergonomics.
+#[derive(Clone)]
+pub struct RegList {
+    inline: [PhysReg; RegList::INLINE],
+    inline_len: u8,
+    /// Non-empty only once the set outgrew the inline array; then it
+    /// holds the whole list.
+    spill: Vec<PhysReg>,
+}
+
+impl RegList {
+    /// Registers held without heap allocation.
+    pub const INLINE: usize = 12;
+
+    /// Creates an empty list.
+    pub fn new() -> RegList {
+        RegList {
+            inline: [PhysReg(0); RegList::INLINE],
+            inline_len: 0,
+            spill: Vec::new(),
+        }
+    }
+
+    /// Empties the list. Spill capacity, once acquired, is retained, so a
+    /// reused `RegList` stops allocating after its high-water mark.
+    pub fn clear(&mut self) {
+        self.inline_len = 0;
+        self.spill.clear();
+    }
+
+    /// Appends a register.
+    pub fn push(&mut self, r: PhysReg) {
+        if self.spill.is_empty() {
+            if (self.inline_len as usize) < RegList::INLINE {
+                self.inline[self.inline_len as usize] = r;
+                self.inline_len += 1;
+                return;
+            }
+            // First overflow: migrate the inline contents to the heap.
+            self.spill.extend_from_slice(&self.inline);
+        }
+        self.spill.push(r);
+    }
+
+    /// The registers as a slice.
+    pub fn as_slice(&self) -> &[PhysReg] {
+        if self.spill.is_empty() {
+            &self.inline[..self.inline_len as usize]
+        } else {
+            &self.spill
+        }
+    }
+}
+
+impl Default for RegList {
+    fn default() -> RegList {
+        RegList::new()
+    }
+}
+
+impl std::ops::Deref for RegList {
+    type Target = [PhysReg];
+
+    fn deref(&self) -> &[PhysReg] {
+        self.as_slice()
+    }
+}
+
+impl std::fmt::Debug for RegList {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_list().entries(self.as_slice()).finish()
+    }
+}
+
+impl PartialEq for RegList {
+    fn eq(&self, other: &RegList) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for RegList {}
+
+impl PartialEq<Vec<PhysReg>> for RegList {
+    fn eq(&self, other: &Vec<PhysReg>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl PartialEq<[PhysReg]> for RegList {
+    fn eq(&self, other: &[PhysReg]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl<const N: usize> PartialEq<[PhysReg; N]> for RegList {
+    fn eq(&self, other: &[PhysReg; N]) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<'a> IntoIterator for &'a RegList {
+    type Item = &'a PhysReg;
+    type IntoIter = std::slice::Iter<'a, PhysReg>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+impl FromIterator<PhysReg> for RegList {
+    fn from_iter<I: IntoIterator<Item = PhysReg>>(iter: I) -> RegList {
+        let mut list = RegList::new();
+        for r in iter {
+            list.push(r);
+        }
+        list
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: u16) -> PhysReg {
+        PhysReg(i)
+    }
+
+    #[test]
+    fn inline_then_spill() {
+        let mut l = RegList::new();
+        assert!(l.is_empty());
+        for i in 0..RegList::INLINE as u16 {
+            l.push(p(i));
+        }
+        assert_eq!(l.len(), RegList::INLINE);
+        assert!(l.spill.is_empty(), "inline capacity must not spill");
+        l.push(p(99));
+        assert_eq!(l.len(), RegList::INLINE + 1);
+        assert_eq!(l[RegList::INLINE], p(99));
+        // Order preserved across the migration.
+        for i in 0..RegList::INLINE as u16 {
+            assert_eq!(l[i as usize], p(i));
+        }
+    }
+
+    #[test]
+    fn clear_retains_spill_capacity() {
+        let mut l = RegList::new();
+        for i in 0..20u16 {
+            l.push(p(i));
+        }
+        let cap = l.spill.capacity();
+        assert!(cap >= 20);
+        l.clear();
+        assert!(l.is_empty());
+        assert_eq!(l.spill.capacity(), cap);
+        l.push(p(1));
+        assert_eq!(l, vec![p(1)]);
+    }
+
+    #[test]
+    fn comparisons_and_iteration() {
+        let l: RegList = [p(3), p(5)].into_iter().collect();
+        assert_eq!(l, vec![p(3), p(5)]);
+        assert_eq!(l, [p(3), p(5)]);
+        assert_eq!(l.iter().copied().collect::<Vec<_>>(), vec![p(3), p(5)]);
+        assert!(l.contains(&p(5)));
+        assert_eq!(format!("{l:?}"), "[PhysReg(3), PhysReg(5)]");
+    }
+}

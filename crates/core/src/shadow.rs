@@ -101,10 +101,7 @@ impl ShadowMapTable {
     ///
     /// Panics if `id_bits` is 0 or greater than 5.
     pub fn new(phys_regs: usize, id_bits: u32) -> ShadowMapTable {
-        assert!(
-            (1..=5).contains(&id_bits),
-            "id width {id_bits} unsupported"
-        );
+        assert!((1..=5).contains(&id_bits), "id width {id_bits} unsupported");
         ShadowMapTable {
             logical3: vec![0; phys_regs],
             id_bits,

@@ -23,6 +23,7 @@
 //! extract an empty set.
 
 use crate::ddt::{ChainMask, Ddt, DdtConfig};
+use crate::reglist::RegList;
 use crate::types::{InstSlot, PhysReg};
 
 /// Shape parameters for a [`Tracker`].
@@ -70,11 +71,15 @@ impl RenamedOp {
 }
 
 /// The register set extracted for a branch, plus chain metadata.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// `regs` uses small-inline storage ([`RegList`]): typical sets live
+/// entirely on the stack, and a `LeafSet` reused via
+/// [`Tracker::leaf_set_into`] is allocation-free in steady state.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct LeafSet {
     /// The extracted registers (sources of the chain not produced within
     /// it), in ascending physical-register order.
-    pub regs: Vec<PhysReg>,
+    pub regs: RegList,
     /// Number of instructions in the dependence chain.
     pub chain_len: usize,
     /// Sequence number of the oldest chain instruction, if any.
@@ -122,6 +127,9 @@ pub struct Tracker {
     /// Scratch bitmasks over physical registers for S and T marks.
     s_mask: Vec<u64>,
     t_mask: Vec<u64>,
+    /// Reusable chain mask for leaf-set extraction and dependent
+    /// counting — keeps the per-instruction path allocation-free.
+    chain_scratch: ChainMask,
 }
 
 impl Tracker {
@@ -138,10 +146,18 @@ impl Tracker {
                 };
                 cfg.ddt.slots
             ],
-            dependents: vec![0; if cfg.track_dependents { cfg.ddt.slots } else { 0 }],
+            dependents: vec![
+                0;
+                if cfg.track_dependents {
+                    cfg.ddt.slots
+                } else {
+                    0
+                }
+            ],
             track_dependents: cfg.track_dependents,
             s_mask: vec![0; pr_words],
             t_mask: vec![0; pr_words],
+            chain_scratch: ChainMask::zeroed(cfg.ddt.slots),
         }
     }
 
@@ -174,9 +190,9 @@ impl Tracker {
         if self.track_dependents {
             // Section 3 extension: bump the trailing-dependent counter of
             // every instruction this one depends on.
-            let srcs: Vec<PhysReg> = op.srcs.iter().flatten().copied().collect();
-            let chain = self.ddt.chain(&srcs);
-            for s in chain.slots() {
+            let (srcs, n) = Tracker::pack_operands(op.srcs);
+            self.ddt.chain_into(&srcs[..n], &mut self.chain_scratch);
+            for s in self.chain_scratch.slots() {
                 self.dependents[s.index()] += 1;
             }
         }
@@ -212,22 +228,47 @@ impl Tracker {
         self.dependents[slot.index()]
     }
 
+    /// Packs an operand pair into a dense array, returning the count.
+    #[inline]
+    pub fn pack_operands(srcs: [Option<PhysReg>; 2]) -> ([PhysReg; 2], usize) {
+        let mut packed = [PhysReg(0); 2];
+        let mut n = 0;
+        for src in srcs.into_iter().flatten() {
+            packed[n] = src;
+            n += 1;
+        }
+        (packed, n)
+    }
+
     /// Extracts the branch's register set (the RSE operation, Figure 3).
     ///
     /// `branch_srcs` are the branch's own operand physical registers. The
     /// returned set contains every register that is a source of the
     /// branch's dependence chain (loads excluded as terminators) but not
     /// produced within it.
+    ///
+    /// Allocating wrapper over [`Tracker::leaf_set_into`].
     pub fn leaf_set(&mut self, branch_srcs: [Option<PhysReg>; 2]) -> LeafSet {
+        let mut out = LeafSet::default();
+        self.leaf_set_into(branch_srcs, &mut out);
+        out
+    }
+
+    /// In-place variant of [`Tracker::leaf_set`]: extracts into `out`,
+    /// reusing its storage. Steady-state allocation-free (the register
+    /// list only touches the heap past [`RegList::INLINE`] entries, and
+    /// then retains the capacity).
+    pub fn leaf_set_into(&mut self, branch_srcs: [Option<PhysReg>; 2], out: &mut LeafSet) {
         self.s_mask.fill(0);
         self.t_mask.fill(0);
 
-        let operands: Vec<PhysReg> = branch_srcs.iter().flatten().copied().collect();
-        let chain = self.ddt.chain(&operands);
+        let (operands, n_ops) = Tracker::pack_operands(branch_srcs);
+        let operands = &operands[..n_ops];
+        self.ddt.chain_into(operands, &mut self.chain_scratch);
 
         let mut chain_len = 0usize;
         let mut oldest_seq: Option<u64> = None;
-        for slot in chain.slots() {
+        for slot in self.chain_scratch.slots() {
             chain_len += 1;
             let seq = self.ddt.slot_seq(slot);
             oldest_seq = Some(oldest_seq.map_or(seq, |o: u64| o.min(seq)));
@@ -245,26 +286,22 @@ impl Tracker {
         }
 
         // D1: the branch's own sources participate as S marks.
-        for src in &operands {
+        for src in operands {
             self.s_mask[src.index() / 64] |= 1u64 << (src.index() % 64);
         }
 
         // Consolidate: register is in the set iff S and not T.
-        let mut regs = Vec::new();
+        out.regs.clear();
         for (wi, (&s, &t)) in self.s_mask.iter().zip(&self.t_mask).enumerate() {
             let mut bits = s & !t;
             while bits != 0 {
                 let b = bits.trailing_zeros();
                 bits &= bits - 1;
-                regs.push(PhysReg((wi * 64) as u16 + b as u16));
+                out.regs.push(PhysReg((wi * 64) as u16 + b as u16));
             }
         }
-
-        LeafSet {
-            regs,
-            chain_len,
-            oldest_seq,
-        }
+        out.chain_len = chain_len;
+        out.oldest_seq = oldest_seq;
     }
 
     /// Commits the oldest in-flight instruction.

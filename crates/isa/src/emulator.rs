@@ -166,10 +166,7 @@ impl Emulator {
             return Err(EmuError::Halted);
         }
         let pc = self.pc;
-        let inst = *self
-            .program
-            .get(pc)
-            .ok_or(EmuError::PcOutOfRange { pc })?;
+        let inst = *self.program.get(pc).ok_or(EmuError::PcOutOfRange { pc })?;
 
         let kind = inst.kind();
         let srcs_raw = inst.srcs();

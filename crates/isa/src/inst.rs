@@ -48,13 +48,7 @@ impl AluOp {
             AluOp::Srl => a.wrapping_shr((b & 63) as u32),
             AluOp::Sra => ((a as i64).wrapping_shr((b & 63) as u32)) as u64,
             AluOp::Mul => a.wrapping_mul(b),
-            AluOp::Div => {
-                if b == 0 {
-                    u64::MAX
-                } else {
-                    a / b
-                }
-            }
+            AluOp::Div => a.checked_div(b).unwrap_or(u64::MAX),
             AluOp::Rem => {
                 if b == 0 {
                     a

@@ -39,7 +39,10 @@ impl Gshare {
             (1..=28).contains(&index_bits),
             "index width {index_bits} unsupported"
         );
-        assert!(history_len <= 64, "history length {history_len} unsupported");
+        assert!(
+            history_len <= 64,
+            "history length {history_len} unsupported"
+        );
         let size = 1usize << index_bits;
         Gshare {
             table: vec![SatCounter::two_bit(); size],

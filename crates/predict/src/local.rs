@@ -38,8 +38,8 @@ impl Local {
             histories: vec![0; 1 << hist_index_bits],
             counters: vec![SatCounter::two_bit(); 1 << counter_index_bits],
             history_len,
-            hist_mask: ((1u64 << hist_index_bits) - 1) as u64,
-            ctr_mask: ((1u64 << counter_index_bits) - 1) as u64,
+            hist_mask: ((1u64 << hist_index_bits) - 1),
+            ctr_mask: ((1u64 << counter_index_bits) - 1),
         }
     }
 
@@ -73,7 +73,7 @@ impl DirectionPredictor for Local {
         self.counters[idx].update(taken);
         let hist_idx = self.hist_index(pc);
         let h = &mut self.histories[hist_idx];
-        *h = (((*h as u32) << 1) | taken as u32) as u16 & ((1u16 << self.history_len) - 1) as u16;
+        *h = (((*h as u32) << 1) | taken as u32) as u16 & ((1u16 << self.history_len) - 1);
     }
 
     fn storage_bits(&self) -> usize {

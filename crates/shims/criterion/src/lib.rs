@@ -1,0 +1,299 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no registry access, so this workspace vendors
+//! the API subset the microbenchmarks use: `Criterion`, benchmark groups,
+//! `Bencher::iter`, `black_box`, `Throughput` and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! Measurement: each `bench_function` is warmed up, then timed over
+//! `sample_size` samples whose batch size targets the configured
+//! measurement time; the median, minimum and maximum per-iteration times
+//! are reported in criterion's familiar `[low  median  high]` format.
+//! Results are also appended to `target/shim-criterion.csv` (benchmark id,
+//! median ns/iter) for machine consumption by the perf-report tooling.
+//!
+//! Set `ARVI_BENCH_FAST=1` to cut warmup/measurement times ~10x for CI
+//! smoke runs.
+
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer identity, as criterion exports.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Throughput annotation (accepted, reported as elements/second).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Benchmark harness configuration and entry point.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(500),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Sets the target total measurement time per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Criterion {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the warmup time per benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Criterion {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: None,
+            throughput: None,
+        }
+    }
+
+    fn fast_mode() -> bool {
+        std::env::var_os("ARVI_BENCH_FAST").is_some_and(|v| v != "0" && !v.is_empty())
+    }
+
+    fn effective(&self, group_samples: Option<usize>) -> (usize, Duration, Duration) {
+        let mut samples = group_samples.unwrap_or(self.sample_size);
+        let mut measure = self.measurement_time;
+        let mut warmup = self.warm_up_time;
+        if Criterion::fast_mode() {
+            samples = samples.clamp(2, 10);
+            measure /= 10;
+            warmup /= 10;
+        }
+        (samples, measure, warmup)
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(2));
+        self
+    }
+
+    /// Annotates per-iteration throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let id = format!("{}/{}", self.name, name);
+        let (samples, measure, warmup) = self.criterion.effective(self.sample_size);
+        let mut b = Bencher {
+            mode: Mode::Calibrate(warmup),
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        // Warmup + calibration: discover iterations/sample.
+        f(&mut b);
+        let per_iter = if b.iters > 0 && !b.elapsed.is_zero() {
+            b.elapsed.as_secs_f64() / b.iters as f64
+        } else {
+            1e-9
+        };
+        let iters_per_sample =
+            ((measure.as_secs_f64() / samples as f64 / per_iter).ceil() as u64).max(1);
+
+        let mut times_ns: Vec<f64> = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let mut b = Bencher {
+                mode: Mode::Measure,
+                iters: iters_per_sample,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            times_ns.push(b.elapsed.as_secs_f64() * 1e9 / iters_per_sample as f64);
+        }
+        times_ns.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+        let lo = times_ns[0];
+        let hi = times_ns[times_ns.len() - 1];
+        let median = times_ns[times_ns.len() / 2];
+
+        let mut line = format!(
+            "{id:<40} time: [{} {} {}]",
+            fmt_time(lo),
+            fmt_time(median),
+            fmt_time(hi)
+        );
+        if let Some(t) = self.throughput {
+            let (count, unit) = match t {
+                Throughput::Elements(n) => (n, "elem"),
+                Throughput::Bytes(n) => (n, "B"),
+            };
+            let rate = count as f64 / (median * 1e-9);
+            line.push_str(&format!("  thrpt: {rate:.3e} {unit}/s"));
+        }
+        println!("{line}");
+        append_csv(&id, median);
+        self
+    }
+
+    /// Ends the group (criterion compatibility; reporting is immediate).
+    pub fn finish(&mut self) {}
+}
+
+enum Mode {
+    /// Run batches until the warmup duration elapses, recording totals.
+    Calibrate(Duration),
+    /// Run exactly `iters` iterations and record the elapsed time.
+    Measure,
+}
+
+/// Passed to the benchmark closure; times the measured routine.
+pub struct Bencher {
+    mode: Mode,
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, called in a loop.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        match self.mode {
+            Mode::Calibrate(warmup) => {
+                let start = Instant::now();
+                let mut iters = 0u64;
+                let mut batch = 1u64;
+                while start.elapsed() < warmup {
+                    for _ in 0..batch {
+                        black_box(routine());
+                    }
+                    iters += batch;
+                    batch = batch.saturating_mul(2).min(1 << 20);
+                }
+                self.iters = iters;
+                self.elapsed = start.elapsed();
+            }
+            Mode::Measure => {
+                let start = Instant::now();
+                for _ in 0..self.iters {
+                    black_box(routine());
+                }
+                self.elapsed = start.elapsed();
+            }
+        }
+    }
+}
+
+fn fmt_time(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn append_csv(id: &str, median_ns: f64) {
+    use std::io::Write;
+    let Ok(mut f) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open("target/shim-criterion.csv")
+    else {
+        return;
+    };
+    let _ = writeln!(f, "{id},{median_ns:.2}");
+}
+
+/// Declares a benchmark group function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark binary's `main`, criterion-style.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_times_a_trivial_routine() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(30))
+            .warm_up_time(Duration::from_millis(5));
+        let mut g = c.benchmark_group("shim");
+        let mut count = 0u64;
+        g.bench_function("noop", |b| {
+            b.iter(|| {
+                count = count.wrapping_add(1);
+                count
+            })
+        });
+        g.finish();
+        assert!(count > 0);
+    }
+
+    #[test]
+    fn time_formatting_scales() {
+        assert!(fmt_time(12.0).ends_with("ns"));
+        assert!(fmt_time(12_000.0).ends_with("µs"));
+        assert!(fmt_time(12_000_000.0).ends_with("ms"));
+    }
+}

@@ -10,8 +10,10 @@
 //!   branch low-confidence (the L1 "filters easily predicted highly biased
 //!   branches") *and* the BVIT hits.
 
-use arvi_core::{ArviConfig, ArviPrediction, ArviPredictor, BranchClass, DdtConfig, PhysReg,
-                RenamedOp, TrackerConfig, Values};
+use arvi_core::{
+    ArviConfig, ArviPrediction, ArviPredictor, BranchClass, DdtConfig, PhysReg, RenamedOp,
+    TrackerConfig, Values,
+};
 use arvi_isa::Reg;
 use arvi_predict::{ConfidenceEstimator, DirectionPredictor, TwoBcGskew};
 
@@ -148,8 +150,7 @@ impl BranchUnit {
                 // value-blind or oscillating signature never flips a good
                 // L1 result (ARVI's long latency makes bad flips
                 // expensive).
-                let informed =
-                    ap.available > 0 || ap.class == BranchClass::Calculated;
+                let informed = ap.available > 0 || ap.class == BranchClass::Calculated;
                 let proven = !self.gate_overrides || (informed && ap.strong && ap.perf >= 1);
                 let use_arvi = !confident && ap.direction.is_some() && proven;
                 let dir = if use_arvi {
@@ -289,4 +290,3 @@ mod tests {
         assert!(!d.final_taken);
     }
 }
-

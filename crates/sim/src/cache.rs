@@ -37,7 +37,7 @@ impl Cache {
         assert!(cfg.ways > 0, "zero ways");
         let lines = cfg.size_bytes / cfg.line_bytes;
         assert!(
-            lines % cfg.ways == 0 && lines > 0,
+            lines.is_multiple_of(cfg.ways) && lines > 0,
             "size/line/ways inconsistent"
         );
         let sets = lines / cfg.ways;
@@ -77,9 +77,7 @@ impl Cache {
         }
         self.misses += 1;
         // LRU victim.
-        let victim = ways
-            .min_by_key(|&i| self.stamps[i])
-            .expect("nonzero ways");
+        let victim = ways.min_by_key(|&i| self.stamps[i]).expect("nonzero ways");
         self.tags[victim] = tag;
         self.stamps[victim] = self.tick;
         false

@@ -34,6 +34,7 @@ impl Hierarchy {
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn access(
         l1: &mut Cache,
         l2: &mut Cache,
@@ -44,7 +45,11 @@ impl Hierarchy {
         mem_latency: u64,
         tlb_miss_penalty: u64,
     ) -> u64 {
-        let mut latency = if tlb.access(addr) { 0 } else { tlb_miss_penalty };
+        let mut latency = if tlb.access(addr) {
+            0
+        } else {
+            tlb_miss_penalty
+        };
         latency += l1_latency;
         if !l1.access(addr) {
             latency += l2_latency;

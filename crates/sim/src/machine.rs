@@ -106,7 +106,9 @@ struct Entry {
 enum FetchState {
     Running,
     /// Waiting out an instruction-cache miss or a flush bubble.
-    Stalled { until: u64 },
+    Stalled {
+        until: u64,
+    },
     /// Blocked behind a branch whose followed direction is (or may be)
     /// wrong; resumes at the override time (if the override corrects the
     /// direction) or at branch resolution, whichever first.
@@ -171,6 +173,12 @@ pub struct Machine {
     lb_window: u64,
     stats: MachineStats,
     profile: Option<std::collections::HashMap<u64, PcProfile>>,
+    /// Reusable per-cycle buffers — the scheduler loop runs every cycle,
+    /// so these must not be reallocated per call.
+    eligible_scratch: Vec<u64>,
+    leftover_scratch: Vec<u64>,
+    woken_scratch: Vec<u64>,
+    ready_loads_scratch: Vec<u64>,
 }
 
 impl Machine {
@@ -198,6 +206,10 @@ impl Machine {
             lb_window,
             stats: MachineStats::default(),
             profile: None,
+            eligible_scratch: Vec::new(),
+            leftover_scratch: Vec::new(),
+            woken_scratch: Vec::new(),
+            ready_loads_scratch: Vec::new(),
             emu,
             params,
             config,
@@ -309,14 +321,21 @@ impl Machine {
             if let Some(p) = dest {
                 self.rename.set_ready(p, t);
                 self.bu.writeback(p, value);
-                let woken = std::mem::take(&mut self.waiters[p.index()]);
-                for w in woken {
+                // Drain the wait list into the reused scratch (keeping the
+                // wait list's capacity) rather than mem::take-ing the Vec,
+                // which would drop its buffer and reallocate on next use.
+                let mut woken = std::mem::take(&mut self.woken_scratch);
+                woken.clear();
+                woken.extend_from_slice(&self.waiters[p.index()]);
+                self.waiters[p.index()].clear();
+                for &w in &woken {
                     let e = Machine::entry_mut(&mut self.rob, self.tail_seq, w);
                     e.deps -= 1;
                     if e.deps == 0 {
                         self.make_issue_candidate(w);
                     }
                 }
+                self.woken_scratch = woken;
             }
             if is_branch {
                 // Branch resolution: release a blocked fetch (flush +
@@ -412,8 +431,7 @@ impl Machine {
                     p.signatures.insert((ap.index, ap.id_tag, ap.depth_tag));
                 }
                 *p.depths.entry(ap.depth_tag).or_default() += 1;
-                *p
-                    .leaf_sizes
+                *p.leaf_sizes
                     .entry((ap.leaf_regs.len() as u8, ap.available as u8))
                     .or_default() += 1;
             }
@@ -440,7 +458,8 @@ impl Machine {
     /// Dataflow issue: oldest-first among ready candidates, bounded by
     /// issue width and functional-unit pools.
     fn issue(&mut self) -> bool {
-        let mut eligible = Vec::new();
+        let mut eligible = std::mem::take(&mut self.eligible_scratch);
+        eligible.clear();
         while let Some(&Reverse((t, seq))) = self.pending.peek() {
             if t > self.cycle {
                 break;
@@ -449,6 +468,7 @@ impl Machine {
             eligible.push(seq);
         }
         if eligible.is_empty() {
+            self.eligible_scratch = eligible;
             return false;
         }
         eligible.sort_unstable();
@@ -457,9 +477,10 @@ impl Machine {
         let mut muldiv = self.params.int_muldiv;
         let mut ports = self.params.mem_ports;
         let mut issued = 0usize;
-        let mut leftovers = Vec::new();
+        let mut leftovers = std::mem::take(&mut self.leftover_scratch);
+        leftovers.clear();
 
-        for seq in eligible {
+        for &seq in &eligible {
             if issued == self.params.issue_width {
                 leftovers.push(seq);
                 continue;
@@ -478,9 +499,11 @@ impl Machine {
             issued += 1;
             self.issue_one(seq);
         }
-        for seq in leftovers {
+        for &seq in &leftovers {
             self.pending.push(Reverse((self.cycle + 1, seq)));
         }
+        self.eligible_scratch = eligible;
+        self.leftover_scratch = leftovers;
         issued > 0
     }
 
@@ -509,20 +532,19 @@ impl Machine {
     /// Re-examines loads blocked on store ordering after a store issues.
     fn unblock_loads(&mut self) {
         let bound = self.unissued_stores.iter().next().copied();
-        let ready: Vec<u64> = match bound {
-            Some(b) => self
-                .mem_blocked_loads
-                .range(..b)
-                .copied()
-                .collect(),
-            None => self.mem_blocked_loads.iter().copied().collect(),
-        };
-        for seq in ready {
+        let mut ready = std::mem::take(&mut self.ready_loads_scratch);
+        ready.clear();
+        match bound {
+            Some(b) => ready.extend(self.mem_blocked_loads.range(..b).copied()),
+            None => ready.extend(self.mem_blocked_loads.iter().copied()),
+        }
+        for &seq in &ready {
             self.mem_blocked_loads.remove(&seq);
             let e = Machine::entry_mut(&mut self.rob, self.tail_seq, seq);
             let earliest = e.dispatch_ready.max(self.cycle + 1);
             self.pending.push(Reverse((earliest, seq)));
         }
+        self.ready_loads_scratch = ready;
     }
 
     /// Fetches, renames and dispatches up to `fetch_width` instructions.
@@ -599,9 +621,7 @@ impl Machine {
                     self.bu.decide(pc, src_phys, Values::Current, actual)
                 }
                 PredictorConfig::ArviCurrent => {
-                    let f = |p: PhysReg| {
-                        rename.is_ready(p, now).then(|| rename.oracle_value(p))
-                    };
+                    let f = |p: PhysReg| rename.is_ready(p, now).then(|| rename.oracle_value(p));
                     self.bu.decide(pc, src_phys, Values::External(&f), actual)
                 }
                 PredictorConfig::ArviLoadBack => {
@@ -848,8 +868,16 @@ mod tests {
         let mut m = machine_for(b.build(), PredictorConfig::ArviCurrent);
         m.run_until_committed(1_000_000);
         let s = m.stats();
-        assert!(s.load_class.total() > 100, "load-class {}", s.load_class.total());
-        assert!(s.calc_class.total() > 100, "calc-class {}", s.calc_class.total());
+        assert!(
+            s.load_class.total() > 100,
+            "load-class {}",
+            s.load_class.total()
+        );
+        assert!(
+            s.calc_class.total() > 100,
+            "calc-class {}",
+            s.calc_class.total()
+        );
     }
 
     #[test]

@@ -288,7 +288,11 @@ mod tests {
         let d40 = SimParams::for_depth(Depth::D40);
         let d60 = SimParams::for_depth(Depth::D60);
         assert_eq!(
-            (d20.l2_pred_latency, d40.l2_pred_latency, d60.l2_pred_latency),
+            (
+                d20.l2_pred_latency,
+                d40.l2_pred_latency,
+                d60.l2_pred_latency
+            ),
             (2, 4, 6)
         );
         assert_eq!(

@@ -23,7 +23,10 @@ impl Tlb {
     /// power-of-two sets and page size).
     pub fn new(cfg: TlbConfig) -> Tlb {
         assert!(cfg.page_bytes.is_power_of_two(), "page size not 2^n");
-        assert!(cfg.ways > 0 && cfg.entries % cfg.ways == 0, "bad shape");
+        assert!(
+            cfg.ways > 0 && cfg.entries.is_multiple_of(cfg.ways),
+            "bad shape"
+        );
         let sets = cfg.entries / cfg.ways;
         assert!(sets.is_power_of_two(), "set count not 2^n");
         Tlb {

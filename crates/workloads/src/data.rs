@@ -49,12 +49,7 @@ pub fn zipf_stream(rng: &mut SmallRng, universe: &[u64], n: usize, skew: f64) ->
 /// # Panics
 ///
 /// Panics if `alphabet` is zero or `sharpness` is outside `[0, 1]`.
-pub fn markov_stream(
-    rng: &mut SmallRng,
-    alphabet: usize,
-    n: usize,
-    sharpness: f64,
-) -> Vec<u64> {
+pub fn markov_stream(rng: &mut SmallRng, alphabet: usize, n: usize, sharpness: f64) -> Vec<u64> {
     assert!(alphabet > 0, "empty alphabet");
     assert!((0.0..=1.0).contains(&sharpness), "sharpness out of range");
     // Two preferred successors per state.
@@ -93,7 +88,10 @@ pub fn uniform_stream(rng: &mut SmallRng, n: usize, lo: u64, hi: u64) -> Vec<u64
 ///
 /// Panics if the range cannot supply `n` distinct values.
 pub fn distinct_values(rng: &mut SmallRng, n: usize, lo: u64, hi: u64) -> Vec<u64> {
-    assert!(hi - lo >= n as u64, "range too small for {n} distinct values");
+    assert!(
+        hi - lo >= n as u64,
+        "range too small for {n} distinct values"
+    );
     let mut seen = std::collections::HashSet::new();
     let mut out = Vec::with_capacity(n);
     while out.len() < n {

@@ -72,7 +72,7 @@ pub fn program(seed: u64) -> Program {
         b.branch_to_label(Cond::Ltu, A0, T6, punct); // 4..9: punctuation
         b.li(T6, 20);
         b.branch_to_label(Cond::Ltu, A0, T6, ident); // 10..19: identifiers
-        // literals: fold value into state
+                                                     // literals: fold value into state
         b.alu(AluOp::Add, S3, S3, A0);
         b.jump_to_label(class_done);
         b.bind(kw);
@@ -137,11 +137,8 @@ mod tests {
     #[test]
     fn many_static_branch_sites() {
         let t: Vec<_> = Emulator::new(program(2)).take(100_000).collect();
-        let sites: std::collections::HashSet<u32> = t
-            .iter()
-            .filter(|d| d.is_branch())
-            .map(|d| d.pc)
-            .collect();
+        let sites: std::collections::HashSet<u32> =
+            t.iter().filter(|d| d.is_branch()).map(|d| d.pc).collect();
         assert!(sites.len() >= 30, "static branch sites {}", sites.len());
     }
 

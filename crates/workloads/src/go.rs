@@ -139,13 +139,17 @@ mod tests {
         }
         assert!(!per_pc.is_empty());
         let mut volatile = 0;
-        for (_, (t, n)) in &per_pc {
+        for (t, n) in per_pc.values() {
             let rate = *t as f64 / (t + n) as f64;
             if (0.15..0.85).contains(&rate) {
                 volatile += 1;
             }
         }
-        assert!(volatile >= per_pc.len() / 2, "volatile {volatile}/{}", per_pc.len());
+        assert!(
+            volatile >= per_pc.len() / 2,
+            "volatile {volatile}/{}",
+            per_pc.len()
+        );
     }
 
     #[test]

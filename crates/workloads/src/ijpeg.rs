@@ -44,10 +44,10 @@ pub fn program(seed: u64) -> Program {
     // Block base pointer comes through a memory cursor (block walker).
     emit_stream_next(&mut b, cursor, S0, (IMAGE_LEN - 1) as i64, A0, T2, T3);
     b.alu_imm(AluOp::And, S6, A0, 63); // data-derived quantizer tweak
-    // The threshold pass's row pointer is computed HERE, at iteration
-    // start, ~90 instructions before its loads execute: those loads have
-    // early-known addresses and no aliasing stores, making them the
-    // maximally hoistable population the load-back study converts.
+                                       // The threshold pass's row pointer is computed HERE, at iteration
+                                       // start, ~90 instructions before its loads execute: those loads have
+                                       // early-known addresses and no aliasing stores, making them the
+                                       // maximally hoistable population the load-back study converts.
     b.alu_imm(AluOp::Add, S2, A0, 3);
     b.alu_imm(AluOp::Rem, S2, S2, (IMAGE_LEN - BLOCK as usize) as i64);
     b.alu_imm(AluOp::Sll, S2, S2, 3);

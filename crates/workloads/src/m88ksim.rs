@@ -59,16 +59,12 @@ pub fn program(seed: u64) -> Program {
         bucket_lists[(k % HASHVAL) as usize].push(i);
     }
     for (bkt, list) in bucket_lists.iter().enumerate() {
-        let head = list
-            .first()
-            .map_or(0, |&ki| nodes_addr + (ki as u64) * 32);
+        let head = list.first().map_or(0, |&ki| nodes_addr + (ki as u64) * 32);
         b.data(buckets_addr + (bkt as u64) * 8, head);
         for (j, &ki) in list.iter().enumerate() {
             let node = nodes_addr + (ki as u64) * 32;
             b.data(node, known[ki]);
-            let next = list
-                .get(j + 1)
-                .map_or(0, |&n| nodes_addr + (n as u64) * 32);
+            let next = list.get(j + 1).map_or(0, |&n| nodes_addr + (n as u64) * 32);
             b.data(node + 8, next);
             b.data(node + 16, known[ki] >> 8); // decode payload
         }
@@ -119,10 +115,10 @@ pub fn program(seed: u64) -> Program {
         b.branch_to_label(Cond::Eq, T0, Reg::ZERO, miss);
         b.load(T1, T0, 0);
         b.branch_to_label(Cond::Eq, T1, key_reg, found); // the star branch
-        // Per-node decode work (as the real routine does) — it also keeps
-        // the dependence-chain depth stride per iteration well above the
-        // commit-state jitter, so the depth tag cleanly separates loop
-        // iterations.
+                                                         // Per-node decode work (as the real routine does) — it also keeps
+                                                         // the dependence-chain depth stride per iteration well above the
+                                                         // commit-state jitter, so the depth tag cleanly separates loop
+                                                         // iterations.
         b.load(T7, T0, 16);
         b.alu(AluOp::Add, S4, S4, T7);
         b.alu_imm(AluOp::Xor, T7, T7, 5);

@@ -184,9 +184,6 @@ mod tests {
         // Marginal concentration is milder than transition concentration;
         // 3 of 12 opcodes carrying over 30% of the stream is already far
         // from uniform (25%).
-        assert!(
-            top3 as f64 / total as f64 > 0.30,
-            "top3 {top3} of {total}"
-        );
+        assert!(top3 as f64 / total as f64 > 0.30, "top3 {top3} of {total}");
     }
 }

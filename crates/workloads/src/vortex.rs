@@ -128,7 +128,7 @@ mod tests {
             }
         }
         let mut biased = 0usize;
-        for (_, (t, n)) in &per_pc {
+        for (t, n) in per_pc.values() {
             let rate = *t as f64 / (t + n) as f64;
             if !(0.10..0.90).contains(&rate) {
                 biased += 1;

@@ -39,7 +39,11 @@ impl MiniRename {
         ];
         let dest = d.dest.map(|logical| {
             let phys = PhysReg(self.next);
-            self.next = if self.next + 1 >= self.limit { 32 } else { self.next + 1 };
+            self.next = if self.next + 1 >= self.limit {
+                32
+            } else {
+                self.next + 1
+            };
             self.map[logical.index()] = phys;
             phys
         });

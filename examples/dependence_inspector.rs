@@ -18,11 +18,23 @@ fn main() {
     // The paper's example program (Figures 1 and 3):
     let program: [(&str, RenamedOp); 6] = [
         ("load p1 (p2)", RenamedOp::load(p(1), Some(p(2)))),
-        ("add  p4 = p1 + p3", RenamedOp::alu(p(4), [Some(p(1)), Some(p(3))])),
-        ("or   p5 = p4 | p1", RenamedOp::alu(p(5), [Some(p(4)), Some(p(1))])),
-        ("sub  p6 = p5 - p4", RenamedOp::alu(p(6), [Some(p(5)), Some(p(4))])),
+        (
+            "add  p4 = p1 + p3",
+            RenamedOp::alu(p(4), [Some(p(1)), Some(p(3))]),
+        ),
+        (
+            "or   p5 = p4 | p1",
+            RenamedOp::alu(p(5), [Some(p(4)), Some(p(1))]),
+        ),
+        (
+            "sub  p6 = p5 - p4",
+            RenamedOp::alu(p(6), [Some(p(5)), Some(p(4))]),
+        ),
         ("add  p7 = p1 + 1", RenamedOp::alu(p(7), [Some(p(1)), None])),
-        ("add  p8 = p4 + p7", RenamedOp::alu(p(8), [Some(p(4)), Some(p(7))])),
+        (
+            "add  p8 = p4 + p7",
+            RenamedOp::alu(p(8), [Some(p(4)), Some(p(7))]),
+        ),
     ];
     println!("inserting the paper's example instructions:\n");
     for (text, op) in &program {
@@ -43,10 +55,18 @@ fn main() {
     println!("\nRSE extraction for `beq p8, 0` (paper Figure 3):");
     let set = t.leaf_set([Some(p(8)), None]);
     let regs: Vec<String> = set.regs.iter().map(|r| r.to_string()).collect();
-    println!("  register set  = {{{}}}  (paper: {{p1, p3}})", regs.join(", "));
-    println!("  chain length  = {} instructions (1, 2, 5, 6)", set.chain_len);
-    println!("  depth key     = {} (branch at entry 7 spans back to the load)",
-             set.depth_key(6, 5));
+    println!(
+        "  register set  = {{{}}}  (paper: {{p1, p3}})",
+        regs.join(", ")
+    );
+    println!(
+        "  chain length  = {} instructions (1, 2, 5, 6)",
+        set.chain_len
+    );
+    println!(
+        "  depth key     = {} (branch at entry 7 spans back to the load)",
+        set.depth_key(6, 5)
+    );
 
     println!("\ntrailing-dependent counters (Section 3 scheduling extension):");
     for slot in 0..6u32 {

@@ -51,7 +51,10 @@ fn profile(config: PredictorConfig) -> (f64, f64, f64) {
 
 fn main() {
     println!("m88ksim `lookupdisasm` case study (paper Figure 7), 20-stage pipeline\n");
-    println!("{:<22} {:>10} {:>22}", "config", "overall", "hash-walk exits");
+    println!(
+        "{:<22} {:>10} {:>22}",
+        "config", "overall", "hash-walk exits"
+    );
     for config in [PredictorConfig::TwoLevelGskew, PredictorConfig::ArviCurrent] {
         let (overall, star, star_l1) = profile(config);
         println!(

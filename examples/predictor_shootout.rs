@@ -12,7 +12,12 @@ fn main() {
     const N: usize = 300_000;
     println!(
         "{:<10} {:>9} {:>9} {:>9} {:>11}   (accuracy over ~{}k-instruction traces)",
-        "benchmark", "bimodal", "gshare", "local", "2Bc-gskew", N / 1000
+        "benchmark",
+        "bimodal",
+        "gshare",
+        "local",
+        "2Bc-gskew",
+        N / 1000
     );
     for bench in Benchmark::all() {
         let stream: Vec<(u64, bool)> = Emulator::new(bench.program(42))

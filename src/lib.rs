@@ -14,6 +14,15 @@
 //! * [`stats`] — accuracy/IPC statistics and table formatting.
 //! * [`apps`] — Section-3 applications of on-line dependence tracking.
 //!
+//! The per-instruction hot path (DDT insert, chain reads, leaf-set
+//! extraction, ARVI predict/train) is steady-state allocation-free:
+//! reuse the in-place APIs ([`core::Ddt::chain_into`],
+//! [`core::Tracker::leaf_set_into`]) with caller-held scratch, or the
+//! allocating wrappers when convenience wins. Experiment sweeps run in
+//! parallel via `arvi_bench::sweep` (deterministic: results are
+//! bit-identical to a sequential run). See `PERFORMANCE.md` for measured
+//! numbers and `BENCH_PR1.json` for the machine-readable trail.
+//!
 //! See `README.md` for a quickstart and `DESIGN.md` for the system
 //! inventory and experiment index.
 

@@ -1,0 +1,165 @@
+//! Allocation-count regression tests: the per-instruction hot path —
+//! DDT insert/commit, chain reads via `chain_into`, leaf-set extraction
+//! via `leaf_set_into`, and full ARVI predict/train — must be
+//! steady-state heap-allocation-free.
+//!
+//! A counting global allocator records every allocation; each check
+//! warms its structure past any lazy growth (RegList spill capacity,
+//! etc.), then asserts zero allocations across a long steady-state run.
+//!
+//! This binary runs with `harness = false` (see the `[[test]]` section
+//! of the root `Cargo.toml`): the allocation counter is process-global,
+//! and libtest's own threads would otherwise allocate (test spawning,
+//! output capture) inside a measured window and flake the zero
+//! assertions. A plain sequential `main` owns the whole process.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use arvi::core::{
+    ArviConfig, ArviPredictor, ChainMask, Ddt, DdtConfig, LeafSet, PhysReg, RenamedOp, Tracker,
+    TrackerConfig, Values,
+};
+use arvi::isa::Reg;
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Runs `f` and returns the number of heap allocations it performed.
+fn allocations_during<F: FnOnce()>(f: F) -> u64 {
+    let before = ALLOCS.load(Ordering::Relaxed);
+    f();
+    ALLOCS.load(Ordering::Relaxed) - before
+}
+
+fn ddt_insert_commit_chain_is_allocation_free() {
+    let mut ddt = Ddt::new(DdtConfig {
+        slots: 80,
+        phys_regs: 72,
+    });
+    let mut mask = ChainMask::zeroed(80);
+    let dest = |i: u32| PhysReg((i % 70) as u16);
+    // Warm: fill the window once.
+    for i in 0..80u32 {
+        ddt.insert(Some(dest(i)), [Some(dest(i + 1)), None]);
+    }
+    let n = allocations_during(|| {
+        for i in 80..10_080u32 {
+            ddt.commit_oldest();
+            ddt.insert(Some(dest(i)), [Some(dest(i + 1)), Some(dest(i + 7))]);
+            ddt.chain_into(&[dest(i)], &mut mask);
+            std::hint::black_box(mask.len());
+        }
+    });
+    assert_eq!(n, 0, "DDT steady state allocated {n} times in 10k iters");
+}
+
+fn tracker_insert_and_leaf_set_into_are_allocation_free() {
+    let mut t = Tracker::new(TrackerConfig {
+        ddt: DdtConfig {
+            slots: 64,
+            phys_regs: 128,
+        },
+        track_dependents: true,
+    });
+    let mut out = LeafSet::default();
+    let p = |i: u32| PhysReg((i % 120) as u16);
+    for i in 0..64u32 {
+        t.insert(&RenamedOp::alu(p(i), [Some(p(i + 1)), None]));
+    }
+    let n = allocations_during(|| {
+        for i in 64..5_064u32 {
+            t.commit_oldest();
+            let op = if i % 6 == 0 {
+                RenamedOp::load(p(i), Some(p(i + 1)))
+            } else {
+                RenamedOp::alu(p(i), [Some(p(i + 1)), Some(p(i + 13))])
+            };
+            t.insert(&op);
+            t.leaf_set_into([Some(p(i)), Some(p(i + 3))], &mut out);
+            std::hint::black_box(out.regs.len());
+        }
+    });
+    assert_eq!(n, 0, "Tracker steady state allocated {n} times in 5k iters");
+}
+
+fn arvi_predict_train_cycle_is_allocation_free() {
+    let mut arvi = ArviPredictor::new(ArviConfig::paper(TrackerConfig {
+        ddt: DdtConfig {
+            slots: 64,
+            phys_regs: 128,
+        },
+        track_dependents: false,
+    }));
+    let p = |i: u32| PhysReg((i % 120) as u16);
+    let logical = |i: u32| Reg::new((8 + i % 16) as u8);
+    // Warm: a full rename/writeback/predict/train/commit cycle so every
+    // lazily grown buffer reaches its high-water mark.
+    let drive = |arvi: &mut ArviPredictor, rounds: std::ops::Range<u32>| {
+        for i in rounds {
+            if arvi.tracker().occupancy() >= 60 {
+                arvi.commit_oldest();
+            }
+            let op = if i % 7 == 0 {
+                RenamedOp::load(p(i), Some(p(i + 1)))
+            } else {
+                RenamedOp::alu(p(i), [Some(p(i + 1)), Some(p(i + 5))])
+            };
+            arvi.rename(&op, Some(logical(i)));
+            arvi.writeback(p(i), (i as u64).wrapping_mul(2654435761));
+            let pred = arvi.predict(
+                0x400 + (i % 32) as u64 * 4,
+                [Some(p(i)), Some(p(i + 2))],
+                Values::Current,
+            );
+            arvi.train(&pred, i % 3 == 0, true);
+        }
+    };
+    drive(&mut arvi, 0..500);
+    let n = allocations_during(|| drive(&mut arvi, 500..5_500));
+    assert_eq!(
+        n, 0,
+        "ARVI predict/train steady state allocated {n} times in 5k iters"
+    );
+}
+
+fn main() {
+    let checks: [(&str, fn()); 3] = [
+        (
+            "ddt_insert_commit_chain_is_allocation_free",
+            ddt_insert_commit_chain_is_allocation_free,
+        ),
+        (
+            "tracker_insert_and_leaf_set_into_are_allocation_free",
+            tracker_insert_and_leaf_set_into_are_allocation_free,
+        ),
+        (
+            "arvi_predict_train_cycle_is_allocation_free",
+            arvi_predict_train_cycle_is_allocation_free,
+        ),
+    ];
+    for (name, check) in checks {
+        check();
+        println!("alloc_steady_state: {name} ... ok");
+    }
+}

@@ -64,10 +64,25 @@ impl RefModel {
         self.live.remove(&id);
     }
 
+    /// Squashes every instruction with id >= `new_head` (branch
+    /// misprediction recovery); ids restart from `new_head`.
+    fn rollback_to(&mut self, new_head: u64) {
+        while self.fifo.back().is_some_and(|&id| id >= new_head) {
+            let id = self.fifo.pop_back().expect("checked back");
+            self.live.remove(&id);
+        }
+        self.next_id = new_head;
+    }
+
     fn chain(&self, reg: u16) -> HashSet<u64> {
         self.reg_chain
             .get(&reg)
-            .map(|c| c.iter().filter(|i| self.live.contains(i)).copied().collect())
+            .map(|c| {
+                c.iter()
+                    .filter(|i| self.live.contains(i))
+                    .copied()
+                    .collect()
+            })
             .unwrap_or_default()
     }
 }
@@ -160,6 +175,83 @@ proptest! {
         s_marks.insert(branch_src);
         let want: HashSet<u16> = s_marks.difference(&t_marks).copied().collect();
         prop_assert_eq!(got, want);
+    }
+
+    /// The zero-allocation path (`insert` with its fused in-place row
+    /// write, plus `chain_into` reusing one mask for every read) matches
+    /// the naive reference model across arbitrary interleavings of
+    /// inserts, commits and rollbacks.
+    ///
+    /// Rows last written by a since-squashed instruction are excluded
+    /// from the comparison: hardware does not roll row contents back
+    /// (the squashed column is merely invalidated and rename recovery
+    /// makes the row unreachable), so such rows legitimately diverge
+    /// from a transitive-closure reference.
+    #[test]
+    fn zero_alloc_path_matches_reference_across_rollbacks(
+        ops in proptest::collection::vec(op_strategy(24), 1..150),
+        actions in proptest::collection::vec((0u8..8, 0.0f64..1.0), 1..150),
+    ) {
+        let slots = 16usize;
+        let mut ddt = Ddt::new(DdtConfig { slots, phys_regs: 24 });
+        let mut reference = RefModel::default();
+        let mut writer: std::collections::HashMap<u16, u64> =
+            std::collections::HashMap::new();
+        // Registers whose row was last written by a squashed instruction:
+        // excluded until a fresh producer rewrites the row.
+        let mut stale: HashSet<u16> = HashSet::new();
+        let mut mask = ChainMask::zeroed(slots);
+
+        for (op, (action, frac)) in ops.iter().zip(actions.iter().cycle()) {
+            if ddt.is_full() {
+                ddt.commit_oldest();
+                reference.commit_oldest();
+            }
+            let seq = ddt.next_seq();
+            let srcs = [op.src1.map(PhysReg), op.src2.map(PhysReg)];
+            ddt.insert(Some(PhysReg(op.dest)), srcs);
+            reference.insert(op);
+            writer.insert(op.dest, seq);
+            stale.remove(&op.dest);
+
+            match action {
+                // Commit up to two of the oldest.
+                0 | 1 => {
+                    for _ in 0..=(*action) {
+                        if ddt.occupancy() > 1 {
+                            ddt.commit_oldest();
+                            reference.commit_oldest();
+                        }
+                    }
+                }
+                // Roll back to a random point in the live window.
+                2 => {
+                    let (tail, head) = (ddt.tail_seq(), ddt.next_seq());
+                    let target = tail + ((head - tail) as f64 * frac) as u64;
+                    ddt.rollback_to(target);
+                    reference.rollback_to(target);
+                    for (&reg, &w) in &writer {
+                        if w >= target {
+                            stale.insert(reg);
+                        }
+                    }
+                }
+                _ => {}
+            }
+
+            // Compare every row whose last writer survives; chain_into
+            // reuses the same mask throughout, so stale contents from
+            // the previous read must never leak.
+            for reg in 0..24u16 {
+                if stale.contains(&reg) {
+                    continue; // writer squashed: row contents are stale
+                }
+                ddt.chain_into(&[PhysReg(reg)], &mut mask);
+                let got = mask_ids(&ddt, &mask);
+                let want = reference.chain(reg);
+                prop_assert_eq!(&got, &want, "register p{} diverged", reg);
+            }
+        }
     }
 
     /// Rollback leaves exactly the pre-rollback prefix live: a chain read

@@ -42,7 +42,10 @@ fn instruction_mixes_are_integer_code_like() {
             (0.05..0.40).contains(&branches),
             "{bench}: branch fraction {branches:.3}"
         );
-        assert!((0.02..0.45).contains(&loads), "{bench}: load fraction {loads:.3}");
+        assert!(
+            (0.02..0.45).contains(&loads),
+            "{bench}: load fraction {loads:.3}"
+        );
         assert!(stores > 0.001, "{bench}: store fraction {stores:.4}");
         assert!(
             branches + loads + stores < 0.85,
