@@ -1,15 +1,24 @@
 //! Runs the complete evaluation: Tables 1-4, Figure 5, and Figure 6 at
 //! all three pipeline depths, printing every artifact the paper reports.
 //!
-//! Usage: `experiments [--quick] [--threads N]`
+//! Usage: `experiments [--quick] [--threads N] [--trace-dir DIR]`
+//!
+//! Each benchmark is functionally emulated exactly once (per run — or
+//! once ever with `--trace-dir`), then every figure's grid replays the
+//! shared recording.
 
-use arvi_bench::{fig5_tables_threaded, paper_tables, threads_from_args, Fig6Data, Spec};
+use arvi_bench::{
+    fig5_tables_with, paper_tables, threads_from_args, trace_dir_from_args, Fig6Data, Spec,
+    TraceSet,
+};
 use arvi_sim::{Depth, PredictorConfig};
+use arvi_workloads::Benchmark;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let threads = threads_from_args(&args);
+    let trace_dir = trace_dir_from_args(&args);
     let spec = if quick {
         Spec::quick()
     } else {
@@ -20,7 +29,10 @@ fn main() {
         println!("== {title} ==\n{}\n", table.to_text());
     }
 
-    let (fig5a, fig5b) = fig5_tables_threaded(spec, true, threads);
+    // One recording per benchmark feeds fig5 and all three fig6 depths.
+    let traces = TraceSet::record(&Benchmark::all(), spec, threads, trace_dir.as_deref());
+
+    let (fig5a, fig5b) = fig5_tables_with(spec, true, threads, &traces);
     println!(
         "== Figure 5(a): fraction of load branches ==\n{}",
         fig5a.to_text()
@@ -32,7 +44,7 @@ fn main() {
 
     let mut headlines = Vec::new();
     for depth in Depth::all() {
-        let data = Fig6Data::collect_threaded(depth, spec, true, threads);
+        let data = Fig6Data::collect_with(depth, spec, true, threads, &traces);
         println!(
             "== Figure 6: prediction accuracy, {depth} pipeline ==\n{}",
             data.accuracy_table().to_text()

@@ -2,9 +2,10 @@
 //! pipeline depths; (b) prediction accuracy of calculated vs load
 //! branches (20-stage, ARVI current value).
 //!
-//! Usage: `fig5 [--quick] [--threads N]`
+//! Usage: `fig5 [--quick] [--threads N] [--trace-dir DIR]`
 
-use arvi_bench::{fig5_tables_threaded, threads_from_args, Spec};
+use arvi_bench::{fig5_tables_with, threads_from_args, trace_dir_from_args, Spec, TraceSet};
+use arvi_workloads::Benchmark;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -14,7 +15,10 @@ fn main() {
     } else {
         Spec::default()
     };
-    let (fig5a, fig5b) = fig5_tables_threaded(spec, true, threads_from_args(&args));
+    let threads = threads_from_args(&args);
+    let trace_dir = trace_dir_from_args(&args);
+    let traces = TraceSet::record(&Benchmark::all(), spec, threads, trace_dir.as_deref());
+    let (fig5a, fig5b) = fig5_tables_with(spec, true, threads, &traces);
     println!(
         "== Figure 5(a): fraction of load branches ==\n{}",
         fig5a.to_text()

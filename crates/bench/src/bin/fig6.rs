@@ -1,18 +1,20 @@
 //! Regenerates Figure 6 for one pipeline depth: prediction accuracy
 //! (a/c/e) and normalized IPC (b/d/f) for the four configurations.
 //!
-//! Usage: `fig6 [20|40|60] [--quick] [--threads N]`
+//! Usage: `fig6 [20|40|60] [--quick] [--threads N] [--trace-dir DIR]`
 
-use arvi_bench::{threads_from_args, Fig6Data, Spec};
+use arvi_bench::{threads_from_args, trace_dir_from_args, Fig6Data, Spec, TraceSet};
 use arvi_sim::{Depth, PredictorConfig};
+use arvi_workloads::Benchmark;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    // First positional argument, skipping flag values (`--threads N`).
+    // First positional argument, skipping flag values (`--threads N`,
+    // `--trace-dir DIR`).
     let mut positional = None;
     let mut i = 0;
     while i < args.len() {
-        if args[i] == "--threads" {
+        if args[i] == "--threads" || args[i] == "--trace-dir" {
             i += 2;
             continue;
         }
@@ -33,7 +35,10 @@ fn main() {
         Spec::default()
     };
 
-    let data = Fig6Data::collect_threaded(depth, spec, true, threads_from_args(&args));
+    let threads = threads_from_args(&args);
+    let trace_dir = trace_dir_from_args(&args);
+    let traces = TraceSet::record(&Benchmark::all(), spec, threads, trace_dir.as_deref());
+    let data = Fig6Data::collect_with(depth, spec, true, threads, &traces);
     println!(
         "== Figure 6: prediction accuracy, {depth} pipeline ==\n{}",
         data.accuracy_table().to_text()

@@ -4,11 +4,16 @@
 //! [`crate::sweep`]; results are assembled in deterministic grid order,
 //! so parallel output is identical to a sequential run.
 
-use arvi_sim::{simulate, Depth, PredictorConfig, SimParams, SimResult};
+use std::sync::Arc;
+
+use arvi_sim::{
+    intern_name, simulate, simulate_source, Depth, PredictorConfig, SimParams, SimResult,
+};
 use arvi_stats::{amean, Table};
+use arvi_trace::{Trace, TraceReplayer};
 use arvi_workloads::Benchmark;
 
-use crate::sweep::{default_threads, run_sweep, SweepPoint};
+use crate::sweep::{default_threads, run_sweep, run_sweep_with, SweepPoint, TraceSet};
 
 /// Sweep parameters: instruction windows and the workload input seed.
 #[derive(Debug, Clone, Copy)]
@@ -43,10 +48,45 @@ impl Spec {
     }
 }
 
-/// Runs one (benchmark, depth, configuration) cell.
+/// Runs one (benchmark, depth, configuration) cell with live emulation.
 pub fn run_one(bench: Benchmark, depth: Depth, config: PredictorConfig, spec: Spec) -> SimResult {
     simulate(
         bench.program(spec.seed),
+        SimParams::for_depth(depth),
+        config,
+        spec.warmup,
+        spec.measure,
+    )
+}
+
+/// Runs one cell by replaying a shared recording instead of emulating;
+/// bit-identical to [`run_one`] on the trace's workload (the timing
+/// model sees the same committed stream either way).
+///
+/// # Panics
+///
+/// Panics if the recording is too short for `spec`'s window — a short
+/// trace would otherwise end the run early and silently report a
+/// truncated measurement window as if it were the full one.
+pub fn run_one_traced(
+    trace: &Arc<Trace>,
+    depth: Depth,
+    config: PredictorConfig,
+    spec: Spec,
+) -> SimResult {
+    let needed = crate::sweep::trace_len(spec);
+    assert!(
+        trace.len() >= needed,
+        "trace {} holds {} instructions but the {}+{} window (plus fetch-ahead slack) needs {needed} \
+         — it was recorded under a smaller spec",
+        trace.name(),
+        trace.len(),
+        spec.warmup,
+        spec.measure,
+    );
+    simulate_source(
+        intern_name(trace.name()),
+        TraceReplayer::new(Arc::clone(trace)),
         SimParams::for_depth(depth),
         config,
         spec.warmup,
@@ -62,7 +102,28 @@ pub fn fig5_tables(spec: Spec, progress: bool) -> (Table, Table) {
 }
 
 /// [`fig5_tables`] with an explicit worker count (`1` = sequential).
+/// Records each benchmark's trace once in memory; use
+/// [`fig5_tables_with`] to share recordings across figures.
 pub fn fig5_tables_threaded(spec: Spec, progress: bool, threads: usize) -> (Table, Table) {
+    fig5_sweep(spec, progress, threads, None)
+}
+
+/// [`fig5_tables`] over a pre-recorded [`TraceSet`].
+pub fn fig5_tables_with(
+    spec: Spec,
+    progress: bool,
+    threads: usize,
+    traces: &TraceSet,
+) -> (Table, Table) {
+    fig5_sweep(spec, progress, threads, Some(traces))
+}
+
+fn fig5_sweep(
+    spec: Spec,
+    progress: bool,
+    threads: usize,
+    traces: Option<&TraceSet>,
+) -> (Table, Table) {
     let depths = Depth::all();
     let mut points = Vec::new();
     for bench in Benchmark::all() {
@@ -74,7 +135,10 @@ pub fn fig5_tables_threaded(spec: Spec, progress: bool, threads: usize) -> (Tabl
             });
         }
     }
-    let results = run_sweep(&points, spec, threads, progress);
+    let results = match traces {
+        Some(traces) => run_sweep_with(&points, spec, threads, progress, traces),
+        None => run_sweep(&points, spec, threads, progress),
+    };
 
     let mut fig5a = Table::new(vec![
         "benchmark".into(),
@@ -123,8 +187,30 @@ impl Fig6Data {
     }
 
     /// [`Fig6Data::collect`] with an explicit worker count (`1` =
-    /// sequential).
+    /// sequential). Records each benchmark's trace once in memory; use
+    /// [`Fig6Data::collect_with`] to share recordings across depths.
     pub fn collect_threaded(depth: Depth, spec: Spec, progress: bool, threads: usize) -> Fig6Data {
+        Fig6Data::sweep(depth, spec, progress, threads, None)
+    }
+
+    /// [`Fig6Data::collect`] over a pre-recorded [`TraceSet`].
+    pub fn collect_with(
+        depth: Depth,
+        spec: Spec,
+        progress: bool,
+        threads: usize,
+        traces: &TraceSet,
+    ) -> Fig6Data {
+        Fig6Data::sweep(depth, spec, progress, threads, Some(traces))
+    }
+
+    fn sweep(
+        depth: Depth,
+        spec: Spec,
+        progress: bool,
+        threads: usize,
+        traces: Option<&TraceSet>,
+    ) -> Fig6Data {
         let configs = PredictorConfig::all();
         let mut points = Vec::new();
         for bench in Benchmark::all() {
@@ -136,7 +222,10 @@ impl Fig6Data {
                 });
             }
         }
-        let mut flat = run_sweep(&points, spec, threads, progress);
+        let mut flat = match traces {
+            Some(traces) => run_sweep_with(&points, spec, threads, progress, traces),
+            None => run_sweep(&points, spec, threads, progress),
+        };
         let mut results = Vec::new();
         for _ in Benchmark::all() {
             let rest = flat.split_off(configs.len());

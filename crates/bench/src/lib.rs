@@ -13,15 +13,23 @@
 //!   four configurations at a given pipeline depth.
 //! * `experiments` — the full sweep, emitting every figure and the
 //!   headline averages.
-//! * `perf_report` — quantifies the zero-allocation hot path against the
-//!   preserved naive baseline and the parallel sweep against the
-//!   sequential one, emitting a machine-readable `BENCH_*.json`.
+//! * `perf_report` — quantifies the record-once/replay-many trace
+//!   subsystem (replay vs per-cell re-emulation, stream codec
+//!   throughput), emitting a machine-readable `BENCH_*.json`.
 //!
 //! Experiment grids fan out over [`sweep::par_map`]: every
 //! `(benchmark, depth, configuration)` cell is an independent
 //! deterministic simulation, and results are returned in grid order, so
 //! parallel sweeps are bit-identical to sequential ones. All binaries
 //! accept `--threads N` (default: all cores; `1` = sequential).
+//!
+//! Grids are record-once / replay-many (PR 2): each distinct
+//! `(benchmark, seed, window)` workload is emulated exactly once into a
+//! shared `arvi_trace::Trace` ([`sweep::TraceSet`]) and every cell
+//! replays it — bit-identically to live emulation. The experiment
+//! binaries (`fig5`, `fig6`, `experiments`, `perf_report`) also accept
+//! `--trace-dir DIR` to persist recordings and reload them on later
+//! runs instead of re-emulating.
 //!
 //! Criterion microbenchmarks (under `benches/`) measure the hardware
 //! structures themselves (DDT insert/chain-read, RSE extraction, BVIT
@@ -33,10 +41,15 @@ pub mod report;
 pub mod sweep;
 
 pub use harness::{
-    fig5_tables, fig5_tables_threaded, fig6_tables, paper_tables, run_one, Fig6Data, Spec,
+    fig5_tables, fig5_tables_threaded, fig5_tables_with, fig6_tables, paper_tables, run_one,
+    run_one_traced, Fig6Data, Spec,
 };
 pub use report::{write_report, Json};
-pub use sweep::{default_threads, full_grid, par_map, run_sweep, SweepPoint};
+pub use sweep::{
+    default_threads, distinct_benches, full_grid, par_map, record_trace, run_sweep,
+    run_sweep_emulated, run_sweep_with, trace_file_name, trace_len, SweepPoint, TraceSet,
+    TRACE_SLACK,
+};
 
 /// Parses a `--threads N` argument pair out of `args`, defaulting to all
 /// cores.
@@ -46,4 +59,14 @@ pub fn threads_from_args(args: &[String]) -> usize {
         .and_then(|i| args.get(i + 1))
         .and_then(|n| n.parse().ok())
         .unwrap_or_else(default_threads)
+}
+
+/// Parses a `--trace-dir DIR` argument pair out of `args`: the directory
+/// experiment binaries persist workload recordings to (and reload them
+/// from) instead of re-emulating on every run.
+pub fn trace_dir_from_args(args: &[String]) -> Option<std::path::PathBuf> {
+    args.iter()
+        .position(|a| a == "--trace-dir")
+        .and_then(|i| args.get(i + 1))
+        .map(std::path::PathBuf::from)
 }

@@ -1,4 +1,4 @@
-//! Multi-threaded experiment sweeps.
+//! Multi-threaded experiment sweeps over shared recorded traces.
 //!
 //! The Figure-5/6 grids are embarrassingly parallel: every
 //! `(benchmark, depth, configuration)` cell is an independent,
@@ -6,14 +6,156 @@
 //! `std::thread` workers with a shared atomic cursor, and returns results
 //! in *item order* regardless of which worker finished first — so a
 //! parallel sweep is bit-identical to the sequential one, just faster.
+//!
+//! Since PR 2 the grids are also **record-once / replay-many**: each
+//! distinct `(benchmark, seed, window)` workload is functionally
+//! emulated exactly once into an `arvi_trace::Trace` (a [`TraceSet`]),
+//! then every grid cell replays the shared recording through its own
+//! timing machine. Replay is bit-identical to live emulation (asserted
+//! by `tests/trace_replay.rs`), so this changes no results — it only
+//! removes the redundant functional execution, and lets sweeps load
+//! pre-recorded traces from disk (`--trace-dir`).
 
+use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
+use arvi_isa::Emulator;
 use arvi_sim::{Depth, PredictorConfig, SimResult};
+use arvi_trace::{Trace, TraceReplayer};
 use arvi_workloads::Benchmark;
 
-use crate::harness::{run_one, Spec};
+use crate::harness::{run_one, run_one_traced, Spec};
+
+/// Instructions recorded beyond `warmup + measure`: the machine fetches
+/// ahead of commit by at most the ROB size (256) plus the commit-width
+/// overshoot, so this slack guarantees a replayed cell never observes
+/// end-of-trace where the live emulator would have kept producing.
+pub const TRACE_SLACK: u64 = 4096;
+
+/// The recording length that covers a simulation under `spec`.
+pub fn trace_len(spec: Spec) -> u64 {
+    spec.warmup + spec.measure + TRACE_SLACK
+}
+
+/// Records `bench` under `spec` into an in-memory trace (one functional
+/// execution of `trace_len(spec)` instructions).
+pub fn record_trace(bench: Benchmark, spec: Spec) -> Trace {
+    let emu = Emulator::new(bench.program(spec.seed));
+    Trace::record(emu, trace_len(spec), bench.name(), spec.seed)
+}
+
+/// Canonical file name for a persisted trace: keyed by everything that
+/// determines the recorded stream (benchmark, seed) plus the window it
+/// must cover.
+pub fn trace_file_name(bench: Benchmark, spec: Spec) -> String {
+    format!(
+        "{}-s{}-w{}-m{}.arvitrace",
+        bench.name(),
+        spec.seed,
+        spec.warmup,
+        spec.measure
+    )
+}
+
+/// One shared recording per distinct benchmark of a sweep.
+///
+/// Traces are wrapped in [`Arc`] and handed read-only to every grid
+/// cell and worker thread; each cell constructs a private
+/// [`TraceReplayer`] cursor over the shared bytes.
+#[derive(Debug, Clone)]
+pub struct TraceSet {
+    spec: Spec,
+    traces: Vec<(Benchmark, Arc<Trace>)>,
+}
+
+impl TraceSet {
+    /// Records (in parallel, one worker per benchmark) every benchmark in
+    /// `benches` under `spec`.
+    ///
+    /// With `dir` set, recordings are persisted there under
+    /// [`trace_file_name`] and valid existing files are loaded instead of
+    /// re-recorded — so a second sweep over the same spec does no
+    /// functional execution at all. A file that is missing, corrupt
+    /// (checksum/format verification failure), or too short for the
+    /// window is re-recorded and rewritten; persistence failures only
+    /// warn (the in-memory recording still serves the sweep).
+    pub fn record(
+        benches: &[Benchmark],
+        spec: Spec,
+        threads: usize,
+        dir: Option<&Path>,
+    ) -> TraceSet {
+        if let Some(dir) = dir {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("warning: cannot create trace dir {}: {e}", dir.display());
+            }
+        }
+        let traces = par_map(benches, threads, |&bench| {
+            Arc::new(Self::obtain(bench, spec, dir))
+        });
+        TraceSet {
+            spec,
+            traces: benches.iter().copied().zip(traces).collect(),
+        }
+    }
+
+    fn obtain(bench: Benchmark, spec: Spec, dir: Option<&Path>) -> Trace {
+        let need = trace_len(spec);
+        let path = dir.map(|d| d.join(trace_file_name(bench, spec)));
+        if let Some(path) = &path {
+            match Trace::read_from(path) {
+                Ok(t) if t.len() >= need && t.seed() == spec.seed && t.name() == bench.name() => {
+                    return t;
+                }
+                Ok(_) => eprintln!(
+                    "trace {}: stale (wrong workload or window), re-recording",
+                    path.display()
+                ),
+                Err(e) if path.exists() => {
+                    eprintln!("trace {}: {e}, re-recording", path.display())
+                }
+                Err(_) => {}
+            }
+        }
+        let t = record_trace(bench, spec);
+        if let Some(path) = &path {
+            if let Err(e) = t.write_to(path) {
+                eprintln!("warning: cannot persist trace {}: {e}", path.display());
+            }
+        }
+        t
+    }
+
+    /// The spec the recordings cover.
+    pub fn spec(&self) -> Spec {
+        self.spec
+    }
+
+    /// The shared recording for `bench`, if it was recorded.
+    pub fn get(&self, bench: Benchmark) -> Option<&Arc<Trace>> {
+        self.traces
+            .iter()
+            .find(|(b, _)| *b == bench)
+            .map(|(_, t)| t)
+    }
+
+    /// A fresh replay cursor over `bench`'s shared recording.
+    pub fn replayer(&self, bench: Benchmark) -> Option<TraceReplayer> {
+        self.get(bench).map(|t| TraceReplayer::new(Arc::clone(t)))
+    }
+}
+
+/// The distinct benchmarks of a work list, in first-appearance order.
+pub fn distinct_benches(points: &[SweepPoint]) -> Vec<Benchmark> {
+    let mut benches = Vec::new();
+    for p in points {
+        if !benches.contains(&p.bench) {
+            benches.push(p.bench);
+        }
+    }
+    benches
+}
 
 /// Worker count to use when the caller does not care: the host's
 /// available parallelism (1 if it cannot be determined).
@@ -94,7 +236,46 @@ pub fn full_grid() -> Vec<SweepPoint> {
 
 /// Runs every point on `threads` workers; `results[i]` corresponds to
 /// `points[i]`.
+///
+/// Record-once / replay-many: each distinct benchmark is emulated once
+/// into an in-memory [`TraceSet`], then all its cells replay the shared
+/// recording. Use [`run_sweep_with`] to reuse recordings across several
+/// grids (or load them from disk), and [`run_sweep_emulated`] for the
+/// pre-trace per-cell path.
 pub fn run_sweep(
+    points: &[SweepPoint],
+    spec: Spec,
+    threads: usize,
+    progress: bool,
+) -> Vec<SimResult> {
+    let traces = TraceSet::record(&distinct_benches(points), spec, threads, None);
+    run_sweep_with(points, spec, threads, progress, &traces)
+}
+
+/// [`run_sweep`] over pre-recorded traces. A point whose benchmark is
+/// missing from `traces` falls back to live emulation for that cell.
+pub fn run_sweep_with(
+    points: &[SweepPoint],
+    spec: Spec,
+    threads: usize,
+    progress: bool,
+    traces: &TraceSet,
+) -> Vec<SimResult> {
+    par_map(points, threads, |p| {
+        if progress {
+            eprintln!("sweep: {p}");
+        }
+        match traces.get(p.bench) {
+            Some(trace) => run_one_traced(trace, p.depth, p.config, spec),
+            None => run_one(p.bench, p.depth, p.config, spec),
+        }
+    })
+}
+
+/// The pre-PR2 sweep: every cell re-runs the functional emulation
+/// itself. Kept as the baseline `perf_report` measures trace sharing
+/// against, and as the reference side of the bit-identity tests.
+pub fn run_sweep_emulated(
     points: &[SweepPoint],
     spec: Spec,
     threads: usize,
@@ -143,14 +324,8 @@ mod tests {
         );
     }
 
-    #[test]
-    fn parallel_sweep_matches_sequential() {
-        let spec = Spec {
-            warmup: 2_000,
-            measure: 6_000,
-            seed: 42,
-        };
-        let points = [
+    fn small_points() -> [SweepPoint; 3] {
+        [
             SweepPoint {
                 bench: Benchmark::Compress,
                 depth: Depth::D20,
@@ -166,16 +341,99 @@ mod tests {
                 depth: Depth::D40,
                 config: PredictorConfig::ArviCurrent,
             },
-        ];
+        ]
+    }
+
+    fn assert_same_results(a: &[SimResult], b: &[SimResult]) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.window.committed, y.window.committed);
+            assert_eq!(x.window.cycles, y.window.cycles);
+            assert_eq!(
+                x.window.cond_branches.correct(),
+                y.window.cond_branches.correct()
+            );
+            assert_eq!(x.window.full_mispredicts, y.window.full_mispredicts);
+        }
+    }
+
+    #[test]
+    fn parallel_sweep_matches_sequential() {
+        let spec = Spec {
+            warmup: 2_000,
+            measure: 6_000,
+            seed: 42,
+        };
+        let points = small_points();
         let seq = run_sweep(&points, spec, 1, false);
         let par = run_sweep(&points, spec, 3, false);
-        for (s, p) in seq.iter().zip(&par) {
-            assert_eq!(s.name, p.name);
-            assert_eq!(s.window.cycles, p.window.cycles);
-            assert_eq!(
-                s.window.cond_branches.correct(),
-                p.window.cond_branches.correct()
-            );
-        }
+        assert_same_results(&seq, &par);
+    }
+
+    #[test]
+    fn traced_sweep_is_bit_identical_to_emulated() {
+        let spec = Spec {
+            warmup: 2_000,
+            measure: 6_000,
+            seed: 7,
+        };
+        let points = small_points();
+        let live = run_sweep_emulated(&points, spec, 2, false);
+        let traced = run_sweep(&points, spec, 2, false);
+        assert_same_results(&live, &traced);
+    }
+
+    #[test]
+    fn distinct_benches_preserves_first_appearance_order() {
+        let points = small_points();
+        assert_eq!(
+            distinct_benches(&points),
+            vec![Benchmark::Compress, Benchmark::Li]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "recorded under a smaller spec")]
+    fn short_trace_rejected_instead_of_truncating_the_window() {
+        let small = Spec {
+            warmup: 500,
+            measure: 1_000,
+            seed: 3,
+        };
+        let big = Spec {
+            warmup: 500,
+            measure: 50_000,
+            seed: 3,
+        };
+        let traces = TraceSet::record(&[Benchmark::Li], small, 1, None);
+        let trace = traces.get(Benchmark::Li).unwrap();
+        let _ =
+            crate::harness::run_one_traced(trace, Depth::D20, PredictorConfig::ArviCurrent, big);
+    }
+
+    #[test]
+    fn trace_set_records_persists_and_reloads() {
+        let spec = Spec {
+            warmup: 500,
+            measure: 1_000,
+            seed: 3,
+        };
+        let dir = std::env::temp_dir().join(format!("arvi-sweep-test-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let benches = [Benchmark::M88ksim];
+        let recorded = TraceSet::record(&benches, spec, 1, Some(&dir));
+        let path = dir.join(trace_file_name(Benchmark::M88ksim, spec));
+        assert!(path.exists());
+        // Second record() round-trips through the persisted file.
+        let reloaded = TraceSet::record(&benches, spec, 1, Some(&dir));
+        let a = recorded.get(Benchmark::M88ksim).unwrap();
+        let b = reloaded.get(Benchmark::M88ksim).unwrap();
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.len(), trace_len(spec));
+        let insts_a: Vec<_> = recorded.replayer(Benchmark::M88ksim).unwrap().collect();
+        let insts_b: Vec<_> = reloaded.replayer(Benchmark::M88ksim).unwrap().collect();
+        assert_eq!(insts_a, insts_b);
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -7,6 +7,9 @@
 //! * [`params`] — the paper's Table 2 machine and Table 4 predictor
 //!   latencies, parameterized over 20/40/60-stage pipelines.
 //! * [`cache`], [`tlb`], [`hierarchy`] — L1 I/D caches, unified L2, TLBs.
+//! * [`source`] — the pluggable committed-instruction frontend
+//!   ([`InstSource`]): live emulation or recorded-trace replay
+//!   (`arvi-trace`).
 //! * [`rename`] — fetch-time register rename with oracle value metadata.
 //! * [`branch_unit`] — the two-level overriding predictor stack (2Bc-gskew
 //!   level 1; 2Bc-gskew or ARVI level 2, confidence-gated).
@@ -37,6 +40,7 @@ pub mod machine;
 pub mod params;
 pub mod rename;
 pub mod run;
+pub mod source;
 pub mod tlb;
 
 pub use branch_unit::{BranchDecision, BranchUnit, Level2};
@@ -45,5 +49,6 @@ pub use hierarchy::Hierarchy;
 pub use machine::{Machine, MachineStats, PcProfile};
 pub use params::{ArviTuning, CacheConfig, Depth, PredictorConfig, SimParams, TlbConfig};
 pub use rename::RenameState;
-pub use run::{simulate, SimResult};
+pub use run::{intern_name, simulate, simulate_source, SimResult};
+pub use source::{InstSource, IterSource};
 pub use tlb::Tlb;

@@ -23,6 +23,7 @@ use crate::branch_unit::{BranchDecision, BranchUnit};
 use crate::hierarchy::Hierarchy;
 use crate::params::{PredictorConfig, SimParams};
 use crate::rename::RenameState;
+use crate::source::InstSource;
 
 /// Counter block for a machine run; figures are computed from snapshot
 /// differences so warmup is excluded.
@@ -142,12 +143,18 @@ pub struct PcProfile {
     pub leaf_sizes: std::collections::HashMap<(u8, u8), u64>,
 }
 
-/// The machine: owns the workload emulator, predictor stack, hierarchy
-/// and scheduling state.
-pub struct Machine {
+#[inline]
+fn entry_mut(rob: &mut VecDeque<Entry>, tail_seq: u64, seq: u64) -> &mut Entry {
+    &mut rob[(seq - tail_seq) as usize]
+}
+
+/// The machine: owns the instruction source (live [`Emulator`] or a
+/// trace replayer — any [`InstSource`]), predictor stack, hierarchy and
+/// scheduling state.
+pub struct Machine<S: InstSource = Emulator> {
     params: SimParams,
     config: PredictorConfig,
-    emu: Emulator,
+    source: S,
     hier: Hierarchy,
     bu: BranchUnit,
     rename: RenameState,
@@ -181,9 +188,10 @@ pub struct Machine {
     ready_loads_scratch: Vec<u64>,
 }
 
-impl Machine {
-    /// Builds a machine running `emu`'s program under `config`.
-    pub fn new(emu: Emulator, params: SimParams, config: PredictorConfig) -> Machine {
+impl<S: InstSource> Machine<S> {
+    /// Builds a machine consuming `source`'s committed stream under
+    /// `config`.
+    pub fn new(source: S, params: SimParams, config: PredictorConfig) -> Machine<S> {
         let lb_window =
             params.fetch_width as u64 * (params.frontend_latency + params.l1_latency + 1);
         Machine {
@@ -210,7 +218,7 @@ impl Machine {
             leftover_scratch: Vec::new(),
             woken_scratch: Vec::new(),
             ready_loads_scratch: Vec::new(),
-            emu,
+            source,
             params,
             config,
         }
@@ -255,11 +263,6 @@ impl Machine {
             self.step_cycle();
         }
         self.stats.committed
-    }
-
-    #[inline]
-    fn entry_mut(rob: &mut VecDeque<Entry>, tail_seq: u64, seq: u64) -> &mut Entry {
-        &mut rob[(seq - tail_seq) as usize]
     }
 
     fn step_cycle(&mut self) {
@@ -314,7 +317,7 @@ impl Machine {
             self.events.pop();
             any = true;
             let (dest, value, is_branch) = {
-                let e = Machine::entry_mut(&mut self.rob, self.tail_seq, seq);
+                let e = entry_mut(&mut self.rob, self.tail_seq, seq);
                 e.done = true;
                 (e.dest_phys, e.d.result, e.d.is_branch())
             };
@@ -329,7 +332,7 @@ impl Machine {
                 woken.extend_from_slice(&self.waiters[p.index()]);
                 self.waiters[p.index()].clear();
                 for &w in &woken {
-                    let e = Machine::entry_mut(&mut self.rob, self.tail_seq, w);
+                    let e = entry_mut(&mut self.rob, self.tail_seq, w);
                     e.deps -= 1;
                     if e.deps == 0 {
                         self.make_issue_candidate(w);
@@ -355,7 +358,7 @@ impl Machine {
     /// Moves an operand-ready instruction into the scheduler, honoring
     /// load-after-store ordering.
     fn make_issue_candidate(&mut self, seq: u64) {
-        let e = Machine::entry_mut(&mut self.rob, self.tail_seq, seq);
+        let e = entry_mut(&mut self.rob, self.tail_seq, seq);
         let earliest = e.dispatch_ready.max(self.cycle);
         if e.d.is_load() {
             if let Some(&oldest_store) = self.unissued_stores.iter().next() {
@@ -485,7 +488,7 @@ impl Machine {
                 leftovers.push(seq);
                 continue;
             }
-            let kind = Machine::entry_mut(&mut self.rob, self.tail_seq, seq).d.kind;
+            let kind = entry_mut(&mut self.rob, self.tail_seq, seq).d.kind;
             let fu = match kind {
                 InstKind::IntMul | InstKind::IntDiv => &mut muldiv,
                 InstKind::Load | InstKind::Store => &mut ports,
@@ -509,7 +512,7 @@ impl Machine {
 
     fn issue_one(&mut self, seq: u64) {
         let (kind, addr) = {
-            let e = Machine::entry_mut(&mut self.rob, self.tail_seq, seq);
+            let e = entry_mut(&mut self.rob, self.tail_seq, seq);
             debug_assert!(!e.issued, "double issue of {seq}");
             e.issued = true;
             (e.d.kind, e.d.mem_addr)
@@ -540,7 +543,7 @@ impl Machine {
         }
         for &seq in &ready {
             self.mem_blocked_loads.remove(&seq);
-            let e = Machine::entry_mut(&mut self.rob, self.tail_seq, seq);
+            let e = entry_mut(&mut self.rob, self.tail_seq, seq);
             let earliest = e.dispatch_ready.max(self.cycle + 1);
             self.pending.push(Reverse((earliest, seq)));
         }
@@ -558,7 +561,7 @@ impl Machine {
                 break;
             }
             // Pull the next trace record.
-            let d = match self.lookahead.take().or_else(|| self.emu.step()) {
+            let d = match self.lookahead.take().or_else(|| self.source.next_inst()) {
                 Some(d) => d,
                 None => {
                     self.trace_done = true;
@@ -716,7 +719,7 @@ impl Machine {
     }
 }
 
-impl std::fmt::Debug for Machine {
+impl<S: InstSource> std::fmt::Debug for Machine<S> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Machine")
             .field("config", &self.config)

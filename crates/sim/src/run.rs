@@ -4,13 +4,38 @@ use arvi_isa::{Emulator, Program};
 
 use crate::machine::{Machine, MachineStats};
 use crate::params::{PredictorConfig, SimParams};
+use crate::source::InstSource;
+
+/// Interns a workload name, returning a `'static` reference.
+///
+/// Sweeps construct one [`SimResult`] per grid cell; carrying the name
+/// as an interned `&'static str` keeps grid assembly allocation-free
+/// (one leaked allocation per *distinct* name for the process lifetime,
+/// bounded by the workload registry).
+pub fn intern_name(name: &str) -> &'static str {
+    use std::collections::HashSet;
+    use std::sync::{Mutex, OnceLock};
+    static NAMES: OnceLock<Mutex<HashSet<&'static str>>> = OnceLock::new();
+    let mut set = NAMES
+        .get_or_init(|| Mutex::new(HashSet::new()))
+        .lock()
+        .expect("name interner poisoned");
+    match set.get(name) {
+        Some(&interned) => interned,
+        None => {
+            let interned: &'static str = Box::leak(name.to_owned().into_boxed_str());
+            set.insert(interned);
+            interned
+        }
+    }
+}
 
 /// The outcome of one simulation run (measurement window only; warmup is
 /// excluded, mirroring the paper's Table 3 instruction windows).
 #[derive(Debug, Clone)]
 pub struct SimResult {
-    /// Workload name.
-    pub name: String,
+    /// Workload name (interned; see [`intern_name`]).
+    pub name: &'static str,
     /// Predictor configuration simulated.
     pub config: PredictorConfig,
     /// Machine parameters used.
@@ -51,9 +76,35 @@ pub fn simulate(
     warmup: u64,
     measure: u64,
 ) -> SimResult {
-    let name = program.name().to_string();
+    let name = intern_name(program.name());
+    simulate_source(
+        name,
+        Emulator::new(program),
+        params,
+        config,
+        warmup,
+        measure,
+    )
+}
+
+/// [`simulate`] over any committed-instruction frontend: a live
+/// [`Emulator`] or a trace replayer. Timing results depend only on the
+/// `DynInst` stream, so a recorded trace replays bit-identically to the
+/// live emulation it captured.
+///
+/// # Panics
+///
+/// Panics if the stream ends before the warmup completes.
+pub fn simulate_source<S: InstSource>(
+    name: &'static str,
+    source: S,
+    params: SimParams,
+    config: PredictorConfig,
+    warmup: u64,
+    measure: u64,
+) -> SimResult {
     let depth_stages = params.depth.stages();
-    let mut machine = Machine::new(Emulator::new(program), params, config);
+    let mut machine = Machine::new(source, params, config);
     let committed = machine.run_until_committed(warmup);
     assert!(
         committed >= warmup,
@@ -120,6 +171,44 @@ mod tests {
             PredictorConfig::TwoLevelGskew,
             1_000,
             1_000,
+        );
+    }
+
+    #[test]
+    fn interned_names_are_pointer_stable() {
+        let a = intern_name("loop-workload");
+        let b = intern_name("loop-workload");
+        assert!(std::ptr::eq(a, b));
+        assert_ne!(intern_name("other"), a);
+    }
+
+    #[test]
+    fn recorded_stream_replays_bit_identically() {
+        use crate::source::IterSource;
+        use arvi_isa::{DynInst, Emulator};
+
+        let live = simulate(
+            looping_program(),
+            SimParams::small_test(),
+            PredictorConfig::ArviCurrent,
+            2_000,
+            8_000,
+        );
+        // Record more than the machine can fetch (window + ROB + slack).
+        let recorded: Vec<DynInst> = Emulator::new(looping_program()).take(12_000).collect();
+        let replay = simulate_source(
+            intern_name("loop"),
+            IterSource(recorded.into_iter()),
+            SimParams::small_test(),
+            PredictorConfig::ArviCurrent,
+            2_000,
+            8_000,
+        );
+        assert_eq!(live.window.cycles, replay.window.cycles);
+        assert_eq!(live.window.committed, replay.window.committed);
+        assert_eq!(
+            live.window.cond_branches.correct(),
+            replay.window.cond_branches.correct()
         );
     }
 

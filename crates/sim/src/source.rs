@@ -1,0 +1,74 @@
+//! Pluggable committed-instruction frontends.
+//!
+//! The timing simulator is trace-driven: [`Machine`](crate::Machine)
+//! consumes a stream of committed [`DynInst`] records and models *when*
+//! they execute, while *what* they compute is already decided by the
+//! stream. [`InstSource`] abstracts where that stream comes from:
+//!
+//! * [`Emulator`] — live functional execution (the original frontend).
+//! * `arvi_trace::TraceReplayer` — replay of a recorded trace, so one
+//!   functional execution can feed many timing runs.
+//! * [`IterSource`] — any `Iterator<Item = DynInst>` (tests, synthetic
+//!   streams).
+//!
+//! A source must yield records in commit order with dense sequence
+//! numbers starting at the machine's first fetch (the emulator and the
+//! trace codec both guarantee this); the machine debug-asserts it.
+
+use arvi_isa::{DynInst, Emulator};
+
+/// A supplier of the committed dynamic instruction stream.
+pub trait InstSource {
+    /// The next committed instruction, or `None` when the stream ends
+    /// (program halt or end of a recorded trace).
+    fn next_inst(&mut self) -> Option<DynInst>;
+}
+
+impl InstSource for Emulator {
+    #[inline]
+    fn next_inst(&mut self) -> Option<DynInst> {
+        self.step()
+    }
+}
+
+/// Adapter making any `DynInst` iterator an [`InstSource`].
+#[derive(Debug)]
+pub struct IterSource<I>(pub I);
+
+impl<I: Iterator<Item = DynInst>> InstSource for IterSource<I> {
+    #[inline]
+    fn next_inst(&mut self) -> Option<DynInst> {
+        self.0.next()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arvi_isa::{regs::*, AluOp, ProgramBuilder};
+
+    #[test]
+    fn emulator_is_a_source() {
+        let mut b = ProgramBuilder::new();
+        b.li(T0, 1);
+        b.alu_imm(AluOp::Add, T0, T0, 2);
+        b.halt();
+        let mut src: Box<dyn InstSource> = Box::new(Emulator::new(b.build()));
+        let mut n = 0;
+        while src.next_inst().is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 2);
+    }
+
+    #[test]
+    fn iterators_are_sources() {
+        let mut b = ProgramBuilder::new();
+        b.li(T0, 1);
+        b.halt();
+        let recorded: Vec<DynInst> = Emulator::new(b.build()).collect();
+        let mut src = IterSource(recorded.clone().into_iter());
+        assert_eq!(src.next_inst(), Some(recorded[0]));
+        assert_eq!(src.next_inst(), None);
+    }
+}

@@ -1,0 +1,306 @@
+//! The versioned on-disk trace container (`.arvitrace`).
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! header:  magic "ARVITRC\x01" | u32 version | u32 name_len | name bytes | u64 seed
+//! payload: encoded chunks, back to back
+//! index:   per chunk { u64 offset, u32 len, u32 count, u64 first_seq, u32 crc }
+//! footer:  u64 index_offset | u32 chunk_count | u64 total_insts
+//!          | u32 file_crc | magic "ARVIEND\x01"
+//! ```
+//!
+//! `file_crc` is the CRC-32 of every byte before it, so corruption
+//! anywhere in the container — header, payload, index or the other
+//! footer fields — is rejected at load; the per-chunk CRCs additionally
+//! localize payload damage and guard in-memory chunk decoding.
+//!
+//! The index lives *after* the payload so a writer can stream chunks
+//! without knowing the final count, and a reader can locate every chunk
+//! from the fixed-size footer — which is what lets replay seek straight
+//! past a warmup prefix without decoding it. Bumping [`FORMAT_VERSION`]
+//! invalidates old files (readers reject a version mismatch rather than
+//! guessing at the encoding).
+
+use std::io::{Read, Write};
+use std::path::Path;
+
+use crate::store::{ChunkInfo, Trace};
+use crate::TraceError;
+
+/// Current trace format version. Covers both the container layout and
+/// the per-record encoding in [`crate::chunk`].
+pub const FORMAT_VERSION: u32 = 1;
+
+const HEADER_MAGIC: &[u8; 8] = b"ARVITRC\x01";
+const FOOTER_MAGIC: &[u8; 8] = b"ARVIEND\x01";
+const FOOTER_LEN: usize = 8 + 4 + 8 + 4 + 8;
+/// Bytes after the `file_crc` field (the field itself + footer magic).
+const CRC_TRAILER_LEN: usize = 4 + 8;
+const INDEX_ENTRY_LEN: usize = 8 + 4 + 4 + 8 + 4;
+
+fn push_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn push_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+struct Parser<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], TraceError> {
+        let bytes = self
+            .buf
+            .get(self.pos..self.pos + n)
+            .ok_or(TraceError::Truncated)?;
+        self.pos += n;
+        Ok(bytes)
+    }
+
+    fn u32(&mut self) -> Result<u32, TraceError> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn u64(&mut self) -> Result<u64, TraceError> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+}
+
+impl Trace {
+    /// Serializes the trace into the container format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(
+            8 + 4
+                + 4
+                + self.name.len()
+                + 8
+                + self.data.len()
+                + self.chunks.len() * INDEX_ENTRY_LEN
+                + FOOTER_LEN,
+        );
+        out.extend_from_slice(HEADER_MAGIC);
+        push_u32(&mut out, FORMAT_VERSION);
+        push_u32(&mut out, self.name.len() as u32);
+        out.extend_from_slice(self.name.as_bytes());
+        push_u64(&mut out, self.seed);
+        out.extend_from_slice(&self.data);
+        let index_offset = out.len() as u64;
+        for c in &self.chunks {
+            push_u64(&mut out, c.offset);
+            push_u32(&mut out, c.len);
+            push_u32(&mut out, c.count);
+            push_u64(&mut out, c.first_seq);
+            push_u32(&mut out, c.crc);
+        }
+        push_u64(&mut out, index_offset);
+        push_u32(&mut out, self.chunks.len() as u32);
+        push_u64(&mut out, self.total);
+        let file_crc = crate::codec::crc32(&out);
+        push_u32(&mut out, file_crc);
+        out.extend_from_slice(FOOTER_MAGIC);
+        out
+    }
+
+    /// Parses a trace from container bytes and fully verifies it (magic,
+    /// version, index bounds, every chunk checksum, every record).
+    pub fn from_bytes(buf: &[u8]) -> Result<Trace, TraceError> {
+        if buf.len() < 8 + 4 + 4 + 8 + FOOTER_LEN {
+            return Err(TraceError::Truncated);
+        }
+        // Magics first (is this a trace file at all?), then the whole-
+        // file checksum before trusting any other field: corruption
+        // anywhere in header, payload, index or footer surfaces as a
+        // checksum mismatch rather than a downstream parse artifact.
+        if &buf[..8] != HEADER_MAGIC || &buf[buf.len() - 8..] != FOOTER_MAGIC {
+            return Err(TraceError::BadMagic);
+        }
+        let crc_pos = buf.len() - CRC_TRAILER_LEN;
+        let file_crc = u32::from_le_bytes(buf[crc_pos..crc_pos + 4].try_into().expect("4 bytes"));
+        if crate::codec::crc32(&buf[..crc_pos]) != file_crc {
+            return Err(TraceError::FileChecksumMismatch);
+        }
+
+        let mut p = Parser { buf, pos: 8 };
+        let version = p.u32()?;
+        if version != FORMAT_VERSION {
+            return Err(TraceError::BadVersion(version));
+        }
+        let name_len = p.u32()? as usize;
+        let name = std::str::from_utf8(p.take(name_len)?)
+            .map_err(|_| TraceError::corrupt("workload name is not UTF-8"))?
+            .to_string();
+        let seed = p.u64()?;
+        let payload_start = p.pos;
+
+        let mut f = Parser {
+            buf,
+            pos: buf.len() - FOOTER_LEN,
+        };
+        let index_offset = f.u64()? as usize;
+        let chunk_count = f.u32()? as usize;
+        let total = f.u64()?;
+        if index_offset < payload_start
+            || index_offset
+                .checked_add(chunk_count * INDEX_ENTRY_LEN)
+                .is_none_or(|end| end != buf.len() - FOOTER_LEN)
+        {
+            return Err(TraceError::corrupt("chunk index bounds are inconsistent"));
+        }
+
+        let data = buf[payload_start..index_offset].to_vec();
+        let mut idx = Parser {
+            buf,
+            pos: index_offset,
+        };
+        let mut chunks = Vec::with_capacity(chunk_count);
+        for _ in 0..chunk_count {
+            let info = ChunkInfo {
+                offset: idx.u64()?,
+                len: idx.u32()?,
+                count: idx.u32()?,
+                first_seq: idx.u64()?,
+                crc: idx.u32()?,
+            };
+            if (info.offset as usize)
+                .checked_add(info.len as usize)
+                .is_none_or(|end| end > data.len())
+            {
+                return Err(TraceError::corrupt("chunk payload out of bounds"));
+            }
+            chunks.push(info);
+        }
+
+        let trace = Trace {
+            name,
+            seed,
+            total,
+            data,
+            chunks,
+        };
+        trace.verify()?;
+        Ok(trace)
+    }
+
+    /// Writes the trace to `path` (see the module docs for the layout).
+    pub fn write_to(&self, path: &Path) -> Result<(), TraceError> {
+        let mut file = std::fs::File::create(path)?;
+        file.write_all(&self.to_bytes())?;
+        Ok(())
+    }
+
+    /// Reads and fully verifies a trace file written by
+    /// [`Trace::write_to`].
+    pub fn read_from(path: &Path) -> Result<Trace, TraceError> {
+        let mut buf = Vec::new();
+        std::fs::File::open(path)?.read_to_end(&mut buf)?;
+        Trace::from_bytes(&buf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::replay::TraceReader;
+    use crate::store::TraceWriter;
+    use arvi_isa::{DynInst, Emulator};
+    use arvi_workloads::Benchmark;
+
+    fn sample_trace() -> Trace {
+        let emu = Emulator::new(Benchmark::Perl.program(4));
+        let mut w = TraceWriter::new("perl", 4).with_chunk_insts(128);
+        for d in emu.take(1_500) {
+            w.push(d);
+        }
+        w.finish()
+    }
+
+    #[test]
+    fn bytes_round_trip() {
+        let trace = sample_trace();
+        let back = Trace::from_bytes(&trace.to_bytes()).unwrap();
+        assert_eq!(back.name(), "perl");
+        assert_eq!(back.seed(), 4);
+        assert_eq!(back.len(), 1_500);
+        let a: Vec<DynInst> = TraceReader::new(&trace).collect();
+        let b: Vec<DynInst> = TraceReader::new(&back).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join(format!("arvi-trace-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("perl.arvitrace");
+        let trace = sample_trace();
+        trace.write_to(&path).unwrap();
+        let back = Trace::read_from(&path).unwrap();
+        assert_eq!(back.len(), trace.len());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bad_magic_and_version_rejected() {
+        let trace = sample_trace();
+        let mut bytes = trace.to_bytes();
+        bytes[0] ^= 0xFF;
+        assert!(matches!(
+            Trace::from_bytes(&bytes),
+            Err(TraceError::BadMagic)
+        ));
+        // A *well-formed* file from a future format version (valid CRC,
+        // different version field) is rejected by version, not checksum.
+        let mut bytes = trace.to_bytes();
+        bytes[8] = 99;
+        let crc_pos = bytes.len() - CRC_TRAILER_LEN;
+        let crc = crate::codec::crc32(&bytes[..crc_pos]);
+        bytes[crc_pos..crc_pos + 4].copy_from_slice(&crc.to_le_bytes());
+        assert!(matches!(
+            Trace::from_bytes(&bytes),
+            Err(TraceError::BadVersion(99))
+        ));
+    }
+
+    #[test]
+    fn corruption_anywhere_rejected_at_load() {
+        let trace = sample_trace();
+        let good = trace.to_bytes();
+        // Every single-bit flip outside the trailing magic must fail the
+        // whole-file checksum; sample the header, payload and index
+        // regions (the index was the historical blind spot: a flipped
+        // `first_seq` decodes "cleanly" into wrong sequence numbers).
+        let index_offset = good.len() - FOOTER_LEN - trace.chunk_count() * INDEX_ENTRY_LEN;
+        let probes = [
+            9,                                // header (version field)
+            24 + trace.encoded_bytes() / 2,   // chunk payload
+            index_offset + 8 + 4 + 4 + 1,     // first chunk's first_seq
+            good.len() - CRC_TRAILER_LEN - 2, // footer total_insts
+        ];
+        for at in probes {
+            let mut bad = good.clone();
+            bad[at] ^= 0x10;
+            assert!(
+                matches!(
+                    Trace::from_bytes(&bad),
+                    Err(TraceError::FileChecksumMismatch)
+                ),
+                "flip at byte {at} was not rejected by the file checksum"
+            );
+        }
+    }
+
+    #[test]
+    fn truncated_file_rejected() {
+        let bytes = sample_trace().to_bytes();
+        assert!(Trace::from_bytes(&bytes[..bytes.len() / 2]).is_err());
+        assert!(Trace::from_bytes(&[]).is_err());
+    }
+}

@@ -1,0 +1,128 @@
+//! # arvi-trace
+//!
+//! Record-once / replay-many committed-instruction traces.
+//!
+//! The timing simulator (`arvi-sim`) is trace-driven by construction:
+//! it consumes the committed [`DynInst`](arvi_isa::DynInst) stream and
+//! models when instructions execute, while the functional outcome comes
+//! from emulation. This crate makes that stream a first-class artifact:
+//!
+//! * [`TraceWriter`] / [`Trace::record`] capture the stream from
+//!   [`arvi_isa::Emulator`] into a compact chunked binary encoding
+//!   (per-field deltas + varints, ~5–7 bytes per instruction; see
+//!   [`chunk`]).
+//! * [`Trace`] holds the encoded recording immutably, so sweeps share
+//!   one recording across all grid cells and worker threads via
+//!   `Arc<Trace>`.
+//! * [`TraceReader`] / [`TraceReplayer`] decode chunk-at-a-time into a
+//!   reusable buffer (zero steady-state allocation) and can
+//!   fast-forward over whole chunks via the index. `TraceReplayer`
+//!   implements [`arvi_sim::InstSource`], so
+//!   [`arvi_sim::simulate_source`] runs timing models directly off a
+//!   recording — **bit-identically** to the live emulation it captured.
+//! * [`Trace::write_to`] / [`Trace::read_from`] persist recordings in a
+//!   versioned container with per-chunk CRC-32 checksums and a footer
+//!   index ([`file`]); loading fully verifies the file.
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use arvi_trace::{Trace, TraceReplayer};
+//! use arvi_sim::{simulate_source, intern_name, SimParams, Depth, PredictorConfig};
+//! use arvi_isa::Emulator;
+//! use arvi_workloads::Benchmark;
+//!
+//! // Record once...
+//! let emu = Emulator::new(Benchmark::M88ksim.program(42));
+//! let trace = Arc::new(Trace::record(emu, 700_000, "m88ksim", 42));
+//! // ...replay many: each cell gets its own cheap cursor.
+//! for config in PredictorConfig::all() {
+//!     let r = simulate_source(
+//!         intern_name(trace.name()),
+//!         TraceReplayer::new(Arc::clone(&trace)),
+//!         SimParams::for_depth(Depth::D20),
+//!         config,
+//!         100_000,
+//!         500_000,
+//!     );
+//!     println!("{config}: IPC {:.3}", r.ipc());
+//! }
+//! ```
+
+pub mod chunk;
+pub mod codec;
+pub mod file;
+pub mod replay;
+pub mod store;
+
+pub use chunk::DEFAULT_CHUNK_INSTS;
+pub use file::FORMAT_VERSION;
+pub use replay::{TraceReader, TraceReplayer};
+pub use store::{ChunkInfo, Trace, TraceWriter};
+
+use std::fmt;
+
+/// Errors surfaced while encoding, decoding or loading traces.
+#[derive(Debug)]
+pub enum TraceError {
+    /// An underlying I/O error.
+    Io(std::io::Error),
+    /// The file does not start (or end) with the trace magic.
+    BadMagic,
+    /// The file uses an unsupported format version.
+    BadVersion(u32),
+    /// Data ended before a complete record/structure was read.
+    Truncated,
+    /// A chunk payload did not match its recorded CRC-32.
+    ChecksumMismatch {
+        /// Index of the failing chunk.
+        chunk: usize,
+    },
+    /// The container's whole-file CRC-32 did not match: corruption in
+    /// the header, index or footer (chunk payloads are additionally
+    /// covered per chunk).
+    FileChecksumMismatch,
+    /// Structurally invalid data (with a human-readable reason).
+    Corrupt(&'static str),
+}
+
+impl TraceError {
+    pub(crate) fn corrupt(reason: &'static str) -> TraceError {
+        TraceError::Corrupt(reason)
+    }
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Io(e) => write!(f, "trace I/O error: {e}"),
+            TraceError::BadMagic => write!(f, "not an arvi trace file (bad magic)"),
+            TraceError::BadVersion(v) => write!(
+                f,
+                "unsupported trace format version {v} (this build reads version {FORMAT_VERSION})"
+            ),
+            TraceError::Truncated => write!(f, "trace data is truncated"),
+            TraceError::ChecksumMismatch { chunk } => {
+                write!(f, "chunk {chunk} failed its CRC-32 checksum")
+            }
+            TraceError::FileChecksumMismatch => {
+                write!(f, "file failed its whole-container CRC-32 checksum")
+            }
+            TraceError::Corrupt(reason) => write!(f, "corrupt trace: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for TraceError {
+    fn from(e: std::io::Error) -> TraceError {
+        TraceError::Io(e)
+    }
+}

@@ -1,0 +1,251 @@
+//! Replay cursors: chunk-at-a-time decoding behind the simulator's
+//! [`InstSource`] frontend trait.
+
+use std::sync::Arc;
+
+use arvi_isa::DynInst;
+use arvi_sim::InstSource;
+
+use crate::store::Trace;
+
+/// Shared cursor logic over a trace, borrowed per call so it works for
+/// both the borrowing [`TraceReader`] and the owning [`TraceReplayer`].
+///
+/// The decode buffer is reused across chunks: after the first chunk is
+/// decoded, steady-state replay performs **zero heap allocations**
+/// (chunks never exceed the writer's chunk capacity, so `clear` + push
+/// stays within the buffer's existing capacity).
+#[derive(Debug, Default)]
+struct Cursor {
+    /// Next chunk to decode.
+    chunk: usize,
+    /// Read position within `buf`.
+    pos: usize,
+    /// Decoded records of the current chunk (reused).
+    buf: Vec<DynInst>,
+}
+
+impl Cursor {
+    /// The next record, decoding the next chunk when the buffer drains.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a corrupt chunk. File-loaded traces are fully verified
+    /// by [`Trace::read_from`](crate::Trace::read_from) and in-memory
+    /// recordings are trusted, so corruption here is a program bug, not
+    /// an input condition.
+    #[inline]
+    fn next(&mut self, trace: &Trace) -> Option<DynInst> {
+        loop {
+            if let Some(&d) = self.buf.get(self.pos) {
+                self.pos += 1;
+                return Some(d);
+            }
+            if self.chunk >= trace.chunk_count() {
+                return None;
+            }
+            trace
+                .decode_chunk_trusted(self.chunk, &mut self.buf)
+                .unwrap_or_else(|e| panic!("chunk {} of trace {}: {e}", self.chunk, trace.name()));
+            self.chunk += 1;
+            self.pos = 0;
+        }
+    }
+
+    /// Advances the cursor by `n` records from its current position,
+    /// skipping whole chunks via the index without decoding them.
+    /// Returns the number of records actually skipped (less than `n`
+    /// only at end of trace).
+    fn fast_forward(&mut self, trace: &Trace, mut n: u64) -> u64 {
+        let mut skipped = 0u64;
+        // First drain what is already decoded.
+        let buffered = (self.buf.len() - self.pos) as u64;
+        let from_buf = buffered.min(n);
+        self.pos += from_buf as usize;
+        n -= from_buf;
+        skipped += from_buf;
+        // Then hop over whole chunks using only the index.
+        while n > 0 {
+            let Some(info) = trace.chunks().get(self.chunk) else {
+                break;
+            };
+            if (info.count as u64) <= n {
+                self.chunk += 1;
+                n -= info.count as u64;
+                skipped += info.count as u64;
+                continue;
+            }
+            // Target lands inside this chunk: decode it and index in.
+            trace
+                .decode_chunk_trusted(self.chunk, &mut self.buf)
+                .unwrap_or_else(|e| panic!("chunk {} of trace {}: {e}", self.chunk, trace.name()));
+            self.chunk += 1;
+            self.pos = n as usize;
+            skipped += n;
+            n = 0;
+        }
+        if n > 0 {
+            // Ran off the end: leave the cursor exhausted.
+            self.buf.clear();
+            self.pos = 0;
+        }
+        skipped
+    }
+}
+
+/// Borrowing reader over a [`Trace`], yielding records in order.
+///
+/// Decodes chunk-at-a-time into a reusable buffer; see [`Cursor`] for
+/// the allocation discipline and panic conditions.
+#[derive(Debug)]
+pub struct TraceReader<'a> {
+    trace: &'a Trace,
+    cursor: Cursor,
+}
+
+impl<'a> TraceReader<'a> {
+    /// A reader positioned at the first record.
+    pub fn new(trace: &'a Trace) -> TraceReader<'a> {
+        TraceReader {
+            trace,
+            cursor: Cursor::default(),
+        }
+    }
+
+    /// Skips `n` records (whole chunks are skipped via the index, so
+    /// fast-forwarding past a warmup prefix does not decode it).
+    /// Returns the number actually skipped.
+    pub fn fast_forward(&mut self, n: u64) -> u64 {
+        self.cursor.fast_forward(self.trace, n)
+    }
+}
+
+impl Iterator for TraceReader<'_> {
+    type Item = DynInst;
+
+    #[inline]
+    fn next(&mut self) -> Option<DynInst> {
+        self.cursor.next(self.trace)
+    }
+}
+
+/// Owning replayer over a shared trace: the record-once / replay-many
+/// [`InstSource`]. Clones of the `Arc` are cheap; each replayer carries
+/// only its own cursor and decode buffer, so any number of machines (on
+/// any number of threads) can replay one recording concurrently.
+#[derive(Debug)]
+pub struct TraceReplayer {
+    trace: Arc<Trace>,
+    cursor: Cursor,
+}
+
+impl TraceReplayer {
+    /// A replayer positioned at the first record.
+    pub fn new(trace: Arc<Trace>) -> TraceReplayer {
+        TraceReplayer {
+            trace,
+            cursor: Cursor::default(),
+        }
+    }
+
+    /// The shared trace being replayed.
+    pub fn trace(&self) -> &Arc<Trace> {
+        &self.trace
+    }
+
+    /// Skips `n` records via the chunk index (see
+    /// [`TraceReader::fast_forward`]).
+    pub fn fast_forward(&mut self, n: u64) -> u64 {
+        self.cursor.fast_forward(&self.trace, n)
+    }
+}
+
+impl InstSource for TraceReplayer {
+    #[inline]
+    fn next_inst(&mut self) -> Option<DynInst> {
+        self.cursor.next(&self.trace)
+    }
+}
+
+impl Iterator for TraceReplayer {
+    type Item = DynInst;
+
+    #[inline]
+    fn next(&mut self) -> Option<DynInst> {
+        self.cursor.next(&self.trace)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::TraceWriter;
+    use arvi_isa::Emulator;
+    use arvi_workloads::Benchmark;
+
+    fn small_chunk_trace(n: usize) -> Trace {
+        let emu = Emulator::new(Benchmark::M88ksim.program(11));
+        let mut w = TraceWriter::new("m88ksim", 11).with_chunk_insts(64);
+        for d in emu.take(n) {
+            w.push(d);
+        }
+        w.finish()
+    }
+
+    #[test]
+    fn reader_replays_the_recorded_stream() {
+        let reference: Vec<DynInst> = Emulator::new(Benchmark::M88ksim.program(11))
+            .take(1_000)
+            .collect();
+        let trace = small_chunk_trace(1_000);
+        let replayed: Vec<DynInst> = TraceReader::new(&trace).collect();
+        assert_eq!(reference, replayed);
+    }
+
+    #[test]
+    fn replayer_is_shareable_across_threads() {
+        let trace = Arc::new(small_chunk_trace(500));
+        let reference: Vec<DynInst> = TraceReader::new(&trace).collect();
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let t = Arc::clone(&trace);
+                let want = reference.clone();
+                std::thread::spawn(move || {
+                    let got: Vec<DynInst> = TraceReplayer::new(t).collect();
+                    assert_eq!(got, want);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn fast_forward_matches_plain_iteration() {
+        let trace = small_chunk_trace(1_000);
+        for skip in [0u64, 1, 63, 64, 65, 130, 999, 1_000, 5_000] {
+            let mut r = TraceReader::new(&trace);
+            let skipped = r.fast_forward(skip);
+            assert_eq!(skipped, skip.min(1_000));
+            let mut plain = TraceReader::new(&trace);
+            for _ in 0..skip {
+                plain.next();
+            }
+            assert_eq!(r.next(), plain.next(), "after skipping {skip}");
+        }
+    }
+
+    #[test]
+    fn fast_forward_after_partial_read() {
+        let trace = small_chunk_trace(300);
+        let mut r = TraceReader::new(&trace);
+        for _ in 0..10 {
+            r.next();
+        }
+        r.fast_forward(100);
+        let mut plain = TraceReader::new(&trace);
+        plain.fast_forward(110);
+        assert_eq!(r.next(), plain.next());
+    }
+}

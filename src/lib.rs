@@ -11,6 +11,9 @@
 //! * [`core`] — the paper's contribution: DDT, RSE, BVIT and the ARVI
 //!   predictor.
 //! * [`sim`] — the trace-driven out-of-order timing simulator.
+//! * [`trace`] — record-once / replay-many committed-instruction traces
+//!   (compact chunked binary format with checksums and a seekable
+//!   index).
 //! * [`stats`] — accuracy/IPC statistics and table formatting.
 //! * [`apps`] — Section-3 applications of on-line dependence tracking.
 //!
@@ -32,4 +35,5 @@ pub use arvi_isa as isa;
 pub use arvi_predict as predict;
 pub use arvi_sim as sim;
 pub use arvi_stats as stats;
+pub use arvi_trace as trace;
 pub use arvi_workloads as workloads;

@@ -143,8 +143,35 @@ fn arvi_predict_train_cycle_is_allocation_free() {
     );
 }
 
+fn trace_replay_is_allocation_free() {
+    use arvi::isa::Emulator;
+    use arvi::trace::{TraceReplayer, TraceWriter};
+    use arvi::workloads::Benchmark;
+    use std::sync::Arc;
+
+    // Small chunks so the steady-state window crosses many chunk
+    // boundaries.
+    let emu = Emulator::new(Benchmark::M88ksim.program(42));
+    let mut w = TraceWriter::new("m88ksim", 42).with_chunk_insts(256);
+    for d in emu.take(20_000) {
+        w.push(d);
+    }
+    let trace = Arc::new(w.finish());
+    let mut replayer = TraceReplayer::new(Arc::clone(&trace));
+    // Warm: the first chunk decode grows the reusable buffer once.
+    for _ in 0..512 {
+        replayer.next();
+    }
+    let n = allocations_during(|| {
+        for _ in 512..20_000 {
+            std::hint::black_box(replayer.next());
+        }
+    });
+    assert_eq!(n, 0, "trace replay steady state allocated {n} times");
+}
+
 fn main() {
-    let checks: [(&str, fn()); 3] = [
+    let checks: [(&str, fn()); 4] = [
         (
             "ddt_insert_commit_chain_is_allocation_free",
             ddt_insert_commit_chain_is_allocation_free,
@@ -156,6 +183,10 @@ fn main() {
         (
             "arvi_predict_train_cycle_is_allocation_free",
             arvi_predict_train_cycle_is_allocation_free,
+        ),
+        (
+            "trace_replay_is_allocation_free",
+            trace_replay_is_allocation_free,
         ),
     ];
     for (name, check) in checks {
