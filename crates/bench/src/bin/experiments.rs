@@ -1,38 +1,53 @@
 //! Runs the complete evaluation: Tables 1-4, Figure 5, and Figure 6 at
 //! all three pipeline depths, printing every artifact the paper reports.
 //!
-//! Usage: `experiments [--quick] [--threads N] [--trace-dir DIR]`
+//! Usage: `experiments [--quick] [--threads N] [--trace-dir DIR]
+//!                     [--scenario NAME_OR_SPEC]... [--scenario-file FILE]
+//!                     [--list-scenarios] [--list-benchmarks]`
 //!
-//! Each benchmark is functionally emulated exactly once (per run — or
+//! Each workload is functionally emulated exactly once (per run — or
 //! once ever with `--trace-dir`), then every figure's grid replays the
-//! shared recording.
+//! shared recording. Runs the benchmark suite by default; any
+//! `--scenario`/`--scenario-file` flag switches the grids to the named
+//! synthetic scenarios instead.
 
 use arvi_bench::{
-    fig5_tables_with, paper_tables, threads_from_args, trace_dir_from_args, Fig6Data, Spec,
-    TraceSet,
+    fig5_tables_over, handle_list_flags, paper_tables, threads_from_args, trace_dir_from_args,
+    workloads_from_args, Fig6Data, Spec, TraceSet,
 };
 use arvi_sim::{Depth, PredictorConfig};
-use arvi_workloads::Benchmark;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if handle_list_flags(&args) {
+        return;
+    }
     let quick = args.iter().any(|a| a == "--quick");
     let threads = threads_from_args(&args);
     let trace_dir = trace_dir_from_args(&args);
+    let suite_mode = !args
+        .iter()
+        .any(|a| a == "--scenario" || a == "--scenario-file");
+    let workloads = workloads_from_args(&args);
     let spec = if quick {
         Spec::quick()
     } else {
         Spec::default()
     };
 
-    for (title, table) in paper_tables() {
-        println!("== {title} ==\n{}\n", table.to_text());
+    // The paper's configuration tables describe the benchmark-suite
+    // evaluation; skip them when a scenario grid replaces the suite
+    // (the `tables` binary prints them on demand).
+    if suite_mode {
+        for (title, table) in paper_tables() {
+            println!("== {title} ==\n{}\n", table.to_text());
+        }
     }
 
-    // One recording per benchmark feeds fig5 and all three fig6 depths.
-    let traces = TraceSet::record(&Benchmark::all(), spec, threads, trace_dir.as_deref());
+    // One recording per workload feeds fig5 and all three fig6 depths.
+    let traces = TraceSet::record(&workloads, spec, threads, trace_dir.as_deref());
 
-    let (fig5a, fig5b) = fig5_tables_with(spec, true, threads, &traces);
+    let (fig5a, fig5b) = fig5_tables_over(&workloads, spec, true, threads, Some(&traces));
     println!(
         "== Figure 5(a): fraction of load branches ==\n{}",
         fig5a.to_text()
@@ -44,7 +59,7 @@ fn main() {
 
     let mut headlines = Vec::new();
     for depth in Depth::all() {
-        let data = Fig6Data::collect_with(depth, spec, true, threads, &traces);
+        let data = Fig6Data::collect_over(&workloads, depth, spec, true, threads, Some(&traces));
         println!(
             "== Figure 6: prediction accuracy, {depth} pipeline ==\n{}",
             data.accuracy_table().to_text()

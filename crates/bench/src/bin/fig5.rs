@@ -1,14 +1,25 @@
-//! Regenerates Figure 5: (a) load-branch fraction per benchmark across
+//! Regenerates Figure 5: (a) load-branch fraction per workload across
 //! pipeline depths; (b) prediction accuracy of calculated vs load
 //! branches (20-stage, ARVI current value).
 //!
-//! Usage: `fig5 [--quick] [--threads N] [--trace-dir DIR]`
+//! Usage: `fig5 [--quick] [--threads N] [--trace-dir DIR]
+//!              [--scenario NAME_OR_SPEC]... [--scenario-file FILE]
+//!              [--list-scenarios] [--list-benchmarks]`
+//!
+//! Runs the benchmark suite by default; any `--scenario`/
+//! `--scenario-file` flag switches the grid to the named synthetic
+//! scenarios instead.
 
-use arvi_bench::{fig5_tables_with, threads_from_args, trace_dir_from_args, Spec, TraceSet};
-use arvi_workloads::Benchmark;
+use arvi_bench::{
+    fig5_tables_over, handle_list_flags, threads_from_args, trace_dir_from_args,
+    workloads_from_args, Spec, TraceSet,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if handle_list_flags(&args) {
+        return;
+    }
     let quick = args.iter().any(|a| a == "--quick");
     let spec = if quick {
         Spec::quick()
@@ -17,8 +28,9 @@ fn main() {
     };
     let threads = threads_from_args(&args);
     let trace_dir = trace_dir_from_args(&args);
-    let traces = TraceSet::record(&Benchmark::all(), spec, threads, trace_dir.as_deref());
-    let (fig5a, fig5b) = fig5_tables_with(spec, true, threads, &traces);
+    let workloads = workloads_from_args(&args);
+    let traces = TraceSet::record(&workloads, spec, threads, trace_dir.as_deref());
+    let (fig5a, fig5b) = fig5_tables_over(&workloads, spec, true, threads, Some(&traces));
     println!(
         "== Figure 5(a): fraction of load branches ==\n{}",
         fig5a.to_text()

@@ -1,20 +1,32 @@
 //! Regenerates Figure 6 for one pipeline depth: prediction accuracy
 //! (a/c/e) and normalized IPC (b/d/f) for the four configurations.
 //!
-//! Usage: `fig6 [20|40|60] [--quick] [--threads N] [--trace-dir DIR]`
+//! Usage: `fig6 [20|40|60] [--quick] [--threads N] [--trace-dir DIR]
+//!              [--scenario NAME_OR_SPEC]... [--scenario-file FILE]
+//!              [--list-scenarios] [--list-benchmarks]`
+//!
+//! Runs the benchmark suite by default; any `--scenario`/
+//! `--scenario-file` flag switches the grid to the named synthetic
+//! scenarios instead.
 
-use arvi_bench::{threads_from_args, trace_dir_from_args, Fig6Data, Spec, TraceSet};
+use arvi_bench::{
+    handle_list_flags, threads_from_args, trace_dir_from_args, workloads_from_args, Fig6Data, Spec,
+    TraceSet,
+};
 use arvi_sim::{Depth, PredictorConfig};
-use arvi_workloads::Benchmark;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if handle_list_flags(&args) {
+        return;
+    }
     // First positional argument, skipping flag values (`--threads N`,
-    // `--trace-dir DIR`).
+    // `--trace-dir DIR`, `--scenario X`, `--scenario-file F`).
+    let value_flags = ["--threads", "--trace-dir", "--scenario", "--scenario-file"];
     let mut positional = None;
     let mut i = 0;
     while i < args.len() {
-        if args[i] == "--threads" || args[i] == "--trace-dir" {
+        if value_flags.contains(&args[i].as_str()) {
             i += 2;
             continue;
         }
@@ -37,8 +49,9 @@ fn main() {
 
     let threads = threads_from_args(&args);
     let trace_dir = trace_dir_from_args(&args);
-    let traces = TraceSet::record(&Benchmark::all(), spec, threads, trace_dir.as_deref());
-    let data = Fig6Data::collect_with(depth, spec, true, threads, &traces);
+    let workloads = workloads_from_args(&args);
+    let traces = TraceSet::record(&workloads, spec, threads, trace_dir.as_deref());
+    let data = Fig6Data::collect_over(&workloads, depth, spec, true, threads, Some(&traces));
     println!(
         "== Figure 6: prediction accuracy, {depth} pipeline ==\n{}",
         data.accuracy_table().to_text()

@@ -20,8 +20,8 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use arvi_bench::{
-    run_sweep_emulated, run_sweep_with, threads_from_args, trace_dir_from_args, trace_len,
-    write_report, Json, Spec, SweepPoint, TraceSet,
+    grid, run_sweep_emulated, run_sweep_with, threads_from_args, trace_dir_from_args, trace_len,
+    write_report, Json, Spec, SweepPoint, TraceSet, Workload,
 };
 use arvi_isa::Emulator;
 use arvi_sim::{Depth, PredictorConfig};
@@ -77,17 +77,7 @@ fn stream_micro(bench: Benchmark, seed: u64, insts: u64) -> StreamResult {
 /// The quick Figure-6 grid: every benchmark x configuration at 20
 /// stages.
 fn fig6_points() -> Vec<SweepPoint> {
-    let mut points = Vec::new();
-    for bench in Benchmark::all() {
-        for config in PredictorConfig::all() {
-            points.push(SweepPoint {
-                bench,
-                depth: Depth::D20,
-                config,
-            });
-        }
-    }
-    points
+    grid(&Workload::suite(), &[Depth::D20], &PredictorConfig::all())
 }
 
 fn main() {
@@ -140,7 +130,7 @@ fn main() {
     let emulated_s = t0.elapsed().as_secs_f64();
 
     let t0 = Instant::now();
-    let traces = TraceSet::record(&Benchmark::all(), spec, threads, trace_dir.as_deref());
+    let traces = TraceSet::record(&Workload::suite(), spec, threads, trace_dir.as_deref());
     let record_s = t0.elapsed().as_secs_f64();
     let t0 = Instant::now();
     let replayed = run_sweep_with(&points, spec, threads, false, &traces);

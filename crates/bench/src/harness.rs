@@ -13,7 +13,8 @@ use arvi_stats::{amean, Table};
 use arvi_trace::{Trace, TraceReplayer};
 use arvi_workloads::Benchmark;
 
-use crate::sweep::{default_threads, run_sweep, run_sweep_with, SweepPoint, TraceSet};
+use crate::sweep::{default_threads, grid, run_sweep, run_sweep_with, TraceSet};
+use crate::workload::Workload;
 
 /// Sweep parameters: instruction windows and the workload input seed.
 #[derive(Debug, Clone, Copy)]
@@ -48,10 +49,16 @@ impl Spec {
     }
 }
 
-/// Runs one (benchmark, depth, configuration) cell with live emulation.
-pub fn run_one(bench: Benchmark, depth: Depth, config: PredictorConfig, spec: Spec) -> SimResult {
+/// Runs one (workload, depth, configuration) cell with live emulation.
+pub fn run_one(
+    workload: &Workload,
+    depth: Depth,
+    config: PredictorConfig,
+    spec: Spec,
+) -> SimResult {
+    use arvi_workloads::WorkloadSource;
     simulate(
-        bench.program(spec.seed),
+        workload.program(spec.seed),
         SimParams::for_depth(depth),
         config,
         spec.warmup,
@@ -94,7 +101,7 @@ pub fn run_one_traced(
     )
 }
 
-/// Figure 5: (a) the fraction of load branches per benchmark at each
+/// Figure 5: (a) the fraction of load branches per workload at each
 /// pipeline depth, and (b) prediction accuracy of calculated versus load
 /// branches (20-stage, ARVI current value) — returns the two tables.
 pub fn fig5_tables(spec: Spec, progress: bool) -> (Table, Table) {
@@ -105,7 +112,7 @@ pub fn fig5_tables(spec: Spec, progress: bool) -> (Table, Table) {
 /// Records each benchmark's trace once in memory; use
 /// [`fig5_tables_with`] to share recordings across figures.
 pub fn fig5_tables_threaded(spec: Spec, progress: bool, threads: usize) -> (Table, Table) {
-    fig5_sweep(spec, progress, threads, None)
+    fig5_tables_over(&Workload::suite(), spec, progress, threads, None)
 }
 
 /// [`fig5_tables`] over a pre-recorded [`TraceSet`].
@@ -115,45 +122,39 @@ pub fn fig5_tables_with(
     threads: usize,
     traces: &TraceSet,
 ) -> (Table, Table) {
-    fig5_sweep(spec, progress, threads, Some(traces))
+    fig5_tables_over(&Workload::suite(), spec, progress, threads, Some(traces))
 }
 
-fn fig5_sweep(
+/// [`fig5_tables`] over an explicit workload list (suite benchmarks,
+/// synthetic scenarios, or any mix).
+pub fn fig5_tables_over(
+    workloads: &[Workload],
     spec: Spec,
     progress: bool,
     threads: usize,
     traces: Option<&TraceSet>,
 ) -> (Table, Table) {
     let depths = Depth::all();
-    let mut points = Vec::new();
-    for bench in Benchmark::all() {
-        for depth in depths {
-            points.push(SweepPoint {
-                bench,
-                depth,
-                config: PredictorConfig::ArviCurrent,
-            });
-        }
-    }
+    let points = grid(workloads, &depths, &[PredictorConfig::ArviCurrent]);
     let results = match traces {
         Some(traces) => run_sweep_with(&points, spec, threads, progress, traces),
         None => run_sweep(&points, spec, threads, progress),
     };
 
     let mut fig5a = Table::new(vec![
-        "benchmark".into(),
+        "workload".into(),
         "20-cycle".into(),
         "40-cycle".into(),
         "60-cycle".into(),
     ]);
     let mut fig5b = Table::new(vec![
-        "benchmark".into(),
+        "workload".into(),
         "calc branch".into(),
         "load branch".into(),
     ]);
-    for (bi, bench) in Benchmark::all().iter().enumerate() {
-        let per_depth = &results[bi * depths.len()..(bi + 1) * depths.len()];
-        let mut row = vec![bench.name().to_string()];
+    for (wi, workload) in workloads.iter().enumerate() {
+        let per_depth = &results[wi * depths.len()..(wi + 1) * depths.len()];
+        let mut row = vec![workload.name().to_string()];
         row.extend(
             per_depth
                 .iter()
@@ -162,7 +163,7 @@ fn fig5_sweep(
         fig5a.row(row);
         let d20 = &per_depth[0];
         fig5b.row(vec![
-            bench.name().to_string(),
+            workload.name().to_string(),
             format!("{:.4}", d20.window.calc_class.rate()),
             format!("{:.4}", d20.window.load_class.rate()),
         ]);
@@ -175,8 +176,10 @@ fn fig5_sweep(
 pub struct Fig6Data {
     /// Pipeline depth simulated.
     pub depth: Depth,
-    /// Per-benchmark, per-configuration results, `results[bench][config]`
-    /// in `Benchmark::all()` x `PredictorConfig::all()` order.
+    /// Workloads swept, one per results row.
+    pub workloads: Vec<Workload>,
+    /// Per-workload, per-configuration results, `results[workload][config]`
+    /// in `workloads` x `PredictorConfig::all()` order.
     pub results: Vec<Vec<SimResult>>,
 }
 
@@ -190,7 +193,7 @@ impl Fig6Data {
     /// sequential). Records each benchmark's trace once in memory; use
     /// [`Fig6Data::collect_with`] to share recordings across depths.
     pub fn collect_threaded(depth: Depth, spec: Spec, progress: bool, threads: usize) -> Fig6Data {
-        Fig6Data::sweep(depth, spec, progress, threads, None)
+        Fig6Data::collect_over(&Workload::suite(), depth, spec, progress, threads, None)
     }
 
     /// [`Fig6Data::collect`] over a pre-recorded [`TraceSet`].
@@ -201,10 +204,20 @@ impl Fig6Data {
         threads: usize,
         traces: &TraceSet,
     ) -> Fig6Data {
-        Fig6Data::sweep(depth, spec, progress, threads, Some(traces))
+        Fig6Data::collect_over(
+            &Workload::suite(),
+            depth,
+            spec,
+            progress,
+            threads,
+            Some(traces),
+        )
     }
 
-    fn sweep(
+    /// [`Fig6Data::collect`] over an explicit workload list (suite
+    /// benchmarks, synthetic scenarios, or any mix).
+    pub fn collect_over(
+        workloads: &[Workload],
         depth: Depth,
         spec: Spec,
         progress: bool,
@@ -212,37 +225,32 @@ impl Fig6Data {
         traces: Option<&TraceSet>,
     ) -> Fig6Data {
         let configs = PredictorConfig::all();
-        let mut points = Vec::new();
-        for bench in Benchmark::all() {
-            for config in configs {
-                points.push(SweepPoint {
-                    bench,
-                    depth,
-                    config,
-                });
-            }
-        }
+        let points = grid(workloads, &[depth], &configs);
         let mut flat = match traces {
             Some(traces) => run_sweep_with(&points, spec, threads, progress, traces),
             None => run_sweep(&points, spec, threads, progress),
         };
         let mut results = Vec::new();
-        for _ in Benchmark::all() {
+        for _ in workloads {
             let rest = flat.split_off(configs.len());
             results.push(flat);
             flat = rest;
         }
-        Fig6Data { depth, results }
+        Fig6Data {
+            depth,
+            workloads: workloads.to_vec(),
+            results,
+        }
     }
 
     /// The prediction-accuracy table (Figure 6 a/c/e).
     pub fn accuracy_table(&self) -> Table {
-        let mut headers = vec!["benchmark".to_string()];
+        let mut headers = vec!["workload".to_string()];
         headers.extend(PredictorConfig::all().iter().map(|c| c.label().to_string()));
         let mut t = Table::new(headers);
-        for (bi, bench) in Benchmark::all().iter().enumerate() {
-            let mut row = vec![bench.name().to_string()];
-            for r in &self.results[bi] {
+        for (wi, workload) in self.workloads.iter().enumerate() {
+            let mut row = vec![workload.name().to_string()];
+            for r in &self.results[wi] {
                 row.push(format!("{:.4}", r.accuracy()));
             }
             t.row(row);
@@ -253,14 +261,14 @@ impl Fig6Data {
     /// The normalized-IPC table with the paper's `average` row (Figure 6
     /// b/d/f); IPC is normalized to the two-level 2Bc-gskew baseline.
     pub fn normalized_ipc_table(&self) -> Table {
-        let mut headers = vec!["benchmark".to_string()];
+        let mut headers = vec!["workload".to_string()];
         headers.extend(PredictorConfig::all().iter().map(|c| c.label().to_string()));
         let mut t = Table::new(headers);
         let mut sums = vec![Vec::new(); PredictorConfig::all().len()];
-        for (bi, bench) in Benchmark::all().iter().enumerate() {
-            let base = self.results[bi][0].ipc();
-            let mut row = vec![bench.name().to_string()];
-            for (ci, r) in self.results[bi].iter().enumerate() {
+        for (wi, workload) in self.workloads.iter().enumerate() {
+            let base = self.results[wi][0].ipc();
+            let mut row = vec![workload.name().to_string()];
+            for (ci, r) in self.results[wi].iter().enumerate() {
                 let norm = r.ipc() / base;
                 sums[ci].push(norm);
                 row.push(format!("{norm:.3}"));
@@ -479,7 +487,7 @@ mod tests {
             seed: 1,
         };
         let r = run_one(
-            Benchmark::Vortex,
+            &Benchmark::Vortex.into(),
             Depth::D20,
             PredictorConfig::TwoLevelGskew,
             spec,

@@ -16,6 +16,10 @@
 //! * `perf_report` — quantifies the record-once/replay-many trace
 //!   subsystem (replay vs per-cell re-emulation, stream codec
 //!   throughput), emitting a machine-readable `BENCH_*.json`.
+//! * `synth_report` — characterizes every predictor (standalone
+//!   baselines + machine configurations) across the curated
+//!   synthetic-scenario grid, emitting `BENCH_PR3.json` and a markdown
+//!   table with the paper-style separation summary.
 //!
 //! Experiment grids fan out over [`sweep::par_map`]: every
 //! `(benchmark, depth, configuration)` cell is an independent
@@ -31,6 +35,11 @@
 //! `--trace-dir DIR` to persist recordings and reload them on later
 //! runs instead of re-emulating.
 //!
+//! Grids sweep [`Workload`]s — suite benchmarks or `arvi-synth`
+//! scenarios. The experiment binaries select scenarios with
+//! `--scenario NAME_OR_SPEC` / `--scenario-file FILE` and enumerate
+//! the registries with `--list-scenarios` / `--list-benchmarks`.
+//!
 //! Criterion microbenchmarks (under `benches/`) measure the hardware
 //! structures themselves (DDT insert/chain-read, RSE extraction, BVIT
 //! lookup, predictor throughput, emulator and whole-machine speed).
@@ -39,17 +48,22 @@ pub mod baseline;
 pub mod harness;
 pub mod report;
 pub mod sweep;
+pub mod workload;
 
 pub use harness::{
-    fig5_tables, fig5_tables_threaded, fig5_tables_with, fig6_tables, paper_tables, run_one,
-    run_one_traced, Fig6Data, Spec,
+    fig5_tables, fig5_tables_over, fig5_tables_threaded, fig5_tables_with, fig6_tables,
+    paper_tables, run_one, run_one_traced, Fig6Data, Spec,
 };
 pub use report::{write_report, Json};
 pub use sweep::{
-    default_threads, distinct_benches, full_grid, par_map, record_trace, run_sweep,
+    default_threads, distinct_workloads, full_grid, grid, par_map, record_trace, run_sweep,
     run_sweep_emulated, run_sweep_with, trace_file_name, trace_len, SweepPoint, TraceSet,
     TRACE_SLACK,
 };
+pub use workload::Workload;
+
+use arvi_synth::ScenarioSpec;
+use arvi_workloads::Benchmark;
 
 /// Parses a `--threads N` argument pair out of `args`, defaulting to all
 /// cores.
@@ -69,4 +83,217 @@ pub fn trace_dir_from_args(args: &[String]) -> Option<std::path::PathBuf> {
         .position(|a| a == "--trace-dir")
         .and_then(|i| args.get(i + 1))
         .map(std::path::PathBuf::from)
+}
+
+/// Parses the scenario-selection flags out of `args`:
+///
+/// * `--scenario X` (repeatable) — `X` is a curated scenario name
+///   (`--list-scenarios`), or a full quoted spec line
+///   (`"name branch=datadep:64 chain=8"`; recognized by containing
+///   whitespace or `=`). A bare name that is not curated runs as a
+///   knobless spec line (all defaults), with a note on stderr.
+/// * `--scenario-file FILE` — a scenario file, one spec line each
+///   (`arvi_synth::parse_scenarios` syntax: `#` comments, blank lines).
+///
+/// Returns `Ok(None)` when no scenario flag is present (callers fall
+/// back to the benchmark suite), `Ok(Some(workloads))` otherwise.
+pub fn scenario_workloads_from_args(args: &[String]) -> Result<Option<Vec<Workload>>, String> {
+    let mut specs: Vec<ScenarioSpec> = Vec::new();
+    let mut any = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scenario" => {
+                any = true;
+                let v = args
+                    .get(i + 1)
+                    // A following flag means the value was forgotten —
+                    // without this, `--scenario --quick` would run a
+                    // default-knob scenario literally named `--quick`.
+                    .filter(|v| !v.starts_with('-'))
+                    .ok_or("--scenario needs a name or spec line")?;
+                let spec = if v.contains(|c: char| c.is_whitespace() || c == '=') {
+                    v.parse::<ScenarioSpec>().map_err(|e| e.to_string())?
+                } else {
+                    match arvi_synth::find(v) {
+                        Some(spec) => spec,
+                        // A bare name that is not curated is still a
+                        // valid knobless spec line — accept it (with a
+                        // note, in case it was a curated-name typo).
+                        None => {
+                            let spec = v.parse::<ScenarioSpec>().map_err(|_| {
+                                format!(
+                                    "unknown scenario `{v}` — not a curated name \
+                                     (see --list-scenarios) nor a valid spec line"
+                                )
+                            })?;
+                            eprintln!(
+                                "note: `{v}` is not a curated scenario; \
+                                 running it as a spec line with default knobs"
+                            );
+                            spec
+                        }
+                    }
+                };
+                specs.push(spec);
+                i += 2;
+            }
+            "--scenario-file" => {
+                any = true;
+                let path = args
+                    .get(i + 1)
+                    .filter(|v| !v.starts_with('-'))
+                    .ok_or("--scenario-file needs a path")?;
+                let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+                specs.extend(arvi_synth::parse_scenarios(&text).map_err(|e| e.to_string())?);
+                i += 2;
+            }
+            _ => i += 1,
+        }
+    }
+    if !any {
+        return Ok(None);
+    }
+    for (i, a) in specs.iter().enumerate() {
+        if specs[..i].iter().any(|b| b.name == a.name) {
+            return Err(format!("duplicate scenario name `{}`", a.name));
+        }
+    }
+    Ok(Some(specs.into_iter().map(Workload::scenario).collect()))
+}
+
+/// The workload set selected by `args`: the named scenarios when any
+/// scenario flag is present, the benchmark suite otherwise. Prints the
+/// error and exits on a malformed scenario flag.
+pub fn workloads_from_args(args: &[String]) -> Vec<Workload> {
+    match scenario_workloads_from_args(args) {
+        Ok(Some(workloads)) => workloads,
+        Ok(None) => Workload::suite(),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Handles the discoverability flags `--list-scenarios` /
+/// `--list-benchmarks`: prints the requested registries and returns
+/// `true` if either was present (the caller should exit).
+pub fn handle_list_flags(args: &[String]) -> bool {
+    let scenarios = args.iter().any(|a| a == "--list-scenarios");
+    let benchmarks = args.iter().any(|a| a == "--list-benchmarks");
+    if benchmarks {
+        println!("suite benchmarks:");
+        for b in Benchmark::all() {
+            println!("  {}", b.name());
+        }
+    }
+    if scenarios {
+        println!("curated scenarios (pass a name to --scenario; the full line form works too):");
+        for line in arvi_synth::CURATED {
+            println!("  {line}");
+        }
+    }
+    scenarios || benchmarks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn no_scenario_flags_means_suite() {
+        assert_eq!(
+            scenario_workloads_from_args(&args(&["--quick", "--threads", "2"])).unwrap(),
+            None
+        );
+        assert_eq!(workloads_from_args(&args(&["--quick"])), Workload::suite());
+    }
+
+    #[test]
+    fn curated_names_and_spec_lines_mix() {
+        let w = scenario_workloads_from_args(&args(&[
+            "--scenario",
+            "datadep-deep",
+            "--scenario",
+            "mine branch=periodic:6 chain=3",
+        ]))
+        .unwrap()
+        .unwrap();
+        assert_eq!(w.len(), 2);
+        assert_eq!(w[0].name(), "datadep-deep");
+        assert_eq!(w[1].name(), "mine");
+        assert!(matches!(
+            w[1].as_scenario().unwrap().branch,
+            arvi_synth::BranchClass::Periodic { period: 6 }
+        ));
+    }
+
+    #[test]
+    fn bare_uncurated_name_becomes_a_knobless_spec() {
+        let w = scenario_workloads_from_args(&args(&["--scenario", "mine"]))
+            .unwrap()
+            .unwrap();
+        assert_eq!(w.len(), 1);
+        assert_eq!(w[0].name(), "mine");
+        assert_eq!(w[0].as_scenario().unwrap().chain_depth, 2, "default knobs");
+    }
+
+    #[test]
+    fn scenario_errors_are_reported() {
+        // Neither a curated name nor a valid spec line (unsafe name).
+        assert!(
+            scenario_workloads_from_args(&args(&["--scenario", "no/pe"]))
+                .unwrap_err()
+                .contains("unknown scenario")
+        );
+        assert!(scenario_workloads_from_args(&args(&["--scenario"]))
+            .unwrap_err()
+            .contains("needs a name"));
+        // A forgotten value followed by another flag must not become a
+        // scenario named after the flag.
+        assert!(
+            scenario_workloads_from_args(&args(&["--scenario", "--quick"]))
+                .unwrap_err()
+                .contains("needs a name")
+        );
+        assert!(
+            scenario_workloads_from_args(&args(&["--scenario-file", "--quick"]))
+                .unwrap_err()
+                .contains("needs a path")
+        );
+        assert!(scenario_workloads_from_args(&args(&[
+            "--scenario",
+            "a branch=bias:100",
+            "--scenario",
+            "a branch=bias:50",
+        ]))
+        .unwrap_err()
+        .contains("duplicate"));
+    }
+
+    #[test]
+    fn scenario_file_flag_loads_specs() {
+        let dir = std::env::temp_dir().join(format!("arvi-lib-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("suite.scenarios");
+        std::fs::write(
+            &path,
+            "# two
+one branch=datadep:8
+two branch=bias:75
+",
+        )
+        .unwrap();
+        let w = scenario_workloads_from_args(&args(&["--scenario-file", path.to_str().unwrap()]))
+            .unwrap()
+            .unwrap();
+        assert_eq!(w.len(), 2);
+        assert_eq!(w[1].name(), "two");
+        std::fs::remove_dir_all(&dir).ok();
+    }
 }

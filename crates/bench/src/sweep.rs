@@ -23,9 +23,10 @@ use std::sync::{Arc, Mutex};
 use arvi_isa::Emulator;
 use arvi_sim::{Depth, PredictorConfig, SimResult};
 use arvi_trace::{Trace, TraceReplayer};
-use arvi_workloads::Benchmark;
+use arvi_workloads::WorkloadSource;
 
 use crate::harness::{run_one, run_one_traced, Spec};
+use crate::workload::Workload;
 
 /// Instructions recorded beyond `warmup + measure`: the machine fetches
 /// ahead of commit by at most the ROB size (256) plus the commit-width
@@ -38,27 +39,34 @@ pub fn trace_len(spec: Spec) -> u64 {
     spec.warmup + spec.measure + TRACE_SLACK
 }
 
-/// Records `bench` under `spec` into an in-memory trace (one functional
-/// execution of `trace_len(spec)` instructions).
-pub fn record_trace(bench: Benchmark, spec: Spec) -> Trace {
-    let emu = Emulator::new(bench.program(spec.seed));
-    Trace::record(emu, trace_len(spec), bench.name(), spec.seed)
+/// Records `workload` under `spec` into an in-memory trace (one
+/// functional execution of `trace_len(spec)` instructions).
+pub fn record_trace(workload: &Workload, spec: Spec) -> Trace {
+    let emu = Emulator::new(workload.program(spec.seed));
+    Trace::record(emu, trace_len(spec), workload.name(), spec.seed)
 }
 
 /// Canonical file name for a persisted trace: keyed by everything that
-/// determines the recorded stream (benchmark, seed) plus the window it
-/// must cover.
-pub fn trace_file_name(bench: Benchmark, spec: Spec) -> String {
+/// determines the recorded stream (workload, seed) plus the window it
+/// must cover. Scenario workloads additionally carry the spec
+/// fingerprint, so two scenarios sharing a name but differing in knobs
+/// never collide in a trace cache (benchmark file names are unchanged
+/// from PR 2, keeping existing caches valid).
+pub fn trace_file_name(workload: &Workload, spec: Spec) -> String {
+    let knobs = match workload.as_scenario() {
+        Some(s) => format!("-f{:016x}", s.fingerprint()),
+        None => String::new(),
+    };
     format!(
-        "{}-s{}-w{}-m{}.arvitrace",
-        bench.name(),
+        "{}{knobs}-s{}-w{}-m{}.arvitrace",
+        workload.name(),
         spec.seed,
         spec.warmup,
         spec.measure
     )
 }
 
-/// One shared recording per distinct benchmark of a sweep.
+/// One shared recording per distinct workload of a sweep.
 ///
 /// Traces are wrapped in [`Arc`] and handed read-only to every grid
 /// cell and worker thread; each cell constructs a private
@@ -66,12 +74,12 @@ pub fn trace_file_name(bench: Benchmark, spec: Spec) -> String {
 #[derive(Debug, Clone)]
 pub struct TraceSet {
     spec: Spec,
-    traces: Vec<(Benchmark, Arc<Trace>)>,
+    traces: Vec<(Workload, Arc<Trace>)>,
 }
 
 impl TraceSet {
-    /// Records (in parallel, one worker per benchmark) every benchmark in
-    /// `benches` under `spec`.
+    /// Records (in parallel, one worker per workload) every workload in
+    /// `workloads` under `spec`.
     ///
     /// With `dir` set, recordings are persisted there under
     /// [`trace_file_name`] and valid existing files are loaded instead of
@@ -81,7 +89,7 @@ impl TraceSet {
     /// window is re-recorded and rewritten; persistence failures only
     /// warn (the in-memory recording still serves the sweep).
     pub fn record(
-        benches: &[Benchmark],
+        workloads: &[Workload],
         spec: Spec,
         threads: usize,
         dir: Option<&Path>,
@@ -91,21 +99,23 @@ impl TraceSet {
                 eprintln!("warning: cannot create trace dir {}: {e}", dir.display());
             }
         }
-        let traces = par_map(benches, threads, |&bench| {
-            Arc::new(Self::obtain(bench, spec, dir))
+        let traces = par_map(workloads, threads, |workload| {
+            Arc::new(Self::obtain(workload, spec, dir))
         });
         TraceSet {
             spec,
-            traces: benches.iter().copied().zip(traces).collect(),
+            traces: workloads.iter().cloned().zip(traces).collect(),
         }
     }
 
-    fn obtain(bench: Benchmark, spec: Spec, dir: Option<&Path>) -> Trace {
+    fn obtain(workload: &Workload, spec: Spec, dir: Option<&Path>) -> Trace {
         let need = trace_len(spec);
-        let path = dir.map(|d| d.join(trace_file_name(bench, spec)));
+        let path = dir.map(|d| d.join(trace_file_name(workload, spec)));
         if let Some(path) = &path {
             match Trace::read_from(path) {
-                Ok(t) if t.len() >= need && t.seed() == spec.seed && t.name() == bench.name() => {
+                Ok(t)
+                    if t.len() >= need && t.seed() == spec.seed && t.name() == workload.name() =>
+                {
                     return t;
                 }
                 Ok(_) => eprintln!(
@@ -118,7 +128,7 @@ impl TraceSet {
                 Err(_) => {}
             }
         }
-        let t = record_trace(bench, spec);
+        let t = record_trace(workload, spec);
         if let Some(path) = &path {
             if let Err(e) = t.write_to(path) {
                 eprintln!("warning: cannot persist trace {}: {e}", path.display());
@@ -132,29 +142,30 @@ impl TraceSet {
         self.spec
     }
 
-    /// The shared recording for `bench`, if it was recorded.
-    pub fn get(&self, bench: Benchmark) -> Option<&Arc<Trace>> {
+    /// The shared recording for `workload`, if it was recorded.
+    pub fn get(&self, workload: &Workload) -> Option<&Arc<Trace>> {
         self.traces
             .iter()
-            .find(|(b, _)| *b == bench)
+            .find(|(w, _)| w == workload)
             .map(|(_, t)| t)
     }
 
-    /// A fresh replay cursor over `bench`'s shared recording.
-    pub fn replayer(&self, bench: Benchmark) -> Option<TraceReplayer> {
-        self.get(bench).map(|t| TraceReplayer::new(Arc::clone(t)))
+    /// A fresh replay cursor over `workload`'s shared recording.
+    pub fn replayer(&self, workload: &Workload) -> Option<TraceReplayer> {
+        self.get(workload)
+            .map(|t| TraceReplayer::new(Arc::clone(t)))
     }
 }
 
-/// The distinct benchmarks of a work list, in first-appearance order.
-pub fn distinct_benches(points: &[SweepPoint]) -> Vec<Benchmark> {
-    let mut benches = Vec::new();
+/// The distinct workloads of a work list, in first-appearance order.
+pub fn distinct_workloads(points: &[SweepPoint]) -> Vec<Workload> {
+    let mut workloads = Vec::new();
     for p in points {
-        if !benches.contains(&p.bench) {
-            benches.push(p.bench);
+        if !workloads.contains(&p.workload) {
+            workloads.push(p.workload.clone());
         }
     }
-    benches
+    workloads
 }
 
 /// Worker count to use when the caller does not care: the host's
@@ -201,10 +212,10 @@ where
 }
 
 /// One cell of an experiment grid.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SweepPoint {
-    /// Workload.
-    pub bench: Benchmark,
+    /// Workload (suite benchmark or synthetic scenario).
+    pub workload: Workload,
     /// Pipeline depth.
     pub depth: Depth,
     /// Predictor configuration.
@@ -213,18 +224,22 @@ pub struct SweepPoint {
 
 impl std::fmt::Display for SweepPoint {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{} @{} / {}", self.bench, self.depth, self.config)
+        write!(f, "{} @{} / {}", self.workload, self.depth, self.config)
     }
 }
 
-/// The full paper grid: every benchmark x depth x configuration.
-pub fn full_grid() -> Vec<SweepPoint> {
+/// Every workload x depth x configuration cell over the given axes.
+pub fn grid(
+    workloads: &[Workload],
+    depths: &[Depth],
+    configs: &[PredictorConfig],
+) -> Vec<SweepPoint> {
     let mut points = Vec::new();
-    for bench in Benchmark::all() {
-        for depth in Depth::all() {
-            for config in PredictorConfig::all() {
+    for workload in workloads {
+        for &depth in depths {
+            for &config in configs {
                 points.push(SweepPoint {
-                    bench,
+                    workload: workload.clone(),
                     depth,
                     config,
                 });
@@ -234,10 +249,15 @@ pub fn full_grid() -> Vec<SweepPoint> {
     points
 }
 
+/// The full paper grid: every benchmark x depth x configuration.
+pub fn full_grid() -> Vec<SweepPoint> {
+    grid(&Workload::suite(), &Depth::all(), &PredictorConfig::all())
+}
+
 /// Runs every point on `threads` workers; `results[i]` corresponds to
 /// `points[i]`.
 ///
-/// Record-once / replay-many: each distinct benchmark is emulated once
+/// Record-once / replay-many: each distinct workload is emulated once
 /// into an in-memory [`TraceSet`], then all its cells replay the shared
 /// recording. Use [`run_sweep_with`] to reuse recordings across several
 /// grids (or load them from disk), and [`run_sweep_emulated`] for the
@@ -248,11 +268,11 @@ pub fn run_sweep(
     threads: usize,
     progress: bool,
 ) -> Vec<SimResult> {
-    let traces = TraceSet::record(&distinct_benches(points), spec, threads, None);
+    let traces = TraceSet::record(&distinct_workloads(points), spec, threads, None);
     run_sweep_with(points, spec, threads, progress, &traces)
 }
 
-/// [`run_sweep`] over pre-recorded traces. A point whose benchmark is
+/// [`run_sweep`] over pre-recorded traces. A point whose workload is
 /// missing from `traces` falls back to live emulation for that cell.
 pub fn run_sweep_with(
     points: &[SweepPoint],
@@ -265,9 +285,9 @@ pub fn run_sweep_with(
         if progress {
             eprintln!("sweep: {p}");
         }
-        match traces.get(p.bench) {
+        match traces.get(&p.workload) {
             Some(trace) => run_one_traced(trace, p.depth, p.config, spec),
-            None => run_one(p.bench, p.depth, p.config, spec),
+            None => run_one(&p.workload, p.depth, p.config, spec),
         }
     })
 }
@@ -285,13 +305,14 @@ pub fn run_sweep_emulated(
         if progress {
             eprintln!("sweep: {p}");
         }
-        run_one(p.bench, p.depth, p.config, spec)
+        run_one(&p.workload, p.depth, p.config, spec)
     })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use arvi_workloads::Benchmark;
 
     #[test]
     fn par_map_preserves_item_order() {
@@ -327,17 +348,17 @@ mod tests {
     fn small_points() -> [SweepPoint; 3] {
         [
             SweepPoint {
-                bench: Benchmark::Compress,
+                workload: Benchmark::Compress.into(),
                 depth: Depth::D20,
                 config: PredictorConfig::TwoLevelGskew,
             },
             SweepPoint {
-                bench: Benchmark::Li,
+                workload: Benchmark::Li.into(),
                 depth: Depth::D20,
                 config: PredictorConfig::ArviCurrent,
             },
             SweepPoint {
-                bench: Benchmark::Compress,
+                workload: Benchmark::Compress.into(),
                 depth: Depth::D40,
                 config: PredictorConfig::ArviCurrent,
             },
@@ -385,12 +406,18 @@ mod tests {
     }
 
     #[test]
-    fn distinct_benches_preserves_first_appearance_order() {
-        let points = small_points();
-        assert_eq!(
-            distinct_benches(&points),
-            vec![Benchmark::Compress, Benchmark::Li]
-        );
+    fn distinct_workloads_preserves_first_appearance_order() {
+        let mut points = small_points().to_vec();
+        points.push(SweepPoint {
+            workload: Workload::scenario("dw branch=datadep:8".parse().unwrap()),
+            depth: Depth::D20,
+            config: PredictorConfig::ArviCurrent,
+        });
+        let distinct = distinct_workloads(&points);
+        assert_eq!(distinct.len(), 3);
+        assert_eq!(distinct[0], Benchmark::Compress.into());
+        assert_eq!(distinct[1], Benchmark::Li.into());
+        assert_eq!(distinct[2].name(), "dw");
     }
 
     #[test]
@@ -406,8 +433,8 @@ mod tests {
             measure: 50_000,
             seed: 3,
         };
-        let traces = TraceSet::record(&[Benchmark::Li], small, 1, None);
-        let trace = traces.get(Benchmark::Li).unwrap();
+        let traces = TraceSet::record(&[Benchmark::Li.into()], small, 1, None);
+        let trace = traces.get(&Benchmark::Li.into()).unwrap();
         let _ =
             crate::harness::run_one_traced(trace, Depth::D20, PredictorConfig::ArviCurrent, big);
     }
@@ -421,18 +448,18 @@ mod tests {
         };
         let dir = std::env::temp_dir().join(format!("arvi-sweep-test-{}", std::process::id()));
         std::fs::remove_dir_all(&dir).ok();
-        let benches = [Benchmark::M88ksim];
-        let recorded = TraceSet::record(&benches, spec, 1, Some(&dir));
-        let path = dir.join(trace_file_name(Benchmark::M88ksim, spec));
+        let workloads = [Workload::from(Benchmark::M88ksim)];
+        let recorded = TraceSet::record(&workloads, spec, 1, Some(&dir));
+        let path = dir.join(trace_file_name(&workloads[0], spec));
         assert!(path.exists());
         // Second record() round-trips through the persisted file.
-        let reloaded = TraceSet::record(&benches, spec, 1, Some(&dir));
-        let a = recorded.get(Benchmark::M88ksim).unwrap();
-        let b = reloaded.get(Benchmark::M88ksim).unwrap();
+        let reloaded = TraceSet::record(&workloads, spec, 1, Some(&dir));
+        let a = recorded.get(&workloads[0]).unwrap();
+        let b = reloaded.get(&workloads[0]).unwrap();
         assert_eq!(a.len(), b.len());
         assert_eq!(a.len(), trace_len(spec));
-        let insts_a: Vec<_> = recorded.replayer(Benchmark::M88ksim).unwrap().collect();
-        let insts_b: Vec<_> = reloaded.replayer(Benchmark::M88ksim).unwrap().collect();
+        let insts_a: Vec<_> = recorded.replayer(&workloads[0]).unwrap().collect();
+        let insts_b: Vec<_> = reloaded.replayer(&workloads[0]).unwrap().collect();
         assert_eq!(insts_a, insts_b);
         std::fs::remove_dir_all(&dir).ok();
     }

@@ -1,0 +1,123 @@
+//! The sweepable workload registry: suite benchmarks and synthetic
+//! scenarios behind one type.
+//!
+//! Every experiment surface in this crate — [`crate::sweep`] grids, the
+//! Figure-5/6 harnesses, trace recording/persistence — takes a
+//! [`Workload`], so a synthetic scenario from `arvi-synth` runs anywhere
+//! one of the eight SPEC95-style benchmarks runs: same record-once /
+//! replay-many sharing, same `--trace-dir` persistence, same
+//! deterministic parallel sweeps.
+
+use std::fmt;
+use std::sync::Arc;
+
+use arvi_isa::Program;
+use arvi_synth::ScenarioSpec;
+use arvi_workloads::{Benchmark, WorkloadSource};
+
+/// A workload an experiment grid can sweep: one of the suite benchmarks
+/// or a synthetic scenario.
+///
+/// Scenario specs ride in an [`Arc`], so cloning a `Workload` per grid
+/// cell stays cheap.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Workload {
+    /// One of the eight SPEC95-style suite benchmarks.
+    Bench(Benchmark),
+    /// A synthetic scenario (`arvi-synth`).
+    Scenario(Arc<ScenarioSpec>),
+}
+
+impl Workload {
+    /// The full benchmark suite as workloads, in paper order.
+    pub fn suite() -> Vec<Workload> {
+        Benchmark::all()
+            .iter()
+            .copied()
+            .map(Workload::Bench)
+            .collect()
+    }
+
+    /// The curated synthetic-scenario set as workloads.
+    pub fn curated_scenarios() -> Vec<Workload> {
+        arvi_synth::curated()
+            .into_iter()
+            .map(Workload::scenario)
+            .collect()
+    }
+
+    /// Wraps a scenario spec.
+    pub fn scenario(spec: ScenarioSpec) -> Workload {
+        Workload::Scenario(Arc::new(spec))
+    }
+
+    /// The workload's name (used in results, tables and trace files).
+    pub fn name(&self) -> &str {
+        match self {
+            Workload::Bench(b) => b.name(),
+            Workload::Scenario(s) => &s.name,
+        }
+    }
+
+    /// The synthetic scenario behind this workload, if it is one.
+    pub fn as_scenario(&self) -> Option<&ScenarioSpec> {
+        match self {
+            Workload::Bench(_) => None,
+            Workload::Scenario(s) => Some(s),
+        }
+    }
+}
+
+impl WorkloadSource for Workload {
+    fn name(&self) -> &str {
+        Workload::name(self)
+    }
+
+    fn program(&self, seed: u64) -> Program {
+        match self {
+            Workload::Bench(b) => b.program(seed),
+            Workload::Scenario(s) => arvi_synth::build_program(s, seed),
+        }
+    }
+}
+
+impl From<Benchmark> for Workload {
+    fn from(b: Benchmark) -> Workload {
+        Workload::Bench(b)
+    }
+}
+
+impl fmt::Display for Workload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arvi_isa::Emulator;
+
+    #[test]
+    fn suite_and_scenarios_register_side_by_side() {
+        let suite = Workload::suite();
+        assert_eq!(suite.len(), Benchmark::all().len());
+        let scenarios = Workload::curated_scenarios();
+        assert!(!scenarios.is_empty());
+        for w in suite.iter().chain(&scenarios) {
+            let program = w.program(42);
+            assert_eq!(program.name(), w.name());
+            let n = Emulator::new(program).take(2_000).count();
+            assert_eq!(n, 2_000, "{w} halted early");
+        }
+    }
+
+    #[test]
+    fn scenario_accessor_distinguishes_kinds() {
+        let b = Workload::from(Benchmark::M88ksim);
+        assert!(b.as_scenario().is_none());
+        let s = Workload::scenario("x branch=datadep:8".parse().unwrap());
+        assert_eq!(s.as_scenario().unwrap().name, "x");
+        assert_eq!(s.name(), "x");
+    }
+}

@@ -9,18 +9,24 @@ use crate::source::InstSource;
 /// Interns a workload name, returning a `'static` reference.
 ///
 /// Sweeps construct one [`SimResult`] per grid cell; carrying the name
-/// as an interned `&'static str` keeps grid assembly allocation-free
-/// (one leaked allocation per *distinct* name for the process lifetime,
-/// bounded by the workload registry).
+/// as an interned `&'static str` keeps grid assembly allocation-free.
+/// The global table dedups, so a repeated name never re-leaks — the
+/// process leaks exactly one allocation per *distinct* name, bounded by
+/// the workload registry even when parameterized synthetic scenario
+/// names arrive in bulk. Lookups of already-interned names (every grid
+/// cell after the first) take only the read lock, so parallel sweep
+/// workers do not serialize here.
 pub fn intern_name(name: &str) -> &'static str {
     use std::collections::HashSet;
-    use std::sync::{Mutex, OnceLock};
-    static NAMES: OnceLock<Mutex<HashSet<&'static str>>> = OnceLock::new();
-    let mut set = NAMES
-        .get_or_init(|| Mutex::new(HashSet::new()))
-        .lock()
-        .expect("name interner poisoned");
+    use std::sync::{OnceLock, RwLock};
+    static NAMES: OnceLock<RwLock<HashSet<&'static str>>> = OnceLock::new();
+    let table = NAMES.get_or_init(|| RwLock::new(HashSet::new()));
+    if let Some(&interned) = table.read().expect("name interner poisoned").get(name) {
+        return interned;
+    }
+    let mut set = table.write().expect("name interner poisoned");
     match set.get(name) {
+        // Another thread interned it between our read and write locks.
         Some(&interned) => interned,
         None => {
             let interned: &'static str = Box::leak(name.to_owned().into_boxed_str());
@@ -180,6 +186,29 @@ mod tests {
         let b = intern_name("loop-workload");
         assert!(std::ptr::eq(a, b));
         assert_ne!(intern_name("other"), a);
+    }
+
+    #[test]
+    fn interning_dedups_under_concurrency() {
+        // Parameterized scenario-style names interned from many threads
+        // at once: every repeat must resolve to the same leaked string.
+        let names: Vec<String> = (0..32).map(|i| format!("synth-param-{}", i % 4)).collect();
+        let interned: Vec<&'static str> = std::thread::scope(|scope| {
+            let handles: Vec<_> = names
+                .iter()
+                .map(|n| scope.spawn(move || intern_name(n)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("interner thread panicked"))
+                .collect()
+        });
+        for (i, s) in interned.iter().enumerate() {
+            assert!(
+                std::ptr::eq(*s, interned[i % 4]),
+                "duplicate name {i} re-leaked"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,69 @@
+//! # arvi-synth
+//!
+//! A seeded synthetic-workload subsystem: composable, deterministic
+//! generators of committed [`DynInst`](arvi_isa::DynInst) streams with
+//! explicit control knobs for the things the ARVI study cares about —
+//! dependence-graph topology (chain depth, fan-out, dead/live register
+//! pressure, production-to-branch distance), branch-behavior class
+//! (fixed-bias, periodic, history-correlated, data-dependent) and
+//! memory access pattern (streaming, strided, pointer-chasing through
+//! the emulated heap).
+//!
+//! A scenario is a one-line plain-text spec (no serialization library;
+//! see [`spec`]):
+//!
+//! ```text
+//! datadep-deep branch=datadep:64 chain=8 fanout=2 dead=2 gap=20 mem=stride:16
+//! ```
+//!
+//! Scenarios plug in at every layer of the stack:
+//!
+//! * [`SynthSource`] implements `arvi_sim::InstSource` — a scenario can
+//!   drive the timing simulator live, exactly like the emulator.
+//! * [`record_trace`] writes the stream through `arvi_trace`, so
+//!   scenarios participate in record-once / replay-many sweeps and
+//!   `--trace-dir` persistence.
+//! * The [curated scenario set](curated) registers next to the
+//!   `arvi_workloads::Benchmark` suite: the experiment binaries accept
+//!   `--scenario NAME` / `--scenario-file FILE` wherever a benchmark
+//!   grid runs today, and `ScenarioSpec` implements
+//!   [`arvi_workloads::WorkloadSource`].
+//!
+//! ```
+//! use arvi_synth::{ScenarioSpec, SynthSource};
+//! use arvi_sim::{simulate_source, intern_name, SimParams, Depth, PredictorConfig};
+//!
+//! let spec: ScenarioSpec = "quick branch=datadep:16 chain=2 gap=12".parse().unwrap();
+//! let r = simulate_source(
+//!     intern_name(&spec.name),
+//!     SynthSource::new(&spec, 42),
+//!     SimParams::small_test(),
+//!     PredictorConfig::ArviCurrent,
+//!     2_000,
+//!     8_000,
+//! );
+//! assert!(r.accuracy() > 0.5);
+//! ```
+
+pub mod program;
+pub mod source;
+pub mod spec;
+pub mod suite;
+
+pub use program::build_program;
+pub use source::{record_trace, SynthSource};
+pub use spec::{parse_scenarios, BranchClass, MemPattern, ScenarioSpec, SpecError};
+pub use suite::{curated, find, CURATED};
+
+use arvi_isa::Program;
+use arvi_workloads::WorkloadSource;
+
+impl WorkloadSource for ScenarioSpec {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn program(&self, seed: u64) -> Program {
+        build_program(self, seed)
+    }
+}

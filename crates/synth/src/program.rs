@@ -1,0 +1,494 @@
+//! Scenario-spec → `Program` compilation.
+//!
+//! Every scenario compiles to the same iteration skeleton; the knobs
+//! decide what each section emits:
+//!
+//! ```text
+//! outer:
+//!   acquire    value V (per mem pattern) and, if needed, an aux bit
+//!   chain      W = f(V): `chain` dependent ALU links, each feeding
+//!              `fanout - 1` extra live consumers
+//!   dead       `dead` results written to registers never read again
+//!   branches   the scenario's branch-class section (tests the
+//!              *previous* iteration's W for datadep, so the value has
+//!              written back by prediction time — the li-model idiom)
+//!   handoff    A1 = W  (production point for next iteration's branches)
+//!   gap        `gap` filler instructions: production-to-branch distance
+//!   jump outer
+//! ```
+//!
+//! All randomness (ring contents, chain constants, pointer-chase
+//! permutation) is drawn from a generator seeded by `(spec, seed)`, so a
+//! scenario's committed stream is a pure function of its spec line and
+//! seed — the determinism the trace subsystem and the property tests
+//! rely on.
+
+use arvi_isa::{regs::*, AluOp, Cond, Program, ProgramBuilder};
+use arvi_workloads::data;
+use arvi_workloads::Layout;
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use crate::spec::{BranchClass, MemPattern, ScenarioSpec};
+
+/// Value-ring length (words) for the streaming/strided patterns. A lap
+/// is 65536 iterations — more than any experiment window simulates — so
+/// within a measurement window the value sequence never repeats and a
+/// history predictor has no lap to memorize, while the *population*
+/// behind the values (datadep) recurs every few iterations.
+const VALUE_RING: usize = 65536;
+
+/// Aux-bit ring length (words). The fixed-bias and history classes draw
+/// their coin flips here; like [`VALUE_RING`], one lap outlasts the
+/// window, so the flip sequence is irreducible within a run.
+const AUX_RING: usize = 65536;
+
+/// Generated values live in `[1, 2^48)`: never zero (zero is the chase
+/// NULL convention elsewhere in the suite) and with slack below 2^63 so
+/// chained adds cannot wrap into apparent negatives.
+const VALUE_BITS: u64 = 48;
+
+fn shuffle(rng: &mut SmallRng, v: &mut [u64]) {
+    for i in (1..v.len()).rev() {
+        let j = rng.gen_range(0..i + 1);
+        v.swap(i, j);
+    }
+}
+
+/// Draws ring contents: `len` values from a recurring `population`-sized
+/// pool (datadep), or fully independent values (other classes).
+fn ring_values(rng: &mut SmallRng, len: usize, population: Option<u32>) -> Vec<u64> {
+    match population {
+        Some(pop) => {
+            let pool = data::distinct_values(rng, pop as usize, 1, 1 << VALUE_BITS);
+            (0..len)
+                .map(|_| pool[rng.gen_range(0..pool.len())])
+                .collect()
+        }
+        None => (0..len)
+            .map(|_| rng.gen_range(1..1 << VALUE_BITS))
+            .collect(),
+    }
+}
+
+/// Builds the scenario's program. Deterministic in `(spec, seed)`.
+pub fn build_program(spec: &ScenarioSpec, seed: u64) -> Program {
+    let mut rng = data::rng(seed ^ spec.fingerprint());
+    let mut b = ProgramBuilder::new();
+    let mut l = Layout::new();
+
+    let population = match spec.branch {
+        BranchClass::DataDep { population } => Some(population),
+        _ => None,
+    };
+
+    // -- Data segment -------------------------------------------------
+    // Value source: a ring for stream/stride, a node cycle for chase.
+    let (ring_addr, ring_mask, step, chase) = match spec.mem {
+        MemPattern::Streaming | MemPattern::Strided { .. } => {
+            let addr = l.alloc(VALUE_RING);
+            for (i, v) in ring_values(&mut rng, VALUE_RING, population)
+                .into_iter()
+                .enumerate()
+            {
+                b.data(addr + (i as u64) * 8, v);
+            }
+            // Strides are forced odd: an odd step is coprime with the
+            // power-of-two ring, so the cursor's orbit covers every slot
+            // instead of collapsing onto a short (and thus memorizable)
+            // sub-ring of gcd(stride, len) period.
+            let step = match spec.mem {
+                MemPattern::Strided { stride } => (stride as usize | 1) & (VALUE_RING - 1),
+                _ => 1,
+            };
+            (addr, (VALUE_RING - 1) as i64, step as i64, None)
+        }
+        MemPattern::PointerChase { nodes } => {
+            let n = nodes as usize;
+            let addr = l.alloc(n * 2);
+            let values = ring_values(&mut rng, n, population);
+            // A single random cycle through all nodes: node[i] is 16 B.
+            let mut order: Vec<u64> = (0..n as u64).collect();
+            shuffle(&mut rng, &mut order);
+            for (k, &i) in order.iter().enumerate() {
+                let next = order[(k + 1) % n];
+                b.data(addr + i * 16, values[i as usize]);
+                b.data(addr + i * 16 + 8, addr + next * 16);
+            }
+            (addr, 0, 0, Some(order[0]))
+        }
+    };
+
+    // Aux-bit ring: coin flips for the bias and history classes.
+    let needs_aux = matches!(
+        spec.branch,
+        BranchClass::FixedBias { taken_pct: 1..=99 } | BranchClass::HistoryCorrelated { .. }
+    );
+    let aux_addr = if needs_aux {
+        let addr = l.alloc(AUX_RING);
+        let mut bits: Vec<u64> = match spec.branch {
+            // Exactly pct% ones, shuffled: the empirical taken rate
+            // matches the spec to ring-rounding precision.
+            BranchClass::FixedBias { taken_pct } => {
+                let ones = (AUX_RING * taken_pct as usize) / 100;
+                let mut v = vec![0u64; AUX_RING];
+                v[..ones].fill(1);
+                v
+            }
+            _ => (0..AUX_RING).map(|_| rng.gen_range(0..2u64)).collect(),
+        };
+        shuffle(&mut rng, &mut bits);
+        for (i, bit) in bits.into_iter().enumerate() {
+            b.data(addr + (i as u64) * 8, bit);
+        }
+        Some(addr)
+    } else {
+        None
+    };
+
+    let cursor_slot = l.alloc(1);
+    let aux_cursor_slot = l.alloc(1);
+    let ptr_slot = l.alloc(1);
+    let stats_slot = l.alloc(1);
+    if let Some(first) = chase {
+        b.data(ptr_slot, ring_addr + first * 16);
+    }
+
+    // Chain constants (fixed per program, random per seed).
+    let chain_consts: Vec<i64> = (0..spec.chain_depth.max(1))
+        .map(|_| rng.gen_range(1i64..1 << 20) | 1)
+        .collect();
+
+    // -- Code ---------------------------------------------------------
+    // S0 ring base, S2 aux base, S4 = W, S5 accumulator, S6 iteration
+    // counter, S7 stats; A0 = V, A1 = previous W, A2 = history shift
+    // register, A3 = aux bit; T8 filler counter; T9-T11/V2-V3 dead
+    // targets; V0/V1 fanout accumulators.
+    b.li(S0, ring_addr as i64);
+    if let Some(aux) = aux_addr {
+        b.li(S2, aux as i64);
+    }
+    b.li(S7, stats_slot as i64);
+    b.li(A1, 0);
+    b.li(A2, 0);
+    b.li(S6, 0);
+
+    let outer = b.here();
+
+    // Acquire V -> A0.
+    match spec.mem {
+        MemPattern::Streaming | MemPattern::Strided { .. } => {
+            b.li(T0, cursor_slot as i64);
+            b.load(T1, T0, 0);
+            b.alu_imm(AluOp::Sll, T2, T1, 3);
+            b.alu(AluOp::Add, T2, S0, T2);
+            b.load(A0, T2, 0);
+            b.alu_imm(AluOp::Add, T1, T1, step);
+            b.alu_imm(AluOp::And, T1, T1, ring_mask);
+            b.store(T1, T0, 0);
+        }
+        MemPattern::PointerChase { .. } => {
+            b.li(T0, ptr_slot as i64);
+            b.load(T1, T0, 0); // node address
+            b.load(A0, T1, 0); // value
+            b.load(T2, T1, 8); // next
+            b.store(T2, T0, 0);
+        }
+    }
+    // Acquire the aux bit -> A3 (its own streaming cursor).
+    if aux_addr.is_some() {
+        b.li(T3, aux_cursor_slot as i64);
+        b.load(T4, T3, 0);
+        b.alu_imm(AluOp::Sll, T5, T4, 3);
+        b.alu(AluOp::Add, T5, S2, T5);
+        b.load(A3, T5, 0);
+        b.alu_imm(AluOp::Add, T4, T4, 1);
+        b.alu_imm(AluOp::And, T4, T4, (AUX_RING - 1) as i64);
+        b.store(T4, T3, 0);
+    }
+
+    // Dependence chain W = f(V), with fan-out consumers per link.
+    let fan_acc = [V0, V1];
+    b.mv(S4, A0);
+    for k in 0..spec.chain_depth as usize {
+        match k % 3 {
+            0 => {
+                b.alu_imm(AluOp::Xor, S4, S4, chain_consts[k]);
+            }
+            1 => {
+                b.alu_imm(AluOp::Add, S4, S4, chain_consts[k]);
+            }
+            // Re-converge on V so the chain widens back into the load.
+            // The copy is shifted by a per-link-distinct amount: adding V
+            // itself would XOR-cancel V's parity out of bit 0 whenever V
+            // feeds the sum an even number of times, collapsing the
+            // "data-dependent" branch below to a constant.
+            _ => {
+                b.alu_imm(AluOp::Srl, S3, A0, (k as i64 % 13) + 1);
+                b.alu(AluOp::Add, S4, S4, S3);
+            }
+        };
+        for f in 0..(spec.fanout as usize - 1) {
+            let acc = fan_acc[f % fan_acc.len()];
+            b.alu(AluOp::Add, acc, acc, S4);
+        }
+    }
+
+    // Dead register pressure: destinations never read again.
+    let dead_regs = [T9, T10, T11, V2, V3];
+    for j in 0..spec.dead_writes as usize {
+        b.alu_imm(
+            AluOp::Add,
+            dead_regs[j % dead_regs.len()],
+            T8,
+            (j as i64 + 1) * 3,
+        );
+    }
+
+    // Branch section.
+    b.alu_imm(AluOp::Add, S6, S6, 1);
+    match spec.branch {
+        BranchClass::FixedBias { taken_pct } => {
+            let skip = b.label();
+            match taken_pct {
+                100 => {
+                    b.branch_to_label(Cond::Geu, ZERO, ZERO, skip);
+                }
+                0 => {
+                    b.branch_to_label(Cond::Ltu, ZERO, ZERO, skip);
+                }
+                // Taken iff this iteration's coin flip is 1. The bit is
+                // loaded a handful of instructions earlier, far inside
+                // the frontend window: no value is available in time,
+                // and the sequence defeats history — irreducible bias.
+                _ => {
+                    b.branch_to_label(Cond::Ne, A3, ZERO, skip);
+                }
+            }
+            b.alu_imm(AluOp::Add, S5, S5, 1);
+            b.bind(skip);
+        }
+        BranchClass::Periodic { period } => {
+            // Taken exactly every `period`-th iteration.
+            if period.is_power_of_two() {
+                b.alu_imm(AluOp::And, T6, S6, period as i64 - 1);
+            } else {
+                b.alu_imm(AluOp::Rem, T6, S6, period as i64);
+            }
+            let skip = b.label();
+            b.branch_to_label(Cond::Eq, T6, ZERO, skip);
+            b.alu_imm(AluOp::Add, S5, S5, 1);
+            b.bind(skip);
+        }
+        BranchClass::HistoryCorrelated { lag } => {
+            // Shift this iteration's coin flip into the history register.
+            b.alu_imm(AluOp::Sll, A2, A2, 1);
+            b.alu(AluOp::Or, A2, A2, A3);
+            // Branch X: the fresh flip — predictable by nobody.
+            let x = b.label();
+            b.branch_to_label(Cond::Ne, A3, ZERO, x);
+            b.alu_imm(AluOp::Add, S5, S5, 1);
+            b.bind(x);
+            // Branch Y: the same flip, `lag` iterations later — exactly
+            // X's outcome `lag` back in global history.
+            b.alu_imm(AluOp::Srl, T6, A2, lag as i64);
+            b.alu_imm(AluOp::And, T6, T6, 1);
+            let y = b.label();
+            b.branch_to_label(Cond::Ne, T6, ZERO, y);
+            b.alu_imm(AluOp::Xor, S5, S5, 5);
+            b.bind(y);
+        }
+        BranchClass::DataDep { .. } => {
+            // Both branches are pure functions of A1 — the previous
+            // iteration's chained value, produced a full iteration (and
+            // the `gap` filler) earlier, so it has written back by
+            // prediction time. The value sequence is a seeded-random
+            // replay of a small recurring population: ambiguous to
+            // history, exact for a value-indexed predictor.
+            b.alu_imm(AluOp::And, T6, A1, 1);
+            let d1 = b.label();
+            b.branch_to_label(Cond::Ne, T6, ZERO, d1);
+            b.alu_imm(AluOp::Add, S5, S5, 3);
+            b.bind(d1);
+            b.alu_imm(AluOp::Srl, T7, A1, 7);
+            b.alu_imm(AluOp::And, T7, T7, 1);
+            let d2 = b.label();
+            b.branch_to_label(Cond::Ne, T7, ZERO, d2);
+            b.alu_imm(AluOp::Xor, S5, S5, 7);
+            b.bind(d2);
+        }
+    }
+
+    // Handoff: next iteration's branches consume this W.
+    b.mv(A1, S4);
+
+    // Gap filler: independent work separating production from the next
+    // iteration's branch section.
+    for k in 0..spec.load_branch_gap as usize {
+        if k % 2 == 0 {
+            b.alu_imm(AluOp::Add, T8, T8, 1);
+        } else {
+            b.alu_imm(AluOp::Xor, T8, T8, 0x55);
+        }
+    }
+
+    b.store(S5, S7, 0);
+    b.jump(outer);
+
+    b.build().with_name(spec.name.as_str())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arvi_isa::Emulator;
+
+    fn spec(line: &str) -> ScenarioSpec {
+        line.parse().expect("valid spec")
+    }
+
+    fn branch_outcomes(spec: &ScenarioSpec, seed: u64, n: usize) -> Vec<(u64, bool)> {
+        Emulator::new(build_program(spec, seed))
+            .take(n)
+            .filter(|d| d.is_branch())
+            .map(|d| (d.byte_pc(), d.branch.expect("is_branch").taken))
+            .collect()
+    }
+
+    #[test]
+    fn every_class_builds_and_runs_forever() {
+        for line in [
+            "a branch=bias:100",
+            "b branch=bias:35 mem=stride:8",
+            "c branch=periodic:6",
+            "d branch=history:3 chain=4",
+            "e branch=datadep:16 chain=8 fanout=3 dead=4 mem=chase:64",
+        ] {
+            let s = spec(line);
+            let t: Vec<_> = Emulator::new(build_program(&s, 7)).take(20_000).collect();
+            assert_eq!(t.len(), 20_000, "{line} halted early");
+            let branches = t.iter().filter(|d| d.is_branch()).count();
+            assert!(branches > 300, "{line}: too few branches ({branches})");
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed_and_spec() {
+        let s = spec("det branch=datadep:32 chain=4 mem=chase:128");
+        let a: Vec<_> = Emulator::new(build_program(&s, 3)).take(10_000).collect();
+        let b: Vec<_> = Emulator::new(build_program(&s, 3)).take(10_000).collect();
+        assert_eq!(a, b);
+        let c: Vec<_> = Emulator::new(build_program(&s, 4)).take(10_000).collect();
+        assert_ne!(a, c, "different seeds must give different streams");
+    }
+
+    #[test]
+    fn bias_rate_matches_spec() {
+        for (pct, lo, hi) in [(100u8, 1.0, 1.0), (0, 0.0, 0.0), (80, 0.75, 0.85)] {
+            let s = spec(&format!("r branch=bias:{pct}"));
+            let outs = branch_outcomes(&s, 11, 120_000);
+            let rate = outs.iter().filter(|(_, t)| *t).count() as f64 / outs.len() as f64;
+            assert!((lo..=hi).contains(&rate), "bias:{pct} taken rate {rate:.3}");
+        }
+    }
+
+    #[test]
+    fn periodic_is_periodic() {
+        let s = spec("p branch=periodic:5");
+        let outs = branch_outcomes(&s, 1, 60_000);
+        // Exactly one taken per five iterations, in lockstep.
+        let taken: Vec<bool> = outs.iter().map(|&(_, t)| t).collect();
+        let first = taken.iter().position(|&t| t).expect("some taken");
+        for (i, &t) in taken.iter().enumerate() {
+            assert_eq!(t, (i % 5) == (first % 5), "iteration {i}");
+        }
+    }
+
+    #[test]
+    fn history_branch_correlates_at_lag() {
+        let s = spec("h branch=history:3");
+        let outs = branch_outcomes(&s, 5, 120_000);
+        // Outcomes alternate X, Y per iteration: y[i] == x[i - 3].
+        let xs: Vec<bool> = outs.iter().step_by(2).map(|&(_, t)| t).collect();
+        let ys: Vec<bool> = outs.iter().skip(1).step_by(2).map(|&(_, t)| t).collect();
+        let n = ys.len();
+        let matches = (3..n).filter(|&i| ys[i] == xs[i - 3]).count();
+        assert!(
+            matches as f64 / (n - 3) as f64 > 0.999,
+            "lag-3 correlation broken ({matches}/{})",
+            n - 3
+        );
+        // And X itself is a fair coin.
+        let xr = xs.iter().filter(|&&t| t).count() as f64 / xs.len() as f64;
+        assert!((0.45..0.55).contains(&xr), "X taken rate {xr}");
+    }
+
+    #[test]
+    fn datadep_outcome_is_a_pure_function_of_the_value() {
+        let s = spec("dd branch=datadep:32 chain=6");
+        let t: Vec<_> = Emulator::new(build_program(&s, 9)).take(150_000).collect();
+        // Map each parity-branch outcome to the A1 operand value it
+        // tested (srcs[0] is the And-result; reconstruct from result of
+        // the preceding And with mask 1 producing T6).
+        use std::collections::HashMap;
+        let mut per_value: HashMap<u64, std::collections::HashSet<bool>> = HashMap::new();
+        let mut last_and_result = 0u64;
+        let mut volatile_total = 0u64;
+        let mut volatile_taken = 0u64;
+        for d in &t {
+            if d.dest == Some(T6) {
+                last_and_result = d.result;
+            }
+            if d.is_branch() && d.srcs == [Some(T6), None] {
+                let taken = d.branch.expect("branch").taken;
+                per_value.entry(last_and_result).or_default().insert(taken);
+                volatile_total += 1;
+                volatile_taken += taken as u64;
+            }
+        }
+        for (v, outcomes) in &per_value {
+            assert_eq!(outcomes.len(), 1, "value {v} produced both outcomes");
+        }
+        // ...and the sequence itself is volatile (not trivially biased).
+        let rate = volatile_taken as f64 / volatile_total as f64;
+        assert!((0.2..0.8).contains(&rate), "parity taken rate {rate}");
+    }
+
+    #[test]
+    fn chase_pattern_chases_pointers() {
+        let s = spec("pc branch=bias:100 mem=chase:64");
+        let t: Vec<_> = Emulator::new(build_program(&s, 2)).take(30_000).collect();
+        // The value load's address comes from the preceding pointer load:
+        // successive node addresses must wander (not stride).
+        let addrs: Vec<u64> = t
+            .iter()
+            .filter(|d| d.is_load() && d.dest == Some(A0))
+            .map(|d| d.mem_addr)
+            .collect();
+        assert!(addrs.len() > 400);
+        let distinct: std::collections::HashSet<u64> = addrs.iter().copied().collect();
+        assert_eq!(distinct.len(), 64, "cycle must visit every node");
+        // Period is exactly the node count.
+        assert_eq!(addrs[0], addrs[64]);
+        assert_ne!(addrs[0], addrs[1]);
+    }
+
+    #[test]
+    fn dead_and_fanout_knobs_change_the_mix() {
+        let lean = spec("lean branch=datadep:16 chain=2 fanout=1 dead=0 gap=4");
+        let fat = spec("fat branch=datadep:16 chain=2 fanout=4 dead=8 gap=4");
+        let lean_len = Emulator::new(build_program(&lean, 1))
+            .take(10_000)
+            .filter(|d| d.kind == arvi_isa::InstKind::IntAlu)
+            .count();
+        let fat_len = Emulator::new(build_program(&fat, 1))
+            .take(10_000)
+            .filter(|d| d.kind == arvi_isa::InstKind::IntAlu)
+            .count();
+        let (lean_frac, fat_frac) = (lean_len as f64 / 10_000.0, fat_len as f64 / 10_000.0);
+        assert!(
+            fat_frac > lean_frac + 0.05,
+            "fanout/dead knobs had no effect (ALU fraction {lean_frac:.3} vs {fat_frac:.3})"
+        );
+    }
+}

@@ -1,0 +1,429 @@
+//! Scenario specifications: the plain-text language of `arvi-synth`.
+//!
+//! A scenario is a single line of whitespace-separated tokens — a name
+//! followed by `key=value` knobs — so scenario suites can live in text
+//! files, CLI flags and test literals without a serialization library:
+//!
+//! ```text
+//! datadep-deep branch=datadep:64 chain=8 fanout=2 dead=2 gap=16 mem=stride:16
+//! ```
+//!
+//! Every knob has a default, parsing is order-insensitive, and
+//! [`ScenarioSpec`]'s `Display` renders the canonical full form, so
+//! `parse(render(spec)) == spec` always holds (asserted by the
+//! round-trip tests).
+
+use std::fmt;
+use std::str::FromStr;
+
+/// The branch-behavior class a scenario stresses — the taxonomy every
+/// predictor study must cover (biased, periodic, history-correlated,
+/// data-dependent).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BranchClass {
+    /// `bias:PCT` — taken with a fixed probability of `PCT` percent,
+    /// decided by a bit loaded immediately before the branch (so no
+    /// predictor, ARVI included, can beat the bias). `100` and `0`
+    /// degenerate to always/never taken. All predictors converge here.
+    FixedBias {
+        /// Taken percentage in `0..=100`.
+        taken_pct: u8,
+    },
+    /// `periodic:P` — taken exactly every `P`-th iteration (a counter
+    /// modulus), the classic loop-period pattern history predictors
+    /// learn when `P` fits their history window.
+    Periodic {
+        /// Period in iterations, `2..=4096`.
+        period: u32,
+    },
+    /// `history:LAG` — a branch pair: the first tests a fresh random
+    /// bit, the second tests the same bit `LAG` iterations later. The
+    /// second is exactly predictable from global history (and from the
+    /// shift-register value), the first by nobody.
+    HistoryCorrelated {
+        /// Correlation distance in iterations, `1..=8`.
+        lag: u32,
+    },
+    /// `datadep:POP` — branches that are pure functions of a value
+    /// drawn from a stable `POP`-element population replayed in
+    /// seeded-random order: ambiguous to history, exact for a
+    /// value-indexed predictor. The class ARVI should win.
+    DataDep {
+        /// Distinct values in the recurring population, `2..=4096`.
+        population: u32,
+    },
+}
+
+impl BranchClass {
+    /// Short class tag used in reports: `bias`, `periodic`, `history`
+    /// or `datadep`.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            BranchClass::FixedBias { .. } => "bias",
+            BranchClass::Periodic { .. } => "periodic",
+            BranchClass::HistoryCorrelated { .. } => "history",
+            BranchClass::DataDep { .. } => "datadep",
+        }
+    }
+}
+
+impl fmt::Display for BranchClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BranchClass::FixedBias { taken_pct } => write!(f, "bias:{taken_pct}"),
+            BranchClass::Periodic { period } => write!(f, "periodic:{period}"),
+            BranchClass::HistoryCorrelated { lag } => write!(f, "history:{lag}"),
+            BranchClass::DataDep { population } => write!(f, "datadep:{population}"),
+        }
+    }
+}
+
+/// The memory access pattern feeding the scenario's value stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemPattern {
+    /// `stream` — sequential walk of a small ring: cache-friendly.
+    Streaming,
+    /// `stride:S` — the ring cursor advances `S` words per iteration
+    /// over a larger ring, spreading accesses across cache lines. The
+    /// generator forces the step odd (coprime with the ring) so the
+    /// cursor orbit covers every slot.
+    Strided {
+        /// Cursor step in 8-byte words, `1..=4096`.
+        stride: u32,
+    },
+    /// `chase:N` — pointer chasing through a seeded-random cycle of
+    /// `N` two-word nodes: serialized load-to-load dependences, and
+    /// cache-hostile once `N` outgrows the L1.
+    PointerChase {
+        /// Nodes in the cycle, `2..=65536`.
+        nodes: u32,
+    },
+}
+
+impl fmt::Display for MemPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemPattern::Streaming => f.write_str("stream"),
+            MemPattern::Strided { stride } => write!(f, "stride:{stride}"),
+            MemPattern::PointerChase { nodes } => write!(f, "chase:{nodes}"),
+        }
+    }
+}
+
+/// A parse/validation failure, with the offending token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecError {
+    msg: String,
+}
+
+impl SpecError {
+    fn new(msg: impl Into<String>) -> SpecError {
+        SpecError { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "scenario spec error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// A complete synthetic-workload scenario: branch-behavior class plus
+/// explicit dependence-topology and memory-pattern knobs.
+///
+/// Build one by [parsing](str::parse) the plain-text form, or start from
+/// a curated scenario ([`crate::curated`]) and adjust fields.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ScenarioSpec {
+    /// Scenario name (filename-safe: `[A-Za-z0-9._-]+`). Used as the
+    /// workload name in results and traces.
+    pub name: String,
+    /// Branch-behavior class (`branch=`, default `bias:100`).
+    pub branch: BranchClass,
+    /// Dependence-chain depth between the loaded value and the value the
+    /// branch consumes (`chain=`, `0..=32`, default 2): dependent ALU
+    /// operations the DDT must walk through.
+    pub chain_depth: u32,
+    /// Consumers fed by each chain link (`fanout=`, `1..=4`, default 1):
+    /// values above 1 add side accumulators reading every link, widening
+    /// the dependence graph without deepening it.
+    pub fanout: u32,
+    /// Dead register writes per iteration (`dead=`, `0..=16`, default 0):
+    /// results never read again — DDT rows that waste tracking space.
+    pub dead_writes: u32,
+    /// Independent filler instructions between value production and the
+    /// branches that consume it (`gap=`, `0..=64`, default 8): dials the
+    /// production-to-branch distance that decides whether a value has
+    /// written back by prediction time.
+    pub load_branch_gap: u32,
+    /// Memory access pattern (`mem=`, default `stream`).
+    pub mem: MemPattern,
+}
+
+fn parse_count(key: &str, value: &str, lo: u64, hi: u64) -> Result<u64, SpecError> {
+    let n: u64 = value
+        .parse()
+        .map_err(|_| SpecError::new(format!("{key}={value}: not a number")))?;
+    if n < lo || n > hi {
+        return Err(SpecError::new(format!(
+            "{key}={value}: out of range ({lo}..={hi})"
+        )));
+    }
+    Ok(n)
+}
+
+/// Splits `class:arg`, with `arg` required.
+fn split_arg<'v>(key: &str, value: &'v str) -> Result<(&'v str, &'v str), SpecError> {
+    match value.split_once(':') {
+        Some((head, arg)) if !arg.is_empty() => Ok((head, arg)),
+        _ => Err(SpecError::new(format!(
+            "{key}={value}: expected {key}=CLASS:ARG"
+        ))),
+    }
+}
+
+impl FromStr for ScenarioSpec {
+    type Err = SpecError;
+
+    fn from_str(s: &str) -> Result<ScenarioSpec, SpecError> {
+        let mut tokens = s.split_whitespace();
+        let name = tokens
+            .next()
+            .ok_or_else(|| SpecError::new("empty scenario line"))?;
+        if name.contains('=') {
+            return Err(SpecError::new(format!(
+                "scenario must start with a name, got `{name}`"
+            )));
+        }
+        if !name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-'))
+        {
+            return Err(SpecError::new(format!(
+                "name `{name}` is not filename-safe ([A-Za-z0-9._-]+)"
+            )));
+        }
+        let mut spec = ScenarioSpec {
+            name: name.to_string(),
+            branch: BranchClass::FixedBias { taken_pct: 100 },
+            chain_depth: 2,
+            fanout: 1,
+            dead_writes: 0,
+            load_branch_gap: 8,
+            mem: MemPattern::Streaming,
+        };
+        let mut seen = Vec::new();
+        for token in tokens {
+            let (key, value) = token
+                .split_once('=')
+                .ok_or_else(|| SpecError::new(format!("expected key=value, got `{token}`")))?;
+            if seen.contains(&key.to_string()) {
+                return Err(SpecError::new(format!("duplicate key `{key}`")));
+            }
+            seen.push(key.to_string());
+            match key {
+                "branch" => {
+                    let (class, arg) = split_arg(key, value)?;
+                    spec.branch = match class {
+                        "bias" => BranchClass::FixedBias {
+                            taken_pct: parse_count(key, arg, 0, 100)? as u8,
+                        },
+                        "periodic" => BranchClass::Periodic {
+                            period: parse_count(key, arg, 2, 4096)? as u32,
+                        },
+                        "history" => BranchClass::HistoryCorrelated {
+                            lag: parse_count(key, arg, 1, 8)? as u32,
+                        },
+                        "datadep" => BranchClass::DataDep {
+                            population: parse_count(key, arg, 2, 4096)? as u32,
+                        },
+                        other => {
+                            return Err(SpecError::new(format!(
+                                "unknown branch class `{other}` \
+                                 (bias|periodic|history|datadep)"
+                            )))
+                        }
+                    };
+                }
+                "chain" => spec.chain_depth = parse_count(key, value, 0, 32)? as u32,
+                "fanout" => spec.fanout = parse_count(key, value, 1, 4)? as u32,
+                "dead" => spec.dead_writes = parse_count(key, value, 0, 16)? as u32,
+                "gap" => spec.load_branch_gap = parse_count(key, value, 0, 64)? as u32,
+                "mem" => {
+                    spec.mem = if value == "stream" {
+                        MemPattern::Streaming
+                    } else {
+                        let (class, arg) = split_arg(key, value)?;
+                        match class {
+                            "stride" => MemPattern::Strided {
+                                stride: parse_count(key, arg, 1, 4096)? as u32,
+                            },
+                            "chase" => MemPattern::PointerChase {
+                                nodes: parse_count(key, arg, 2, 65536)? as u32,
+                            },
+                            other => {
+                                return Err(SpecError::new(format!(
+                                    "unknown mem pattern `{other}` (stream|stride|chase)"
+                                )))
+                            }
+                        }
+                    };
+                }
+                other => {
+                    return Err(SpecError::new(format!(
+                        "unknown key `{other}` (branch|chain|fanout|dead|gap|mem)"
+                    )))
+                }
+            }
+        }
+        Ok(spec)
+    }
+}
+
+impl fmt::Display for ScenarioSpec {
+    /// The canonical full plain-text form; parsing it reproduces the
+    /// spec exactly.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} branch={} chain={} fanout={} dead={} gap={} mem={}",
+            self.name,
+            self.branch,
+            self.chain_depth,
+            self.fanout,
+            self.dead_writes,
+            self.load_branch_gap,
+            self.mem
+        )
+    }
+}
+
+impl ScenarioSpec {
+    /// A stable 64-bit fingerprint of the canonical form (FNV-1a).
+    /// Distinguishes same-named scenarios with different knobs, e.g. in
+    /// trace-cache file names.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in self.to_string().bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+}
+
+/// Parses a scenario file: one scenario per line, blank lines and `#`
+/// comments ignored. Duplicate names are rejected (they would collide in
+/// results and trace caches).
+pub fn parse_scenarios(text: &str) -> Result<Vec<ScenarioSpec>, SpecError> {
+    let mut out: Vec<ScenarioSpec> = Vec::new();
+    for (ln, line) in text.lines().enumerate() {
+        let line = line.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let spec: ScenarioSpec = line
+            .parse()
+            .map_err(|e: SpecError| SpecError::new(format!("line {}: {}", ln + 1, e.msg)))?;
+        if out.iter().any(|s| s.name == spec.name) {
+            return Err(SpecError::new(format!(
+                "line {}: duplicate scenario name `{}`",
+                ln + 1,
+                spec.name
+            )));
+        }
+        out.push(spec);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_line_parses() {
+        let s: ScenarioSpec = "deep branch=datadep:64 chain=8 fanout=2 dead=3 gap=16 mem=chase:512"
+            .parse()
+            .unwrap();
+        assert_eq!(s.name, "deep");
+        assert_eq!(s.branch, BranchClass::DataDep { population: 64 });
+        assert_eq!(s.chain_depth, 8);
+        assert_eq!(s.fanout, 2);
+        assert_eq!(s.dead_writes, 3);
+        assert_eq!(s.load_branch_gap, 16);
+        assert_eq!(s.mem, MemPattern::PointerChase { nodes: 512 });
+    }
+
+    #[test]
+    fn defaults_fill_missing_keys() {
+        let s: ScenarioSpec = "bare".parse().unwrap();
+        assert_eq!(s.branch, BranchClass::FixedBias { taken_pct: 100 });
+        assert_eq!(s.chain_depth, 2);
+        assert_eq!(s.fanout, 1);
+        assert_eq!(s.dead_writes, 0);
+        assert_eq!(s.load_branch_gap, 8);
+        assert_eq!(s.mem, MemPattern::Streaming);
+    }
+
+    #[test]
+    fn display_round_trips() {
+        for line in [
+            "a branch=bias:90 chain=0 fanout=4 dead=16 gap=0 mem=stream",
+            "b branch=periodic:12 chain=5 fanout=1 dead=0 gap=64 mem=stride:16",
+            "c branch=history:3 chain=2 fanout=2 dead=1 gap=9 mem=chase:4096",
+            "d branch=datadep:2 chain=32 fanout=3 dead=0 gap=1 mem=stream",
+        ] {
+            let s: ScenarioSpec = line.parse().unwrap();
+            let round: ScenarioSpec = s.to_string().parse().unwrap();
+            assert_eq!(s, round, "round trip of `{line}`");
+        }
+    }
+
+    #[test]
+    fn rejections() {
+        for bad in [
+            "",
+            "branch=bias:50",      // no name
+            "x/y branch=bias:50",  // unsafe name
+            "a branch=bias:101",   // out of range
+            "a branch=warp:3",     // unknown class
+            "a branch=periodic:1", // period too small
+            "a chain=33",          // too deep
+            "a fanout=0",          // zero fanout
+            "a mem=stride",        // missing arg
+            "a mem=heap:4",        // unknown pattern
+            "a wibble=1",          // unknown key
+            "a chain=2 chain=3",   // duplicate key
+            "a chain=banana",      // not a number
+        ] {
+            assert!(bad.parse::<ScenarioSpec>().is_err(), "accepted `{bad}`");
+        }
+    }
+
+    #[test]
+    fn file_parsing_skips_comments_and_catches_duplicates() {
+        let specs = parse_scenarios(
+            "# suite\n\none branch=bias:100   # trailing comment\ntwo branch=datadep:8\n",
+        )
+        .unwrap();
+        assert_eq!(specs.len(), 2);
+        assert_eq!(specs[1].name, "two");
+
+        let err = parse_scenarios("one\ntwo\none branch=bias:50\n").unwrap_err();
+        assert!(err.to_string().contains("duplicate scenario name"));
+        let err = parse_scenarios("\n\nbad key\n").unwrap_err();
+        assert!(err.to_string().contains("line 3"));
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_knobs() {
+        let a: ScenarioSpec = "same branch=datadep:64 chain=2".parse().unwrap();
+        let b: ScenarioSpec = "same branch=datadep:64 chain=3".parse().unwrap();
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        let a2: ScenarioSpec = a.to_string().parse().unwrap();
+        assert_eq!(a.fingerprint(), a2.fingerprint());
+    }
+}

@@ -1,0 +1,80 @@
+//! The curated scenario set registered alongside the benchmark suite.
+//!
+//! These are the scenarios the experiment binaries accept by bare name
+//! (`--scenario datadep-deep`) and the grid `synth_report`
+//! characterizes. They cover the branch-behavior taxonomy — fixed-bias,
+//! periodic, history-correlated, data-dependent — crossed with the
+//! dependence-topology and memory knobs the classes exercise hardest.
+
+use crate::spec::ScenarioSpec;
+
+/// Canonical spec lines for the curated set (also usable as scenario-file
+/// content; see [`crate::parse_scenarios`]).
+pub const CURATED: [&str; 9] = [
+    // Convergence anchors: every predictor should agree here.
+    "bias-always branch=bias:100 chain=2 fanout=1 dead=0 gap=8 mem=stream",
+    "bias-90 branch=bias:90 chain=2 fanout=1 dead=0 gap=8 mem=stream",
+    // Period patterns: history predictors close the gap once the period
+    // fits their window.
+    "periodic-4 branch=periodic:4 chain=2 fanout=1 dead=0 gap=8 mem=stream",
+    "periodic-12 branch=periodic:12 chain=2 fanout=1 dead=0 gap=8 mem=stride:16",
+    // Correlation: the outcome lives in another branch's history.
+    "history-3 branch=history:3 chain=2 fanout=1 dead=0 gap=8 mem=stream",
+    // Data-dependent branches: the class ARVI should win.
+    "datadep-shallow branch=datadep:64 chain=1 fanout=1 dead=0 gap=12 mem=stream",
+    "datadep-deep branch=datadep:64 chain=8 fanout=2 dead=2 gap=20 mem=stride:16",
+    "datadep-chase branch=datadep:128 chain=4 fanout=2 dead=1 gap=16 mem=chase:65536",
+    "datadep-pressure branch=datadep:64 chain=6 fanout=3 dead=8 gap=24 mem=stream",
+];
+
+/// The curated scenarios, parsed.
+pub fn curated() -> Vec<ScenarioSpec> {
+    CURATED
+        .iter()
+        .map(|line| line.parse().expect("curated specs are valid"))
+        .collect()
+}
+
+/// Looks up a curated scenario by name.
+pub fn find(name: &str) -> Option<ScenarioSpec> {
+    curated().into_iter().find(|s| s.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::BranchClass;
+
+    #[test]
+    fn curated_set_is_valid_and_distinct() {
+        let set = curated();
+        assert_eq!(set.len(), CURATED.len());
+        for (i, a) in set.iter().enumerate() {
+            for b in &set[i + 1..] {
+                assert_ne!(a.name, b.name, "duplicate curated name");
+            }
+        }
+        // The taxonomy is covered.
+        for tag in ["bias", "periodic", "history", "datadep"] {
+            assert!(
+                set.iter().any(|s| s.branch.tag() == tag),
+                "no curated scenario for class {tag}"
+            );
+        }
+    }
+
+    #[test]
+    fn find_by_name() {
+        let s = find("datadep-deep").expect("curated");
+        assert!(matches!(s.branch, BranchClass::DataDep { population: 64 }));
+        assert!(find("nope").is_none());
+    }
+
+    #[test]
+    fn curated_lines_are_canonical() {
+        for line in CURATED {
+            let spec: ScenarioSpec = line.parse().unwrap();
+            assert_eq!(spec.to_string(), line, "non-canonical curated line");
+        }
+    }
+}

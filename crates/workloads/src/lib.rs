@@ -38,4 +38,4 @@ pub mod suite;
 pub mod vortex;
 
 pub use common::Layout;
-pub use suite::Benchmark;
+pub use suite::{Benchmark, WorkloadSource};

@@ -3,6 +3,30 @@
 use arvi_isa::Program;
 use std::fmt;
 
+/// The suite registration seam: anything that can build a named, seeded
+/// [`Program`] can be run wherever a benchmark runs — simulated live,
+/// recorded to a trace, swept over experiment grids.
+///
+/// [`Benchmark`] implements it for the eight SPEC95-style models;
+/// `arvi_synth::ScenarioSpec` implements it for synthetic scenarios.
+pub trait WorkloadSource {
+    /// The workload's name (used in results, tables and trace files).
+    fn name(&self) -> &str;
+
+    /// Builds the workload's program with the given input seed.
+    fn program(&self, seed: u64) -> Program;
+}
+
+impl WorkloadSource for Benchmark {
+    fn name(&self) -> &str {
+        Benchmark::name(*self)
+    }
+
+    fn program(&self, seed: u64) -> Program {
+        Benchmark::program(*self, seed)
+    }
+}
+
 /// One of the eight SPEC95 integer benchmarks the paper evaluates,
 /// reproduced here as a synthetic behavioural model (see DESIGN.md §2 for
 /// the substitution rationale).
@@ -111,7 +135,10 @@ mod tests {
 
     #[test]
     fn all_eight_present_and_named() {
-        let names: Vec<&str> = Benchmark::all().iter().map(|b| b.name()).collect();
+        // `into_iter()`: on a `&Benchmark` receiver, method resolution
+        // would pick `WorkloadSource::name(&self)` and tie the returned
+        // `&str` to the temporary array.
+        let names: Vec<&str> = Benchmark::all().into_iter().map(|b| b.name()).collect();
         assert_eq!(
             names,
             vec!["gcc", "compress", "go", "ijpeg", "li", "m88ksim", "perl", "vortex"]

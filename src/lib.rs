@@ -14,6 +14,9 @@
 //! * [`trace`] — record-once / replay-many committed-instruction traces
 //!   (compact chunked binary format with checksums and a seekable
 //!   index).
+//! * [`synth`] — seeded synthetic-workload scenarios: plain-text specs
+//!   with dependence-topology, branch-behavior-class and memory-pattern
+//!   knobs, runnable anywhere a benchmark runs.
 //! * [`stats`] — accuracy/IPC statistics and table formatting.
 //! * [`apps`] — Section-3 applications of on-line dependence tracking.
 //!
@@ -35,5 +38,6 @@ pub use arvi_isa as isa;
 pub use arvi_predict as predict;
 pub use arvi_sim as sim;
 pub use arvi_stats as stats;
+pub use arvi_synth as synth;
 pub use arvi_trace as trace;
 pub use arvi_workloads as workloads;

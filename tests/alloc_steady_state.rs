@@ -170,8 +170,33 @@ fn trace_replay_is_allocation_free() {
     assert_eq!(n, 0, "trace replay steady state allocated {n} times");
 }
 
+fn synth_generation_is_allocation_free() {
+    use arvi::sim::InstSource;
+    use arvi::synth::{ScenarioSpec, SynthSource};
+
+    // Every generator feature at once: datadep values, a deep fanned-out
+    // chain, dead writes, pointer chasing.
+    let spec: ScenarioSpec = "alloc branch=datadep:64 chain=6 fanout=3 dead=4 gap=12 mem=chase:256"
+        .parse()
+        .expect("valid spec");
+    let mut src = SynthSource::new(&spec, 42);
+    // Warm: program decode and the emulator's lazily grown state.
+    for _ in 0..2_000 {
+        src.next_inst();
+    }
+    let n = allocations_during(|| {
+        for _ in 0..50_000 {
+            std::hint::black_box(src.next_inst());
+        }
+    });
+    assert_eq!(
+        n, 0,
+        "synthetic generation steady state allocated {n} times in 50k insts"
+    );
+}
+
 fn main() {
-    let checks: [(&str, fn()); 4] = [
+    let checks: [(&str, fn()); 5] = [
         (
             "ddt_insert_commit_chain_is_allocation_free",
             ddt_insert_commit_chain_is_allocation_free,
@@ -187,6 +212,10 @@ fn main() {
         (
             "trace_replay_is_allocation_free",
             trace_replay_is_allocation_free,
+        ),
+        (
+            "synth_generation_is_allocation_free",
+            synth_generation_is_allocation_free,
         ),
     ];
     for (name, check) in checks {
