@@ -1,5 +1,6 @@
-//! The pre-optimization DDT, preserved verbatim as a measurement
-//! baseline.
+//! Pre-optimization implementations preserved as measurement baselines:
+//! the allocating [`NaiveDdt`] (pre-PR1) and the heap-scheduled
+//! [`HeapMachine`] (pre-calendar-queue timing machine, PR 4).
 //!
 //! This is the allocating implementation the repository shipped before
 //! the zero-allocation refactor: `insert` builds two fresh `Vec<u64>` per
@@ -10,6 +11,8 @@
 //! the exact prior algorithm on the same host — do not use it for
 //! anything but comparison; `arvi_core::Ddt` is the real structure and is
 //! bit-compatible with this one.
+
+pub use crate::baseline_machine::{simulate_source_heap, HeapMachine};
 
 use arvi_core::{DdtConfig, InstSlot, PhysReg};
 

@@ -1,0 +1,678 @@
+//! The pre-calendar-queue timing machine, preserved as a measurement
+//! baseline.
+//!
+//! This is the event core the simulator shipped before the timing-wheel
+//! rewrite: both scheduler queues are `BinaryHeap<Reverse<(u64, u64)>>`
+//! (re-sorting every schedule and pop), store/load memory ordering lives
+//! in `BTreeSet`s (allocating a tree node per in-flight memory
+//! instruction), and every ROB entry carries its `BranchDecision`
+//! inline. It exists so `perf_report` and
+//! `tests/scheduler_equivalence.rs` can quantify — and prove
+//! cycle-identical — the wheel-based `arvi_sim::Machine` against the
+//! exact prior algorithm on the same host, mirroring how
+//! [`NaiveDdt`](crate::baseline::NaiveDdt) preserves the pre-PR1 DDT.
+//! Do not use it for anything but comparison. (The optional per-PC
+//! profiling instrumentation of the original is omitted; it was
+//! diagnostics, not timing behavior.)
+
+use std::cmp::Reverse;
+use std::collections::{BTreeSet, BinaryHeap, VecDeque};
+
+use arvi_core::{PhysReg, RenamedOp, Values};
+use arvi_isa::{DynInst, InstKind};
+use arvi_sim::{
+    intern_name, BranchDecision, BranchUnit, Hierarchy, InstSource, MachineStats, PredictorConfig,
+    RenameState, SimParams, SimResult,
+};
+
+#[derive(Debug)]
+struct Entry {
+    d: DynInst,
+    dispatch_ready: u64,
+    dest_phys: Option<PhysReg>,
+    prev_phys: Option<PhysReg>,
+    deps: u8,
+    issued: bool,
+    done: bool,
+    branch: Option<BranchDecision>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FetchState {
+    Running,
+    /// Waiting out an instruction-cache miss or a flush bubble.
+    Stalled {
+        until: u64,
+    },
+    /// Blocked behind a branch whose followed direction is (or may be)
+    /// wrong; resumes at the override time (if the override corrects the
+    /// direction) or at branch resolution, whichever first.
+    BranchBlocked {
+        seq: u64,
+        resume_override: Option<u64>,
+    },
+}
+
+#[inline]
+fn entry_mut(rob: &mut VecDeque<Entry>, tail_seq: u64, seq: u64) -> &mut Entry {
+    &mut rob[(seq - tail_seq) as usize]
+}
+
+/// The heap-scheduled machine (see module docs). API mirrors
+/// [`arvi_sim::Machine`].
+pub struct HeapMachine<S: InstSource> {
+    params: SimParams,
+    config: PredictorConfig,
+    source: S,
+    hier: Hierarchy,
+    bu: BranchUnit,
+    rename: RenameState,
+    rob: VecDeque<Entry>,
+    tail_seq: u64,
+    cycle: u64,
+    /// Per-physical-register consumer wait lists.
+    waiters: Vec<Vec<u64>>,
+    /// (earliest issue cycle, seq) of operand-ready instructions.
+    pending: BinaryHeap<Reverse<(u64, u64)>>,
+    /// (completion cycle, seq) writeback events.
+    events: BinaryHeap<Reverse<(u64, u64)>>,
+    unissued_stores: BTreeSet<u64>,
+    mem_blocked_loads: BTreeSet<u64>,
+    mem_in_flight: usize,
+    fetch_state: FetchState,
+    lookahead: Option<DynInst>,
+    current_fetch_line: u64,
+    trace_done: bool,
+    /// Load-back availability window (dynamic instructions).
+    lb_window: u64,
+    stats: MachineStats,
+    /// Reusable per-cycle buffers.
+    eligible_scratch: Vec<u64>,
+    leftover_scratch: Vec<u64>,
+    woken_scratch: Vec<u64>,
+    ready_loads_scratch: Vec<u64>,
+}
+
+impl<S: InstSource> HeapMachine<S> {
+    /// Builds a machine consuming `source`'s committed stream under
+    /// `config`.
+    pub fn new(source: S, params: SimParams, config: PredictorConfig) -> HeapMachine<S> {
+        let lb_window =
+            params.fetch_width as u64 * (params.frontend_latency + params.l1_latency + 1);
+        HeapMachine {
+            hier: Hierarchy::new(&params),
+            bu: BranchUnit::new(&params, config),
+            rename: RenameState::new(params.phys_regs),
+            rob: VecDeque::with_capacity(params.rob_entries),
+            tail_seq: 0,
+            cycle: 0,
+            waiters: vec![Vec::new(); params.phys_regs],
+            pending: BinaryHeap::new(),
+            events: BinaryHeap::new(),
+            unissued_stores: BTreeSet::new(),
+            mem_blocked_loads: BTreeSet::new(),
+            mem_in_flight: 0,
+            fetch_state: FetchState::Running,
+            lookahead: None,
+            current_fetch_line: u64::MAX,
+            trace_done: false,
+            lb_window,
+            stats: MachineStats::default(),
+            eligible_scratch: Vec::new(),
+            leftover_scratch: Vec::new(),
+            woken_scratch: Vec::new(),
+            ready_loads_scratch: Vec::new(),
+            source,
+            params,
+            config,
+        }
+    }
+
+    /// Current statistics (snapshot for window differencing).
+    pub fn stats(&self) -> &MachineStats {
+        &self.stats
+    }
+
+    /// Runs until `target` total instructions have committed (or the
+    /// trace ends). Returns the number committed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the machine deadlocks (an internal invariant violation).
+    pub fn run_until_committed(&mut self, target: u64) -> u64 {
+        while self.stats.committed < target {
+            if self.trace_done && self.rob.is_empty() {
+                break;
+            }
+            self.step_cycle();
+        }
+        self.stats.committed
+    }
+
+    fn step_cycle(&mut self) {
+        let mut activity = false;
+        activity |= self.process_events();
+        activity |= self.commit();
+        self.check_override_resume();
+        activity |= self.issue();
+        activity |= self.fetch();
+        self.stats.cycles += 1;
+
+        if activity || (self.trace_done && self.rob.is_empty()) {
+            self.cycle += 1;
+            return;
+        }
+        // Quiet cycle: jump to the next interesting time.
+        let mut next = u64::MAX;
+        if let Some(Reverse((t, _))) = self.events.peek() {
+            next = next.min(*t);
+        }
+        if let Some(Reverse((t, _))) = self.pending.peek() {
+            next = next.min(*t);
+        }
+        match self.fetch_state {
+            FetchState::Stalled { until } => next = next.min(until),
+            FetchState::BranchBlocked {
+                resume_override: Some(t),
+                ..
+            } => next = next.min(t),
+            _ => {}
+        }
+        assert!(
+            next != u64::MAX,
+            "machine deadlocked at cycle {} (rob {}, pending {}, committed {})",
+            self.cycle,
+            self.rob.len(),
+            self.pending.len(),
+            self.stats.committed
+        );
+        let jump = next.max(self.cycle + 1);
+        self.stats.cycles += jump - self.cycle - 1;
+        self.cycle = jump;
+    }
+
+    /// Processes writeback/resolution events due this cycle.
+    fn process_events(&mut self) -> bool {
+        let mut any = false;
+        while let Some(&Reverse((t, seq))) = self.events.peek() {
+            if t > self.cycle {
+                break;
+            }
+            self.events.pop();
+            any = true;
+            let (dest, value, is_branch) = {
+                let e = entry_mut(&mut self.rob, self.tail_seq, seq);
+                e.done = true;
+                (e.dest_phys, e.d.result, e.d.is_branch())
+            };
+            if let Some(p) = dest {
+                self.rename.set_ready(p, t);
+                self.bu.writeback(p, value);
+                // Drain the wait list into the reused scratch (keeping the
+                // wait list's capacity) rather than mem::take-ing the Vec,
+                // which would drop its buffer and reallocate on next use.
+                let mut woken = std::mem::take(&mut self.woken_scratch);
+                woken.clear();
+                woken.extend_from_slice(&self.waiters[p.index()]);
+                self.waiters[p.index()].clear();
+                for &w in &woken {
+                    let e = entry_mut(&mut self.rob, self.tail_seq, w);
+                    e.deps -= 1;
+                    if e.deps == 0 {
+                        self.make_issue_candidate(w);
+                    }
+                }
+                self.woken_scratch = woken;
+            }
+            if is_branch {
+                // Branch resolution: release a blocked fetch (flush +
+                // redirect costs one bubble before refetch).
+                if let FetchState::BranchBlocked { seq: blocked, .. } = self.fetch_state {
+                    if blocked == seq {
+                        self.fetch_state = FetchState::Stalled {
+                            until: self.cycle + 1,
+                        };
+                    }
+                }
+            }
+        }
+        any
+    }
+
+    /// Moves an operand-ready instruction into the scheduler, honoring
+    /// load-after-store ordering.
+    fn make_issue_candidate(&mut self, seq: u64) {
+        let e = entry_mut(&mut self.rob, self.tail_seq, seq);
+        let earliest = e.dispatch_ready.max(self.cycle);
+        if e.d.is_load() {
+            if let Some(&oldest_store) = self.unissued_stores.iter().next() {
+                if oldest_store < seq {
+                    // Older store with unknown address: wait.
+                    self.mem_blocked_loads.insert(seq);
+                    return;
+                }
+            }
+        }
+        self.pending.push(Reverse((earliest, seq)));
+    }
+
+    /// In-order commit of completed instructions.
+    fn commit(&mut self) -> bool {
+        let mut n = 0;
+        while n < self.params.commit_width {
+            let Some(front) = self.rob.front() else { break };
+            if !front.done {
+                break;
+            }
+            let e = self.rob.pop_front().expect("checked front");
+            self.tail_seq += 1;
+            if let Some(prev) = e.prev_phys {
+                self.rename.release(prev);
+            }
+            if self.config.is_arvi() {
+                self.bu.commit_inst();
+            }
+            if e.d.is_load() || e.d.is_store() {
+                self.mem_in_flight -= 1;
+            }
+            if let Some(decision) = &e.branch {
+                let actual = e.d.branch.expect("decision implies branch").taken;
+                self.bu.commit_branch(e.d.byte_pc(), decision, actual);
+                self.record_branch_stats(decision, actual);
+            }
+            self.stats.committed += 1;
+            n += 1;
+        }
+        n > 0
+    }
+
+    fn record_branch_stats(&mut self, decision: &BranchDecision, actual: bool) {
+        let correct = decision.final_taken == actual;
+        self.stats.cond_branches.record(correct);
+        self.stats.l1_only.record(decision.l1_taken == actual);
+        if let Some(ap) = &decision.arvi {
+            match ap.class {
+                arvi_core::BranchClass::Calculated => self.stats.calc_class.record(correct),
+                arvi_core::BranchClass::Load => self.stats.load_class.record(correct),
+            }
+            if ap.direction.is_some() {
+                self.stats.bvit_hits += 1;
+            }
+        }
+        if decision.override_fired {
+            self.stats.overrides += 1;
+            if correct && decision.l1_taken != actual {
+                self.stats.overrides_correcting += 1;
+            }
+        }
+    }
+
+    fn check_override_resume(&mut self) {
+        if let FetchState::BranchBlocked {
+            resume_override: Some(t),
+            ..
+        } = self.fetch_state
+        {
+            if t <= self.cycle {
+                self.fetch_state = FetchState::Running;
+            }
+        }
+        if let FetchState::Stalled { until } = self.fetch_state {
+            if until <= self.cycle {
+                self.fetch_state = FetchState::Running;
+            }
+        }
+    }
+
+    /// Dataflow issue: oldest-first among ready candidates, bounded by
+    /// issue width and functional-unit pools.
+    fn issue(&mut self) -> bool {
+        let mut eligible = std::mem::take(&mut self.eligible_scratch);
+        eligible.clear();
+        while let Some(&Reverse((t, seq))) = self.pending.peek() {
+            if t > self.cycle {
+                break;
+            }
+            self.pending.pop();
+            eligible.push(seq);
+        }
+        if eligible.is_empty() {
+            self.eligible_scratch = eligible;
+            return false;
+        }
+        eligible.sort_unstable();
+
+        let mut alus = self.params.int_alus;
+        let mut muldiv = self.params.int_muldiv;
+        let mut ports = self.params.mem_ports;
+        let mut issued = 0usize;
+        let mut leftovers = std::mem::take(&mut self.leftover_scratch);
+        leftovers.clear();
+
+        for &seq in &eligible {
+            if issued == self.params.issue_width {
+                leftovers.push(seq);
+                continue;
+            }
+            let kind = entry_mut(&mut self.rob, self.tail_seq, seq).d.kind;
+            let fu = match kind {
+                InstKind::IntMul | InstKind::IntDiv => &mut muldiv,
+                InstKind::Load | InstKind::Store => &mut ports,
+                _ => &mut alus,
+            };
+            if *fu == 0 {
+                leftovers.push(seq);
+                continue;
+            }
+            *fu -= 1;
+            issued += 1;
+            self.issue_one(seq);
+        }
+        for &seq in &leftovers {
+            self.pending.push(Reverse((self.cycle + 1, seq)));
+        }
+        self.eligible_scratch = eligible;
+        self.leftover_scratch = leftovers;
+        issued > 0
+    }
+
+    fn issue_one(&mut self, seq: u64) {
+        let (kind, addr) = {
+            let e = entry_mut(&mut self.rob, self.tail_seq, seq);
+            debug_assert!(!e.issued, "double issue of {seq}");
+            e.issued = true;
+            (e.d.kind, e.d.mem_addr)
+        };
+        let latency = match kind {
+            InstKind::IntMul => self.params.mul_latency,
+            InstKind::IntDiv => self.params.div_latency,
+            InstKind::Load => 1 + self.hier.access_data(addr),
+            InstKind::Store => {
+                self.hier.access_data(addr);
+                self.unissued_stores.remove(&seq);
+                self.unblock_loads();
+                1
+            }
+            _ => 1,
+        };
+        self.events.push(Reverse((self.cycle + latency, seq)));
+    }
+
+    /// Re-examines loads blocked on store ordering after a store issues.
+    fn unblock_loads(&mut self) {
+        let bound = self.unissued_stores.iter().next().copied();
+        let mut ready = std::mem::take(&mut self.ready_loads_scratch);
+        ready.clear();
+        match bound {
+            Some(b) => ready.extend(self.mem_blocked_loads.range(..b).copied()),
+            None => ready.extend(self.mem_blocked_loads.iter().copied()),
+        }
+        for &seq in &ready {
+            self.mem_blocked_loads.remove(&seq);
+            let e = entry_mut(&mut self.rob, self.tail_seq, seq);
+            let earliest = e.dispatch_ready.max(self.cycle + 1);
+            self.pending.push(Reverse((earliest, seq)));
+        }
+        self.ready_loads_scratch = ready;
+    }
+
+    /// Fetches, renames and dispatches up to `fetch_width` instructions.
+    fn fetch(&mut self) -> bool {
+        if self.fetch_state != FetchState::Running || self.trace_done {
+            return false;
+        }
+        let mut fetched = 0usize;
+        while fetched < self.params.fetch_width {
+            if self.rob.len() >= self.params.rob_entries {
+                break;
+            }
+            // Pull the next trace record.
+            let d = match self.lookahead.take().or_else(|| self.source.next_inst()) {
+                Some(d) => d,
+                None => {
+                    self.trace_done = true;
+                    break;
+                }
+            };
+            // LSQ occupancy gate.
+            if (d.is_load() || d.is_store()) && self.mem_in_flight >= self.params.lsq_entries {
+                self.lookahead = Some(d);
+                break;
+            }
+            // Instruction-cache access, once per new line.
+            let line = d.byte_pc() / self.params.l1i.line_bytes as u64;
+            if line != self.current_fetch_line {
+                let lat = self.hier.fetch_inst(d.byte_pc());
+                self.current_fetch_line = line;
+                if lat > self.params.l1_latency {
+                    // Miss: hit latency is hidden in the front end, the
+                    // excess stalls fetch.
+                    self.fetch_state = FetchState::Stalled {
+                        until: self.cycle + (lat - self.params.l1_latency),
+                    };
+                    self.lookahead = Some(d);
+                    break;
+                }
+            }
+            let taken_control = self.fetch_one(d);
+            fetched += 1;
+            if taken_control || self.fetch_state != FetchState::Running {
+                break;
+            }
+        }
+        fetched > 0
+    }
+
+    /// Renames and dispatches one instruction; returns whether it was a
+    /// taken control transfer (ending the fetch group).
+    fn fetch_one(&mut self, d: DynInst) -> bool {
+        let seq = d.seq;
+        debug_assert_eq!(seq, self.tail_seq + self.rob.len() as u64);
+
+        // Source operands through the rename map.
+        let src_phys = [
+            d.srcs[0].map(|r| self.rename.lookup(r)),
+            d.srcs[1].map(|r| self.rename.lookup(r)),
+        ];
+
+        // Conditional branch: predict BEFORE inserting the branch into the
+        // DDT (the chain read precedes the branch's own insertion).
+        let mut decision = None;
+        if d.is_branch() {
+            let actual = d.branch.expect("is_branch").taken;
+            let pc = d.byte_pc();
+            let rename = &self.rename;
+            let now = self.cycle;
+            let lb_window = self.lb_window;
+            let fetch_seq = seq;
+            let dec = match self.config {
+                PredictorConfig::TwoLevelGskew => {
+                    self.bu.decide(pc, src_phys, Values::Current, actual)
+                }
+                PredictorConfig::ArviCurrent => {
+                    let f = |p: PhysReg| rename.is_ready(p, now).then(|| rename.oracle_value(p));
+                    self.bu.decide(pc, src_phys, Values::External(&f), actual)
+                }
+                PredictorConfig::ArviLoadBack => {
+                    let f = |p: PhysReg| {
+                        if rename.is_ready(p, now) {
+                            return Some(rename.oracle_value(p));
+                        }
+                        let (is_load, pseq, hoist) = rename.producer(p);
+                        if is_load && (fetch_seq - pseq) + hoist as u64 >= lb_window {
+                            Some(rename.oracle_value(p))
+                        } else {
+                            None
+                        }
+                    };
+                    self.bu.decide(pc, src_phys, Values::External(&f), actual)
+                }
+                PredictorConfig::ArviPerfect => {
+                    let f = |p: PhysReg| Some(rename.oracle_value(p));
+                    self.bu.decide(pc, src_phys, Values::External(&f), actual)
+                }
+            };
+            // Fetch disruption bookkeeping.
+            if dec.final_taken != actual {
+                self.stats.full_mispredicts += 1;
+                self.fetch_state = FetchState::BranchBlocked {
+                    seq,
+                    resume_override: None,
+                };
+            } else if dec.l1_taken != actual {
+                // The L2 override will re-steer fetch after its latency.
+                self.stats.override_restarts += 1;
+                self.fetch_state = FetchState::BranchBlocked {
+                    seq,
+                    resume_override: Some(self.cycle + self.bu.l2_latency),
+                };
+            }
+            decision = Some(dec);
+        }
+
+        // Rename the destination.
+        let (dest_phys, prev_phys) = match d.dest {
+            Some(logical) => {
+                let (new, prev) =
+                    self.rename
+                        .allocate(logical, seq, d.result, d.is_load(), d.hoist);
+                (Some(new), Some(prev))
+            }
+            None => (None, None),
+        };
+
+        // Dependence-tracker insertion (every instruction, ARVI configs).
+        if self.config.is_arvi() {
+            let op = RenamedOp {
+                dest: dest_phys,
+                srcs: src_phys,
+                is_load: d.is_load(),
+            };
+            self.bu.rename_op(&op, d.dest);
+        }
+
+        // Dataflow bookkeeping.
+        let mut deps = 0u8;
+        for p in src_phys.into_iter().flatten() {
+            if !self.rename.is_ready(p, self.cycle) {
+                self.waiters[p.index()].push(seq);
+                deps += 1;
+            }
+        }
+        let is_mem = d.is_load() || d.is_store();
+        if is_mem {
+            self.mem_in_flight += 1;
+        }
+        if d.is_store() {
+            self.unissued_stores.insert(seq);
+        }
+        let taken_control = d.branch.map(|b| b.taken).unwrap_or(false);
+        let entry = Entry {
+            dispatch_ready: self.cycle + self.params.frontend_latency,
+            dest_phys,
+            prev_phys,
+            deps,
+            issued: false,
+            done: false,
+            branch: decision,
+            d,
+        };
+        self.rob.push_back(entry);
+        if deps == 0 {
+            self.make_issue_candidate(seq);
+        }
+        taken_control
+    }
+}
+
+impl<S: InstSource> std::fmt::Debug for HeapMachine<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HeapMachine")
+            .field("config", &self.config)
+            .field("cycle", &self.cycle)
+            .field("committed", &self.stats.committed)
+            .field("rob", &self.rob.len())
+            .finish()
+    }
+}
+
+/// [`arvi_sim::simulate_source`] over the preserved heap machine:
+/// warmup + measurement window, producing a [`SimResult`] directly
+/// comparable with the wheel machine's.
+///
+/// # Panics
+///
+/// Panics if the stream ends before the warmup completes.
+pub fn simulate_source_heap<S: InstSource>(
+    name: &str,
+    source: S,
+    params: SimParams,
+    config: PredictorConfig,
+    warmup: u64,
+    measure: u64,
+) -> SimResult {
+    let name = intern_name(name);
+    let depth_stages = params.depth.stages();
+    let mut machine = HeapMachine::new(source, params, config);
+    let committed = machine.run_until_committed(warmup);
+    assert!(
+        committed >= warmup,
+        "workload {name} halted during warmup ({committed}/{warmup})"
+    );
+    let start = machine.stats().clone();
+    machine.run_until_committed(warmup + measure);
+    let window = machine.stats().since(&start);
+    SimResult {
+        name,
+        config,
+        depth_stages,
+        window,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arvi_isa::{regs::*, AluOp, Cond, Emulator, ProgramBuilder};
+    use arvi_sim::Depth;
+
+    #[test]
+    fn heap_machine_runs_a_loop() {
+        let mut b = ProgramBuilder::new();
+        b.li(T0, 0);
+        b.li(T1, 500);
+        let head = b.here();
+        b.alu_imm(AluOp::Add, T0, T0, 1);
+        b.branch(Cond::Ne, T0, T1, head);
+        b.halt();
+        let mut m = HeapMachine::new(
+            Emulator::new(b.build()),
+            SimParams::small_test(),
+            PredictorConfig::TwoLevelGskew,
+        );
+        m.run_until_committed(100_000);
+        assert_eq!(m.stats().cond_branches.total(), 500);
+        assert!(m.stats().cycles > 0);
+    }
+
+    #[test]
+    fn simulate_source_heap_measures_a_window() {
+        let mut b = ProgramBuilder::new();
+        b.li(T0, 0);
+        let head = b.here();
+        b.alu_imm(AluOp::Add, T0, T0, 1);
+        b.alu_imm(AluOp::And, T1, T0, 7);
+        b.branch(Cond::Ne, T1, ZERO, head);
+        b.jump(head);
+        let r = simulate_source_heap(
+            "loop",
+            Emulator::new(b.build()),
+            SimParams::for_depth(Depth::D20),
+            PredictorConfig::ArviCurrent,
+            2_000,
+            8_000,
+        );
+        assert!((7_994..=8_006).contains(&r.window.committed));
+        assert!(r.ipc() > 0.0);
+    }
+}

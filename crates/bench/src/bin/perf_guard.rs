@@ -1,0 +1,116 @@
+//! CI perf-regression guardrail: compares a fresh `perf_report` JSON
+//! against the checked-in `BENCH_BASELINE.json` and fails the build on
+//! regressions beyond the per-metric tolerance band.
+//!
+//! The baseline file carries, per metric, the reference value, the
+//! direction that counts as better, and warn/fail thresholds in
+//! percent. Two kinds of metric coexist deliberately:
+//!
+//! * **ratio metrics** (`*_speedup_*`) are host-independent — the two
+//!   sides of the ratio are measured in the same process on the same
+//!   machine — so they get tight bands; they are the real gate.
+//! * **absolute metrics** (`*_ns_*`) depend on the host CPU, so their
+//!   bands are generous: they catch order-of-magnitude mistakes (a
+//!   debug build, an accidentally quadratic loop), not noise.
+//!
+//! Prints a markdown delta table (pipe it into `$GITHUB_STEP_SUMMARY`
+//! in CI). Exit code 1 = at least one metric beyond its fail band.
+//!
+//! Usage: `perf_guard --report PATH [--baseline PATH]`
+//!
+//! Regenerate the baseline after an intentional perf change:
+//! `cargo run --release -p arvi-bench --bin perf_report -- --quick`,
+//! then copy the `guardrail` values into `BENCH_BASELINE.json`.
+
+use arvi_bench::Json;
+
+fn arg_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn load(path: &str) -> Json {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("perf_guard: cannot read {path}: {e}"));
+    Json::parse(&text).unwrap_or_else(|e| panic!("perf_guard: {path}: {e}"))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let report_path = arg_value(&args, "--report").unwrap_or_else(|| {
+        eprintln!("usage: perf_guard --report PATH [--baseline PATH]");
+        std::process::exit(2);
+    });
+    let baseline_path = arg_value(&args, "--baseline").unwrap_or("BENCH_BASELINE.json");
+
+    let report = load(report_path);
+    let baseline = load(baseline_path);
+
+    let Some(Json::Arr(metrics)) = baseline.get("metrics") else {
+        eprintln!("perf_guard: {baseline_path} has no `metrics` array");
+        std::process::exit(2);
+    };
+
+    let mut rows = Vec::new();
+    let mut worst = 0u8; // 0 ok, 1 warn, 2 fail
+    for m in metrics {
+        let key = match m.get("key") {
+            Some(Json::Str(k)) => k.clone(),
+            _ => {
+                eprintln!("perf_guard: metric without a key in {baseline_path}");
+                std::process::exit(2);
+            }
+        };
+        let base = m.num("baseline").expect("metric baseline value");
+        let warn_pct = m.num("warn_pct").expect("metric warn_pct");
+        let fail_pct = m.num("fail_pct").expect("metric fail_pct");
+        let higher_is_better = matches!(m.get("direction"), Some(Json::Str(d)) if d == "higher");
+
+        let current = match report.num(&format!("guardrail.{key}")) {
+            Some(v) => v,
+            None => {
+                rows.push((key, base, f64::NAN, f64::NAN, "❌ missing".to_string()));
+                worst = worst.max(2);
+                continue;
+            }
+        };
+        // Positive regression = worse than baseline, in percent.
+        let regression_pct = if higher_is_better {
+            (base - current) / base * 100.0
+        } else {
+            (current - base) / base * 100.0
+        };
+        let status = if regression_pct > fail_pct {
+            worst = worst.max(2);
+            format!("❌ fail (>{fail_pct:.0}%)")
+        } else if regression_pct > warn_pct {
+            worst = worst.max(1);
+            format!("⚠️ warn (>{warn_pct:.0}%)")
+        } else {
+            "✅ ok".to_string()
+        };
+        rows.push((key, base, current, regression_pct, status));
+    }
+
+    println!("## Perf guardrail ({report_path} vs {baseline_path})\n");
+    println!("| metric | baseline | current | regression | status |");
+    println!("|--------|---------:|--------:|-----------:|--------|");
+    for (key, base, current, reg, status) in &rows {
+        if current.is_nan() {
+            println!("| `{key}` | {base:.2} | — | — | {status} |");
+        } else {
+            println!("| `{key}` | {base:.2} | {current:.2} | {reg:+.1}% | {status} |");
+        }
+    }
+    println!();
+    match worst {
+        0 => println!("All metrics within tolerance."),
+        1 => println!("Warnings only — within the fail band, watch the trend."),
+        _ => println!("Perf regression beyond the fail band."),
+    }
+    if worst >= 2 {
+        std::process::exit(1);
+    }
+}

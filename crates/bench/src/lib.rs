@@ -13,9 +13,14 @@
 //!   four configurations at a given pipeline depth.
 //! * `experiments` — the full sweep, emitting every figure and the
 //!   headline averages.
-//! * `perf_report` — quantifies the record-once/replay-many trace
-//!   subsystem (replay vs per-cell re-emulation, stream codec
-//!   throughput), emitting a machine-readable `BENCH_*.json`.
+//! * `perf_report` — quantifies the hot paths (calendar-queue machine
+//!   vs the preserved heap baseline, DDT vs the naive baseline, the
+//!   replayed sweep), emitting a machine-readable `BENCH_*.json` whose
+//!   `guardrail` section feeds the CI perf gate.
+//! * `perf_guard` — the CI perf-regression gate: compares a fresh
+//!   `perf_report` JSON against the checked-in `BENCH_BASELINE.json`
+//!   with per-metric tolerance bands and prints a markdown delta
+//!   table.
 //! * `synth_report` — characterizes every predictor (standalone
 //!   baselines + machine configurations) across the curated
 //!   synthetic-scenario grid, emitting `BENCH_PR3.json` and a markdown
@@ -45,6 +50,7 @@
 //! lookup, predictor throughput, emulator and whole-machine speed).
 
 pub mod baseline;
+mod baseline_machine;
 pub mod harness;
 pub mod report;
 pub mod sweep;

@@ -3,8 +3,10 @@
 //! The perf trajectory of this repository is tracked by `BENCH_*.json`
 //! files emitted by the `perf_report` binary, one per PR that claims a
 //! performance win. The build environment has no registry access, so this
-//! is a dependency-free JSON value tree plus a pretty printer — enough
-//! for flat metric reports, not a general serializer.
+//! is a dependency-free JSON value tree with a pretty printer and a
+//! small parser (for the `perf_guard` regression gate, which reads the
+//! checked-in `BENCH_BASELINE.json` back) — enough for flat metric
+//! reports, not a general (de)serializer.
 
 use std::fmt::Write as _;
 
@@ -109,6 +111,45 @@ impl Json {
         }
     }
 
+    /// Looks up a dotted path (`"machine.gskew_ns"`) through nested
+    /// objects.
+    pub fn get(&self, path: &str) -> Option<&Json> {
+        let mut cur = self;
+        for key in path.split('.') {
+            match cur {
+                Json::Obj(fields) => {
+                    cur = &fields.iter().find(|(k, _)| k == key)?.1;
+                }
+                _ => return None,
+            }
+        }
+        Some(cur)
+    }
+
+    /// The numeric value at a dotted path, if present.
+    pub fn num(&self, path: &str) -> Option<f64> {
+        match self.get(path)? {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Parses a JSON document (the subset [`Json::render`] produces,
+    /// which is all the report files contain).
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let mut p = Parser {
+            b: text.as_bytes(),
+            i: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.i != p.b.len() {
+            return Err(format!("trailing bytes at offset {}", p.i));
+        }
+        Ok(v)
+    }
+
     fn write_escaped(out: &mut String, s: &str) {
         out.push('"');
         for c in s.chars() {
@@ -125,6 +166,163 @@ impl Json {
             }
         }
         out.push('"');
+    }
+}
+
+struct Parser<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while self.i < self.b.len() && self.b[self.i].is_ascii_whitespace() {
+            self.i += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.b.get(self.i).copied()
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), String> {
+        if self.peek() == Some(c) {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(format!("expected `{}` at offset {}", c as char, self.i))
+        }
+    }
+
+    fn lit(&mut self, word: &str, v: Json) -> Result<Json, String> {
+        if self.b[self.i..].starts_with(word.as_bytes()) {
+            self.i += word.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at offset {}", self.i))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'n') => self.lit("null", Json::Null),
+            Some(b't') => self.lit("true", Json::Bool(true)),
+            Some(b'f') => self.lit("false", Json::Bool(false)),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'[') => {
+                self.i += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.i += 1;
+                    return Ok(Json::Arr(items));
+                }
+                loop {
+                    self.skip_ws();
+                    items.push(self.value()?);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.i += 1,
+                        Some(b']') => {
+                            self.i += 1;
+                            return Ok(Json::Arr(items));
+                        }
+                        _ => return Err(format!("bad array at offset {}", self.i)),
+                    }
+                }
+            }
+            Some(b'{') => {
+                self.i += 1;
+                let mut fields = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    self.i += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                loop {
+                    self.skip_ws();
+                    let k = self.string()?;
+                    self.skip_ws();
+                    self.expect(b':')?;
+                    self.skip_ws();
+                    let v = self.value()?;
+                    fields.push((k, v));
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.i += 1,
+                        Some(b'}') => {
+                            self.i += 1;
+                            return Ok(Json::Obj(fields));
+                        }
+                        _ => return Err(format!("bad object at offset {}", self.i)),
+                    }
+                }
+            }
+            Some(c) if c == b'-' || c.is_ascii_digit() => {
+                let start = self.i;
+                self.i += 1;
+                while self
+                    .peek()
+                    .is_some_and(|c| c.is_ascii_digit() || b".eE+-".contains(&c))
+                {
+                    self.i += 1;
+                }
+                std::str::from_utf8(&self.b[start..self.i])
+                    .ok()
+                    .and_then(|s| s.parse().ok())
+                    .map(Json::Num)
+                    .ok_or_else(|| format!("bad number at offset {start}"))
+            }
+            _ => Err(format!("unexpected byte at offset {}", self.i)),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.i += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.i += 1;
+                    let esc = self.peek().ok_or("unterminated escape")?;
+                    self.i += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self
+                                .b
+                                .get(self.i..self.i + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or("bad \\u escape")?;
+                            self.i += 4;
+                            out.push(char::from_u32(hex).unwrap_or('\u{FFFD}'));
+                        }
+                        _ => return Err(format!("bad escape at offset {}", self.i)),
+                    }
+                }
+                Some(_) => {
+                    // Multi-byte UTF-8 passes through unchanged.
+                    let start = self.i;
+                    while self.peek().is_some_and(|c| c != b'"' && c != b'\\') {
+                        self.i += 1;
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&self.b[start..self.i]).map_err(|e| e.to_string())?,
+                    );
+                }
+            }
+        }
     }
 }
 
@@ -163,5 +361,43 @@ mod tests {
     fn non_finite_numbers_render_null() {
         assert_eq!(Json::Num(f64::NAN).render(), "null\n");
         assert_eq!(Json::Num(f64::INFINITY).render(), "null\n");
+    }
+
+    #[test]
+    fn parse_round_trips_rendered_reports() {
+        let v = Json::obj([
+            ("pr", Json::Num(4.0)),
+            ("title", Json::str("calendar queue \"wheel\"\n")),
+            (
+                "machine",
+                Json::obj([
+                    ("gskew_ns", Json::Num(101.5)),
+                    ("speedup", Json::Num(1.52)),
+                    ("identical", Json::Bool(true)),
+                ]),
+            ),
+            ("list", Json::Arr(vec![Json::Num(-3.0), Json::Null])),
+            ("empty_obj", Json::Obj(Vec::new())),
+            ("empty_arr", Json::Arr(Vec::new())),
+        ]);
+        let parsed = Json::parse(&v.render()).expect("round trip");
+        assert_eq!(parsed, v);
+    }
+
+    #[test]
+    fn dotted_path_lookup() {
+        let v = Json::obj([("machine", Json::obj([("gskew_ns", Json::Num(99.25))]))]);
+        assert_eq!(v.num("machine.gskew_ns"), Some(99.25));
+        assert_eq!(v.num("machine.missing"), None);
+        assert_eq!(v.num("machine"), None);
+        assert!(v.get("machine").is_some());
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(Json::parse("{\"a\": }").is_err());
+        assert!(Json::parse("[1, 2,]").is_err());
+        assert!(Json::parse("{} trailing").is_err());
+        assert!(Json::parse("\"unterminated").is_err());
     }
 }

@@ -97,6 +97,14 @@ impl BranchUnit {
         &self.level2
     }
 
+    /// The cycle at which a corrective level-2 override re-steers a
+    /// fetch blocked at `now` — the wakeup time the machine schedules,
+    /// kept with the unit that owns the latency.
+    #[inline]
+    pub fn resolve_override_at(&self, now: u64) -> u64 {
+        now + self.l2_latency
+    }
+
     /// Inserts a renamed instruction into the dependence tracker (ARVI
     /// configurations; no-op for the hybrid).
     pub fn rename_op(&mut self, op: &RenamedOp, logical_dest: Option<Reg>) {

@@ -16,7 +16,15 @@ use crate::params::CacheConfig;
 #[derive(Debug, Clone)]
 pub struct Cache {
     cfg: CacheConfig,
-    sets: usize,
+    /// `log2(line_bytes)` — line/set/tag extraction is on the
+    /// per-access hot path (once per load, store and fetched line), so
+    /// the power-of-two shape is precomputed into shifts and a mask
+    /// instead of re-deriving it with 64-bit divisions every access.
+    line_shift: u32,
+    /// `sets - 1`.
+    set_mask: u64,
+    /// `log2(sets)`.
+    set_shift: u32,
     /// Tag per way per set; `u64::MAX` = invalid.
     tags: Vec<u64>,
     /// LRU stamp per way per set.
@@ -44,7 +52,9 @@ impl Cache {
         assert!(sets.is_power_of_two(), "set count not 2^n");
         Cache {
             cfg,
-            sets,
+            line_shift: (cfg.line_bytes as u64).trailing_zeros(),
+            set_mask: sets as u64 - 1,
+            set_shift: (sets as u64).trailing_zeros(),
             tags: vec![u64::MAX; lines],
             stamps: vec![0; lines],
             tick: 0,
@@ -62,9 +72,9 @@ impl Cache {
     /// Misses allocate (write-allocate for stores, fill for loads).
     pub fn access(&mut self, addr: u64) -> bool {
         self.tick += 1;
-        let line = addr / self.cfg.line_bytes as u64;
-        let set = (line % self.sets as u64) as usize;
-        let tag = line / self.sets as u64;
+        let line = addr >> self.line_shift;
+        let set = (line & self.set_mask) as usize;
+        let tag = line >> self.set_shift;
         let base = set * self.cfg.ways;
         let ways = base..base + self.cfg.ways;
 
@@ -85,9 +95,9 @@ impl Cache {
 
     /// Probe without side effects.
     pub fn contains(&self, addr: u64) -> bool {
-        let line = addr / self.cfg.line_bytes as u64;
-        let set = (line % self.sets as u64) as usize;
-        let tag = line / self.sets as u64;
+        let line = addr >> self.line_shift;
+        let set = (line & self.set_mask) as usize;
+        let tag = line >> self.set_shift;
         let base = set * self.cfg.ways;
         self.tags[base..base + self.cfg.ways].contains(&tag)
     }

@@ -93,6 +93,14 @@ impl Hierarchy {
         self.l1_latency
     }
 
+    /// The largest latency any single access can return (TLB miss plus a
+    /// miss at every level). [`access_data`](Hierarchy::access_data) and
+    /// [`fetch_inst`](Hierarchy::fetch_inst) never exceed this — the
+    /// contract the machine's calendar-queue horizon is sized against.
+    pub fn max_access_latency(&self) -> u64 {
+        self.tlb_miss_penalty + self.l1_latency + self.l2_latency + self.mem_latency
+    }
+
     /// (hits, misses) of the instruction cache.
     pub fn l1i_stats(&self) -> (u64, u64) {
         (self.l1i.hits(), self.l1i.misses())
@@ -121,6 +129,11 @@ mod tests {
         // Cold: TLB miss + L1 miss + L2 miss + memory.
         let cold = h.access_data(0x5000);
         assert_eq!(cold, 30 + 2 + 12 + 100);
+        assert_eq!(
+            h.max_access_latency(),
+            cold,
+            "cold access is the worst case"
+        );
         // Warm: pure L1 hit.
         let warm = h.access_data(0x5000);
         assert_eq!(warm, 2);

@@ -13,9 +13,11 @@
 //! * [`rename`] — fetch-time register rename with oracle value metadata.
 //! * [`branch_unit`] — the two-level overriding predictor stack (2Bc-gskew
 //!   level 1; 2Bc-gskew or ARVI level 2, confidence-gated).
+//! * [`wheel`] — the calendar-queue event scheduler: O(1) fixed-horizon
+//!   cycle buckets with zero steady-state allocation.
 //! * [`machine`] — the cycle engine: 4-wide fetch/issue/commit, dataflow
-//!   scheduling, load/store ordering, misprediction and override
-//!   re-steer penalties.
+//!   scheduling over the wheel, load/store ordering, misprediction and
+//!   override re-steer penalties.
 //! * [`run`] — warmup + measurement-window harness producing
 //!   [`SimResult`]s.
 //!
@@ -42,6 +44,7 @@ pub mod rename;
 pub mod run;
 pub mod source;
 pub mod tlb;
+pub mod wheel;
 
 pub use branch_unit::{BranchDecision, BranchUnit, Level2};
 pub use cache::Cache;
@@ -52,3 +55,4 @@ pub use rename::RenameState;
 pub use run::{intern_name, simulate, simulate_source, SimResult};
 pub use source::{InstSource, IterSource};
 pub use tlb::Tlb;
+pub use wheel::{EventWheel, SeqSet};

@@ -7,13 +7,24 @@
 //! paper requires for the DDT), scheduled dataflow-fashion when their
 //! operands are produced, and committed in order.
 //!
+//! The event core is a fixed-horizon calendar queue
+//! ([`crate::wheel::EventWheel`]): writeback events and operand-ready
+//! candidates are bucketed by cycle in O(1) with zero steady-state
+//! allocation, and quiet stretches skip directly to the next occupied
+//! bucket. Store/load memory ordering uses sorted-vector
+//! [`crate::wheel::SeqSet`]s instead of `BTreeSet`s, branch decisions
+//! ride in a commit-order FIFO beside the ROB instead of fattening every
+//! entry, and per-register consumer wait lists live with the rename
+//! state that wakes them. The previous heap-based core is preserved as
+//! `arvi_bench::baseline::HeapMachine` and proved cycle-identical by
+//! `tests/scheduler_equivalence.rs`.
+//!
 //! Trace-driven approximations (DESIGN.md substitution 2): fetch always
 //! follows the correct path; a mispredicted branch stalls fetch until it
 //! resolves, and a corrective level-2 override stalls fetch for the
 //! level-2 latency. Wrong-path pollution is not modeled.
 
-use std::cmp::Reverse;
-use std::collections::{BTreeSet, BinaryHeap, VecDeque};
+use std::collections::VecDeque;
 
 use arvi_core::{PhysReg, RenamedOp, Values};
 use arvi_isa::{DynInst, Emulator, InstKind};
@@ -24,6 +35,7 @@ use crate::hierarchy::Hierarchy;
 use crate::params::{PredictorConfig, SimParams};
 use crate::rename::RenameState;
 use crate::source::InstSource;
+use crate::wheel::{EventWheel, SeqSet};
 
 /// Counter block for a machine run; figures are computed from snapshot
 /// differences so warmup is excluded.
@@ -91,16 +103,77 @@ impl MachineStats {
     }
 }
 
+/// The reorder buffer as stage-local parallel arrays (structure of
+/// arrays), indexed by `seq & mask` over a power-of-two ring. Each
+/// pipeline stage touches only the columns it needs — commit scans a
+/// contiguous byte of flags per entry, issue reads `kind`/`mem_addr`,
+/// writeback sets one bit — instead of dragging a fat per-entry struct
+/// (formerly a 56-byte `DynInst` plus bookkeeping, two cache lines)
+/// through every stage. Branch decisions never enter the ROB at all:
+/// they ride a commit-order FIFO next to it.
 #[derive(Debug)]
-struct Entry {
-    d: DynInst,
-    dispatch_ready: u64,
-    dest_phys: Option<PhysReg>,
-    prev_phys: Option<PhysReg>,
-    deps: u8,
-    issued: bool,
-    done: bool,
-    branch: Option<BranchDecision>,
+struct Rob {
+    mask: u64,
+    /// Per-entry flag byte: see the `F_*` constants; the low two bits
+    /// count outstanding operands.
+    flags: Box<[u8]>,
+    /// Earliest cycle the entry may issue (fetch cycle + front end).
+    dispatch_ready: Box<[u64]>,
+    /// Functional-unit class.
+    kind: Box<[InstKind]>,
+    /// Effective address (loads/stores).
+    mem_addr: Box<[u64]>,
+    /// Architectural result (forwarded to the ARVI shadow file).
+    result: Box<[u64]>,
+    /// Destination physical register (`NO_REG` = none).
+    dest_phys: Box<[u16]>,
+    /// Previous mapping to free at commit (`NO_REG` = none).
+    prev_phys: Box<[u16]>,
+}
+
+/// Operand count lives in the low two bits of the flag byte.
+const DEPS_MASK: u8 = 0b11;
+const F_DONE: u8 = 1 << 2;
+const F_ISSUED: u8 = 1 << 3;
+const F_LOAD: u8 = 1 << 4;
+const F_MEM: u8 = 1 << 5;
+const F_BRANCH: u8 = 1 << 6;
+
+/// No physical register (dest/prev columns).
+const NO_REG: u16 = u16::MAX;
+
+/// Timeline payload tag: `seq << 1 | EV_WRITEBACK` is a completion
+/// event, an untagged `seq << 1` is an operand-ready issue candidate.
+const EV_WRITEBACK: u64 = 1;
+
+impl Rob {
+    fn new(entries: usize) -> Rob {
+        let cap = entries.next_power_of_two();
+        Rob {
+            mask: cap as u64 - 1,
+            flags: vec![0; cap].into_boxed_slice(),
+            dispatch_ready: vec![0; cap].into_boxed_slice(),
+            kind: vec![InstKind::Halt; cap].into_boxed_slice(),
+            mem_addr: vec![0; cap].into_boxed_slice(),
+            result: vec![0; cap].into_boxed_slice(),
+            dest_phys: vec![NO_REG; cap].into_boxed_slice(),
+            prev_phys: vec![NO_REG; cap].into_boxed_slice(),
+        }
+    }
+
+    #[inline]
+    fn idx(&self, seq: u64) -> usize {
+        (seq & self.mask) as usize
+    }
+}
+
+/// A queued branch decision with the commit-time facts that used to be
+/// re-read from the ROB entry.
+#[derive(Debug)]
+struct DecisionRec {
+    pc: u64,
+    actual: bool,
+    dec: BranchDecision,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -143,11 +216,6 @@ pub struct PcProfile {
     pub leaf_sizes: std::collections::HashMap<(u8, u8), u64>,
 }
 
-#[inline]
-fn entry_mut(rob: &mut VecDeque<Entry>, tail_seq: u64, seq: u64) -> &mut Entry {
-    &mut rob[(seq - tail_seq) as usize]
-}
-
 /// The machine: owns the instruction source (live [`Emulator`] or a
 /// trace replayer — any [`InstSource`]), predictor stack, hierarchy and
 /// scheduling state.
@@ -158,21 +226,26 @@ pub struct Machine<S: InstSource = Emulator> {
     hier: Hierarchy,
     bu: BranchUnit,
     rename: RenameState,
-    rob: VecDeque<Entry>,
+    /// In-flight entries live in `[tail_seq, head_seq)` of the ring.
+    rob: Rob,
+    /// Commit-order decisions of in-flight conditional branches.
+    decisions: VecDeque<DecisionRec>,
     tail_seq: u64,
+    head_seq: u64,
     cycle: u64,
-    /// Per-physical-register consumer wait lists.
-    waiters: Vec<Vec<u64>>,
-    /// (earliest issue cycle, seq) of operand-ready instructions.
-    pending: BinaryHeap<Reverse<(u64, u64)>>,
-    /// (completion cycle, seq) writeback events.
-    events: BinaryHeap<Reverse<(u64, u64)>>,
-    unissued_stores: BTreeSet<u64>,
-    mem_blocked_loads: BTreeSet<u64>,
+    /// The single calendar queue: writeback events and operand-ready
+    /// issue candidates share cycle buckets, distinguished by the low
+    /// payload bit (see `EV_WRITEBACK`). One bucket probe per cycle
+    /// serves both, and one bitmap scan finds the next busy cycle.
+    timeline: EventWheel,
+    unissued_stores: SeqSet,
+    mem_blocked_loads: SeqSet,
     mem_in_flight: usize,
     fetch_state: FetchState,
     lookahead: Option<DynInst>,
     current_fetch_line: u64,
+    /// `log2(l1i.line_bytes)` — fetch computes a line per instruction.
+    fetch_line_shift: u32,
     trace_done: bool,
     /// Load-back availability window (dynamic instructions): a hoisted
     /// load is treated as available to ARVI if its gap-plus-hoist covers
@@ -182,6 +255,7 @@ pub struct Machine<S: InstSource = Emulator> {
     profile: Option<std::collections::HashMap<u64, PcProfile>>,
     /// Reusable per-cycle buffers — the scheduler loop runs every cycle,
     /// so these must not be reallocated per call.
+    due_scratch: Vec<u64>,
     eligible_scratch: Vec<u64>,
     leftover_scratch: Vec<u64>,
     woken_scratch: Vec<u64>,
@@ -194,30 +268,49 @@ impl<S: InstSource> Machine<S> {
     pub fn new(source: S, params: SimParams, config: PredictorConfig) -> Machine<S> {
         let lb_window =
             params.fetch_width as u64 * (params.frontend_latency + params.l1_latency + 1);
+        // A zero-latency front end would make an instruction issue-ready
+        // in its own fetch cycle, after the issue stage already ran; the
+        // scheduler relies on dispatch readiness being strictly future.
+        assert!(params.frontend_latency >= 1, "front end must be >= 1 cycle");
+        let hier = Hierarchy::new(&params);
+        // The wheel horizon must exceed every schedulable delay:
+        // `max_event_latency` is the single source of that bound (worst
+        // writeback latency, FU latencies, front-end dispatch delay).
+        // Cross-check it against what the hierarchy can actually
+        // return, so the two can never drift apart silently.
+        let max_delay = params.max_event_latency();
+        assert!(
+            max_delay > hier.max_access_latency(),
+            "wheel horizon bound {} does not cover the hierarchy's worst access (1 + {})",
+            max_delay,
+            hier.max_access_latency()
+        );
         Machine {
-            hier: Hierarchy::new(&params),
             bu: BranchUnit::new(&params, config),
             rename: RenameState::new(params.phys_regs),
-            rob: VecDeque::with_capacity(params.rob_entries),
+            rob: Rob::new(params.rob_entries),
+            decisions: VecDeque::new(),
             tail_seq: 0,
+            head_seq: 0,
             cycle: 0,
-            waiters: vec![Vec::new(); params.phys_regs],
-            pending: BinaryHeap::new(),
-            events: BinaryHeap::new(),
-            unissued_stores: BTreeSet::new(),
-            mem_blocked_loads: BTreeSet::new(),
+            timeline: EventWheel::with_max_delay(max_delay),
+            unissued_stores: SeqSet::default(),
+            mem_blocked_loads: SeqSet::default(),
             mem_in_flight: 0,
             fetch_state: FetchState::Running,
             lookahead: None,
             current_fetch_line: u64::MAX,
+            fetch_line_shift: (params.l1i.line_bytes as u64).trailing_zeros(),
             trace_done: false,
             lb_window,
             stats: MachineStats::default(),
             profile: None,
+            due_scratch: Vec::new(),
             eligible_scratch: Vec::new(),
             leftover_scratch: Vec::new(),
             woken_scratch: Vec::new(),
             ready_loads_scratch: Vec::new(),
+            hier,
             source,
             params,
             config,
@@ -249,6 +342,11 @@ impl<S: InstSource> Machine<S> {
         &self.bu
     }
 
+    #[inline]
+    fn rob_is_empty(&self) -> bool {
+        self.tail_seq == self.head_seq
+    }
+
     /// Runs until `target` total instructions have committed (or the
     /// trace ends). Returns the number committed.
     ///
@@ -257,7 +355,7 @@ impl<S: InstSource> Machine<S> {
     /// Panics if the machine deadlocks (an internal invariant violation).
     pub fn run_until_committed(&mut self, target: u64) -> u64 {
         while self.stats.committed < target {
-            if self.trace_done && self.rob.is_empty() {
+            if self.trace_done && self.rob_is_empty() {
                 break;
             }
             self.step_cycle();
@@ -266,26 +364,32 @@ impl<S: InstSource> Machine<S> {
     }
 
     fn step_cycle(&mut self) {
+        // One bucket probe serves the whole cycle: completions and due
+        // issue candidates arrive together, tagged by the low bit.
+        let mut due = std::mem::take(&mut self.due_scratch);
+        due.clear();
+        let mut eligible = std::mem::take(&mut self.eligible_scratch);
+        eligible.clear();
+        self.timeline.drain_due_into(self.cycle, &mut due);
+
         let mut activity = false;
-        activity |= self.process_events();
+        activity |= self.process_events(&due, &mut eligible);
         activity |= self.commit();
         self.check_override_resume();
-        activity |= self.issue();
+        activity |= self.issue(&mut eligible);
         activity |= self.fetch();
         self.stats.cycles += 1;
+        self.due_scratch = due;
+        self.eligible_scratch = eligible;
 
-        if activity || (self.trace_done && self.rob.is_empty()) {
+        if activity || (self.trace_done && self.rob_is_empty()) {
             self.cycle += 1;
             return;
         }
-        // Quiet cycle: jump to the next interesting time.
-        let mut next = u64::MAX;
-        if let Some(Reverse((t, _))) = self.events.peek() {
-            next = next.min(*t);
-        }
-        if let Some(Reverse((t, _))) = self.pending.peek() {
-            next = next.min(*t);
-        }
+        // Quiet cycle: skip to the next occupied wheel bucket (or fetch
+        // resume time). Every bucket strictly between is empty, so no
+        // event can be missed by the jump.
+        let mut next = self.timeline.next_after(self.cycle).unwrap_or(u64::MAX);
         match self.fetch_state {
             FetchState::Stalled { until } => next = next.min(until),
             FetchState::BranchBlocked {
@@ -296,10 +400,10 @@ impl<S: InstSource> Machine<S> {
         }
         assert!(
             next != u64::MAX,
-            "machine deadlocked at cycle {} (rob {}, pending {}, committed {})",
+            "machine deadlocked at cycle {} (rob {}, timeline {}, committed {})",
             self.cycle,
-            self.rob.len(),
-            self.pending.len(),
+            self.head_seq - self.tail_seq,
+            self.timeline.len(),
             self.stats.committed
         );
         let jump = next.max(self.cycle + 1);
@@ -307,40 +411,43 @@ impl<S: InstSource> Machine<S> {
         self.cycle = jump;
     }
 
-    /// Processes writeback/resolution events due this cycle.
-    fn process_events(&mut self) -> bool {
+    /// Processes writeback/resolution events due this cycle; untagged
+    /// payloads are issue candidates and seed `eligible` directly.
+    fn process_events(&mut self, due: &[u64], eligible: &mut Vec<u64>) -> bool {
         let mut any = false;
-        while let Some(&Reverse((t, seq))) = self.events.peek() {
-            if t > self.cycle {
-                break;
+        for &item in due {
+            if item & EV_WRITEBACK == 0 {
+                eligible.push(item >> 1);
+                continue;
             }
-            self.events.pop();
+            let seq = item >> 1;
             any = true;
-            let (dest, value, is_branch) = {
-                let e = entry_mut(&mut self.rob, self.tail_seq, seq);
-                e.done = true;
-                (e.dest_phys, e.d.result, e.d.is_branch())
-            };
-            if let Some(p) = dest {
-                self.rename.set_ready(p, t);
-                self.bu.writeback(p, value);
-                // Drain the wait list into the reused scratch (keeping the
-                // wait list's capacity) rather than mem::take-ing the Vec,
-                // which would drop its buffer and reallocate on next use.
+            let i = self.rob.idx(seq);
+            let flags = self.rob.flags[i] | F_DONE;
+            self.rob.flags[i] = flags;
+            let dest = self.rob.dest_phys[i];
+            if dest != NO_REG {
+                let p = PhysReg(dest);
+                self.rename.set_ready(p, self.cycle);
+                if self.config.is_arvi() {
+                    self.bu.writeback(p, self.rob.result[i]);
+                }
+                // Drain the wait list into the reused scratch (keeping
+                // both buffers' capacity).
                 let mut woken = std::mem::take(&mut self.woken_scratch);
                 woken.clear();
-                woken.extend_from_slice(&self.waiters[p.index()]);
-                self.waiters[p.index()].clear();
+                self.rename.take_waiters_into(p, &mut woken);
                 for &w in &woken {
-                    let e = entry_mut(&mut self.rob, self.tail_seq, w);
-                    e.deps -= 1;
-                    if e.deps == 0 {
-                        self.make_issue_candidate(w);
+                    let wi = self.rob.idx(w);
+                    let f = self.rob.flags[wi] - 1;
+                    self.rob.flags[wi] = f;
+                    if f & DEPS_MASK == 0 {
+                        self.make_issue_candidate(w, Some(eligible));
                     }
                 }
                 self.woken_scratch = woken;
             }
-            if is_branch {
+            if flags & F_BRANCH != 0 {
                 // Branch resolution: release a blocked fetch (flush +
                 // redirect costs one bubble before refetch).
                 if let FetchState::BranchBlocked { seq: blocked, .. } = self.fetch_state {
@@ -356,12 +463,15 @@ impl<S: InstSource> Machine<S> {
     }
 
     /// Moves an operand-ready instruction into the scheduler, honoring
-    /// load-after-store ordering.
-    fn make_issue_candidate(&mut self, seq: u64) {
-        let e = entry_mut(&mut self.rob, self.tail_seq, seq);
-        let earliest = e.dispatch_ready.max(self.cycle);
-        if e.d.is_load() {
-            if let Some(&oldest_store) = self.unissued_stores.iter().next() {
+    /// load-after-store ordering. During event processing (before the
+    /// issue stage has run) a candidate already due joins `eligible`
+    /// directly instead of round-tripping through this cycle's —
+    /// already drained — bucket.
+    fn make_issue_candidate(&mut self, seq: u64, eligible: Option<&mut Vec<u64>>) {
+        let i = self.rob.idx(seq);
+        let earliest = self.rob.dispatch_ready[i].max(self.cycle);
+        if self.rob.flags[i] & F_LOAD != 0 {
+            if let Some(oldest_store) = self.unissued_stores.first() {
                 if oldest_store < seq {
                     // Older store with unknown address: wait.
                     self.mem_blocked_loads.insert(seq);
@@ -369,32 +479,43 @@ impl<S: InstSource> Machine<S> {
                 }
             }
         }
-        self.pending.push(Reverse((earliest, seq)));
+        match eligible {
+            Some(out) if earliest <= self.cycle => out.push(seq),
+            _ => self.timeline.schedule(self.cycle, earliest, seq << 1),
+        }
     }
 
-    /// In-order commit of completed instructions.
+    /// In-order commit of completed instructions (read in place from the
+    /// ring; nothing is copied out).
     fn commit(&mut self) -> bool {
         let mut n = 0;
         while n < self.params.commit_width {
-            let Some(front) = self.rob.front() else { break };
-            if !front.done {
+            if self.tail_seq == self.head_seq {
                 break;
             }
-            let e = self.rob.pop_front().expect("checked front");
+            let i = self.rob.idx(self.tail_seq);
+            let flags = self.rob.flags[i];
+            if flags & F_DONE == 0 {
+                break;
+            }
             self.tail_seq += 1;
-            if let Some(prev) = e.prev_phys {
-                self.rename.release(prev);
+            let prev = self.rob.prev_phys[i];
+            if prev != NO_REG {
+                self.rename.release(PhysReg(prev));
             }
             if self.config.is_arvi() {
                 self.bu.commit_inst();
             }
-            if e.d.is_load() || e.d.is_store() {
+            if flags & F_MEM != 0 {
                 self.mem_in_flight -= 1;
             }
-            if let Some(decision) = &e.branch {
-                let actual = e.d.branch.expect("decision implies branch").taken;
-                self.bu.commit_branch(e.d.byte_pc(), decision, actual);
-                self.record_branch_stats(e.d.byte_pc(), decision, actual);
+            if flags & F_BRANCH != 0 {
+                let rec = self
+                    .decisions
+                    .pop_front()
+                    .expect("every in-flight conditional branch queued a decision");
+                self.bu.commit_branch(rec.pc, &rec.dec, rec.actual);
+                self.record_branch_stats(rec.pc, &rec.dec, rec.actual);
             }
             self.stats.committed += 1;
             n += 1;
@@ -459,19 +580,11 @@ impl<S: InstSource> Machine<S> {
     }
 
     /// Dataflow issue: oldest-first among ready candidates, bounded by
-    /// issue width and functional-unit pools.
-    fn issue(&mut self) -> bool {
-        let mut eligible = std::mem::take(&mut self.eligible_scratch);
-        eligible.clear();
-        while let Some(&Reverse((t, seq))) = self.pending.peek() {
-            if t > self.cycle {
-                break;
-            }
-            self.pending.pop();
-            eligible.push(seq);
-        }
+    /// issue width and functional-unit pools. The wheel hands over this
+    /// cycle's bucket in insertion order; the single age sort here is
+    /// the only ordering work in the whole scheduler.
+    fn issue(&mut self, eligible: &mut [u64]) -> bool {
         if eligible.is_empty() {
-            self.eligible_scratch = eligible;
             return false;
         }
         eligible.sort_unstable();
@@ -483,12 +596,12 @@ impl<S: InstSource> Machine<S> {
         let mut leftovers = std::mem::take(&mut self.leftover_scratch);
         leftovers.clear();
 
-        for &seq in &eligible {
+        for &seq in eligible.iter() {
             if issued == self.params.issue_width {
                 leftovers.push(seq);
                 continue;
             }
-            let kind = entry_mut(&mut self.rob, self.tail_seq, seq).d.kind;
+            let kind = self.rob.kind[self.rob.idx(seq)];
             let fu = match kind {
                 InstKind::IntMul | InstKind::IntDiv => &mut muldiv,
                 InstKind::Load | InstKind::Store => &mut ports,
@@ -503,49 +616,42 @@ impl<S: InstSource> Machine<S> {
             self.issue_one(seq);
         }
         for &seq in &leftovers {
-            self.pending.push(Reverse((self.cycle + 1, seq)));
+            self.timeline.schedule(self.cycle, self.cycle + 1, seq << 1);
         }
-        self.eligible_scratch = eligible;
         self.leftover_scratch = leftovers;
         issued > 0
     }
 
     fn issue_one(&mut self, seq: u64) {
-        let (kind, addr) = {
-            let e = entry_mut(&mut self.rob, self.tail_seq, seq);
-            debug_assert!(!e.issued, "double issue of {seq}");
-            e.issued = true;
-            (e.d.kind, e.d.mem_addr)
-        };
+        let i = self.rob.idx(seq);
+        debug_assert!(self.rob.flags[i] & F_ISSUED == 0, "double issue of {seq}");
+        self.rob.flags[i] |= F_ISSUED;
+        let (kind, addr) = (self.rob.kind[i], self.rob.mem_addr[i]);
         let latency = match kind {
             InstKind::IntMul => self.params.mul_latency,
             InstKind::IntDiv => self.params.div_latency,
             InstKind::Load => 1 + self.hier.access_data(addr),
             InstKind::Store => {
                 self.hier.access_data(addr);
-                self.unissued_stores.remove(&seq);
+                self.unissued_stores.remove(seq);
                 self.unblock_loads();
                 1
             }
             _ => 1,
         };
-        self.events.push(Reverse((self.cycle + latency, seq)));
+        self.timeline
+            .schedule(self.cycle, self.cycle + latency, (seq << 1) | EV_WRITEBACK);
     }
 
     /// Re-examines loads blocked on store ordering after a store issues.
     fn unblock_loads(&mut self) {
-        let bound = self.unissued_stores.iter().next().copied();
+        let bound = self.unissued_stores.first();
         let mut ready = std::mem::take(&mut self.ready_loads_scratch);
         ready.clear();
-        match bound {
-            Some(b) => ready.extend(self.mem_blocked_loads.range(..b).copied()),
-            None => ready.extend(self.mem_blocked_loads.iter().copied()),
-        }
+        self.mem_blocked_loads.drain_below_into(bound, &mut ready);
         for &seq in &ready {
-            self.mem_blocked_loads.remove(&seq);
-            let e = entry_mut(&mut self.rob, self.tail_seq, seq);
-            let earliest = e.dispatch_ready.max(self.cycle + 1);
-            self.pending.push(Reverse((earliest, seq)));
+            let earliest = self.rob.dispatch_ready[self.rob.idx(seq)].max(self.cycle + 1);
+            self.timeline.schedule(self.cycle, earliest, seq << 1);
         }
         self.ready_loads_scratch = ready;
     }
@@ -557,7 +663,7 @@ impl<S: InstSource> Machine<S> {
         }
         let mut fetched = 0usize;
         while fetched < self.params.fetch_width {
-            if self.rob.len() >= self.params.rob_entries {
+            if (self.head_seq - self.tail_seq) as usize >= self.params.rob_entries {
                 break;
             }
             // Pull the next trace record.
@@ -574,7 +680,7 @@ impl<S: InstSource> Machine<S> {
                 break;
             }
             // Instruction-cache access, once per new line.
-            let line = d.byte_pc() / self.params.l1i.line_bytes as u64;
+            let line = d.byte_pc() >> self.fetch_line_shift;
             if line != self.current_fetch_line {
                 let lat = self.hier.fetch_inst(d.byte_pc());
                 self.current_fetch_line = line;
@@ -601,7 +707,7 @@ impl<S: InstSource> Machine<S> {
     /// taken control transfer (ending the fetch group).
     fn fetch_one(&mut self, d: DynInst) -> bool {
         let seq = d.seq;
-        debug_assert_eq!(seq, self.tail_seq + self.rob.len() as u64);
+        debug_assert_eq!(seq, self.head_seq);
 
         // Source operands through the rename map.
         let src_phys = [
@@ -611,7 +717,6 @@ impl<S: InstSource> Machine<S> {
 
         // Conditional branch: predict BEFORE inserting the branch into the
         // DDT (the chain read precedes the branch's own insertion).
-        let mut decision = None;
         if d.is_branch() {
             let actual = d.branch.expect("is_branch").taken;
             let pc = d.byte_pc();
@@ -658,10 +763,10 @@ impl<S: InstSource> Machine<S> {
                 self.stats.override_restarts += 1;
                 self.fetch_state = FetchState::BranchBlocked {
                     seq,
-                    resume_override: Some(self.cycle + self.bu.l2_latency),
+                    resume_override: Some(self.bu.resolve_override_at(self.cycle)),
                 };
             }
-            decision = Some(dec);
+            self.decisions.push_back(DecisionRec { pc, actual, dec });
         }
 
         // Rename the destination.
@@ -685,11 +790,11 @@ impl<S: InstSource> Machine<S> {
             self.bu.rename_op(&op, d.dest);
         }
 
-        // Dataflow bookkeeping.
+        // Dataflow bookkeeping, written column-wise into the ring slot.
         let mut deps = 0u8;
         for p in src_phys.into_iter().flatten() {
             if !self.rename.is_ready(p, self.cycle) {
-                self.waiters[p.index()].push(seq);
+                self.rename.add_waiter(p, seq);
                 deps += 1;
             }
         }
@@ -698,22 +803,25 @@ impl<S: InstSource> Machine<S> {
             self.mem_in_flight += 1;
         }
         if d.is_store() {
-            self.unissued_stores.insert(seq);
+            self.unissued_stores.push_monotonic(seq);
         }
         let taken_control = d.branch.map(|b| b.taken).unwrap_or(false);
-        let entry = Entry {
-            dispatch_ready: self.cycle + self.params.frontend_latency,
-            dest_phys,
-            prev_phys,
-            deps,
-            issued: false,
-            done: false,
-            branch: decision,
-            d,
-        };
-        self.rob.push_back(entry);
+        let i = self.rob.idx(seq);
+        self.rob.flags[i] = deps
+            | if d.is_load() { F_LOAD } else { 0 }
+            | if is_mem { F_MEM } else { 0 }
+            | if d.is_branch() { F_BRANCH } else { 0 };
+        self.rob.dispatch_ready[i] = self.cycle + self.params.frontend_latency;
+        self.rob.kind[i] = d.kind;
+        self.rob.mem_addr[i] = d.mem_addr;
+        self.rob.result[i] = d.result;
+        self.rob.dest_phys[i] = dest_phys.map_or(NO_REG, |p| p.0);
+        self.rob.prev_phys[i] = prev_phys.map_or(NO_REG, |p| p.0);
+        self.head_seq += 1;
         if deps == 0 {
-            self.make_issue_candidate(seq);
+            // Fetch runs after issue: dispatch readiness is always in the
+            // future here (`frontend_latency >= 1`, asserted at build).
+            self.make_issue_candidate(seq, None);
         }
         taken_control
     }
@@ -725,7 +833,7 @@ impl<S: InstSource> std::fmt::Debug for Machine<S> {
             .field("config", &self.config)
             .field("cycle", &self.cycle)
             .field("committed", &self.stats.committed)
-            .field("rob", &self.rob.len())
+            .field("rob", &(self.head_seq - self.tail_seq))
             .finish()
     }
 }

@@ -274,6 +274,20 @@ impl SimParams {
     pub fn window(&self) -> usize {
         self.rob_entries
     }
+
+    /// The largest delay the machine can ever schedule, in cycles — the
+    /// bound that sizes the calendar queue's ring
+    /// ([`crate::wheel::EventWheel`]). The worst writeback is a load
+    /// that misses the TLB and every cache level; the worst dispatch
+    /// delay is the front-end latency (plus the one-cycle retry bump).
+    pub fn max_event_latency(&self) -> u64 {
+        let worst_mem =
+            1 + self.tlb_miss_penalty + self.l1_latency + self.l2_latency + self.mem_latency;
+        worst_mem
+            .max(self.mul_latency)
+            .max(self.div_latency)
+            .max(self.frontend_latency + 1)
+    }
 }
 
 #[cfg(test)]
@@ -333,5 +347,21 @@ mod tests {
     #[test]
     fn depth_display() {
         assert_eq!(Depth::D40.to_string(), "40-stage");
+    }
+
+    #[test]
+    fn max_event_latency_bounds_every_schedulable_delay() {
+        for d in Depth::all() {
+            let p = SimParams::for_depth(d);
+            let worst_load = 1 + p.tlb_miss_penalty + p.l1_latency + p.l2_latency + p.mem_latency;
+            let m = p.max_event_latency();
+            assert!(m >= worst_load);
+            assert!(m >= p.div_latency && m >= p.mul_latency);
+            assert!(m > p.frontend_latency);
+        }
+        assert_eq!(
+            SimParams::for_depth(Depth::D60).max_event_latency(),
+            1 + 30 + 6 + 36 + 300
+        );
     }
 }

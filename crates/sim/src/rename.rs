@@ -16,18 +16,35 @@ pub struct RenameState {
     map: [PhysReg; 32],
     free: Vec<PhysReg>,
     /// Cycle at which each physical register's value is (or became)
-    /// available; `u64::MAX` while the producer is in flight.
+    /// available; `u64::MAX` while the producer is in flight. Kept as
+    /// its own dense array — readiness probes are the hottest rename
+    /// query (every operand at dispatch plus every ARVI value closure).
     ready_at: Vec<u64>,
-    /// Architecturally correct value of the current producer (known at
-    /// rename from the trace record — the oracle the perfect-value
-    /// configuration reads).
-    value: Vec<u64>,
-    /// Whether the current producer is a load.
-    producer_is_load: Vec<bool>,
-    /// Dynamic sequence number of the current producer.
-    producer_seq: Vec<u64>,
-    /// Load-back oracle hoist distance of the producer (loads only).
-    producer_hoist: Vec<u32>,
+    /// Per-register producer metadata, consolidated in one record so an
+    /// allocation writes (and a value-mode closure reads) one cache line
+    /// instead of four parallel arrays.
+    producers: Vec<Producer>,
+    /// Per-physical-register consumer wait lists: the sequence numbers
+    /// of dispatched instructions waiting on the register's producer.
+    /// Owned here (not by the machine) so the wakeup plumbing lives with
+    /// the readiness state that triggers it; the scheduler drains a list
+    /// directly into its calendar queue on writeback, never re-sorting
+    /// what the wheel already ordered.
+    waiters: Vec<Vec<u64>>,
+}
+
+/// Oracle metadata of a physical register's current producer (known at
+/// rename from the trace record).
+#[derive(Debug, Clone, Copy, Default)]
+struct Producer {
+    /// Architecturally correct value (the perfect-value oracle).
+    value: u64,
+    /// Dynamic sequence number.
+    seq: u64,
+    /// Load-back oracle hoist distance (loads only).
+    hoist: u32,
+    /// Whether the producer is a load.
+    is_load: bool,
 }
 
 impl RenameState {
@@ -47,10 +64,8 @@ impl RenameState {
             map,
             free: (32..phys_regs as u16).rev().map(PhysReg).collect(),
             ready_at: vec![0; phys_regs],
-            value: vec![0; phys_regs],
-            producer_is_load: vec![false; phys_regs],
-            producer_seq: vec![0; phys_regs],
-            producer_hoist: vec![0; phys_regs],
+            producers: vec![Producer::default(); phys_regs],
+            waiters: vec![Vec::new(); phys_regs],
         }
     }
 
@@ -82,10 +97,12 @@ impl RenameState {
         self.map[logical.index()] = new;
         let i = new.index();
         self.ready_at[i] = u64::MAX;
-        self.value[i] = value;
-        self.producer_is_load[i] = is_load;
-        self.producer_seq[i] = seq;
-        self.producer_hoist[i] = hoist;
+        self.producers[i] = Producer {
+            value,
+            seq,
+            hoist,
+            is_load,
+        };
         (new, prev)
     }
 
@@ -109,19 +126,30 @@ impl RenameState {
     /// current producer.
     #[inline]
     pub fn oracle_value(&self, phys: PhysReg) -> u64 {
-        self.value[phys.index()]
+        self.producers[phys.index()].value
     }
 
     /// Whether the current producer is a load, with its fetch sequence and
     /// hoist distance (for the load-back availability rule).
     #[inline]
     pub fn producer(&self, phys: PhysReg) -> (bool, u64, u32) {
-        let i = phys.index();
-        (
-            self.producer_is_load[i],
-            self.producer_seq[i],
-            self.producer_hoist[i],
-        )
+        let p = &self.producers[phys.index()];
+        (p.is_load, p.seq, p.hoist)
+    }
+
+    /// Registers `seq` as waiting for `phys`'s value.
+    #[inline]
+    pub fn add_waiter(&mut self, phys: PhysReg, seq: u64) {
+        self.waiters[phys.index()].push(seq);
+    }
+
+    /// Appends `phys`'s waiters to `out` and clears the list, keeping
+    /// its capacity (the wait lists are reused for the whole run).
+    #[inline]
+    pub fn take_waiters_into(&mut self, phys: PhysReg, out: &mut Vec<u64>) {
+        let w = &mut self.waiters[phys.index()];
+        out.extend_from_slice(w);
+        w.clear();
     }
 
     /// Number of free physical registers.
@@ -158,6 +186,20 @@ mod tests {
         let before = r.free_count();
         r.release(prev);
         assert_eq!(r.free_count(), before + 1);
+    }
+
+    #[test]
+    fn waiter_lists_drain_and_reuse() {
+        let mut r = RenameState::new(128);
+        let p = PhysReg(40);
+        r.add_waiter(p, 7);
+        r.add_waiter(p, 9);
+        let mut out = Vec::new();
+        r.take_waiters_into(p, &mut out);
+        assert_eq!(out, vec![7, 9]);
+        out.clear();
+        r.take_waiters_into(p, &mut out);
+        assert!(out.is_empty(), "list cleared after drain");
     }
 
     #[test]

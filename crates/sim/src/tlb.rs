@@ -6,7 +6,11 @@ use crate::params::TlbConfig;
 #[derive(Debug, Clone)]
 pub struct Tlb {
     cfg: TlbConfig,
-    sets: usize,
+    /// Precomputed power-of-two shape (see [`crate::Cache`]): page/set/
+    /// tag extraction runs once per memory access.
+    page_shift: u32,
+    set_mask: u64,
+    set_shift: u32,
     tags: Vec<u64>,
     stamps: Vec<u64>,
     tick: u64,
@@ -31,7 +35,9 @@ impl Tlb {
         assert!(sets.is_power_of_two(), "set count not 2^n");
         Tlb {
             cfg,
-            sets,
+            page_shift: cfg.page_bytes.trailing_zeros(),
+            set_mask: sets as u64 - 1,
+            set_shift: (sets as u64).trailing_zeros(),
             tags: vec![u64::MAX; cfg.entries],
             stamps: vec![0; cfg.entries],
             tick: 0,
@@ -43,9 +49,9 @@ impl Tlb {
     /// Translates the page containing `addr`; returns whether it hit.
     pub fn access(&mut self, addr: u64) -> bool {
         self.tick += 1;
-        let page = addr / self.cfg.page_bytes;
-        let set = (page % self.sets as u64) as usize;
-        let tag = page / self.sets as u64;
+        let page = addr >> self.page_shift;
+        let set = (page & self.set_mask) as usize;
+        let tag = page >> self.set_shift;
         let base = set * self.cfg.ways;
         for i in base..base + self.cfg.ways {
             if self.tags[i] == tag {

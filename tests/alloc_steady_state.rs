@@ -1,6 +1,7 @@
 //! Allocation-count regression tests: the per-instruction hot path —
 //! DDT insert/commit, chain reads via `chain_into`, leaf-set extraction
-//! via `leaf_set_into`, and full ARVI predict/train — must be
+//! via `leaf_set_into`, full ARVI predict/train, and the whole timing
+//! machine's cycle loop (calendar-queue scheduler included) — must be
 //! steady-state heap-allocation-free.
 //!
 //! A counting global allocator records every allocation; each check
@@ -195,8 +196,40 @@ fn synth_generation_is_allocation_free() {
     );
 }
 
+fn machine_cycle_loop_is_allocation_free() {
+    use arvi::sim::{Machine, PredictorConfig, SimParams};
+    use arvi::synth::SynthSource;
+
+    // The whole cycle model — calendar queue, SoA ROB, decision FIFO,
+    // sorted-vec memory ordering, rename wait lists — must reach a
+    // steady state where no step allocates: wheel buckets, scratch
+    // buffers and wait lists are all reused. A scenario with branches,
+    // loads, stores and dependence chains exercises every scheduler
+    // path; modest chain/fanout knobs keep ARVI leaf sets inside the
+    // RegList inline capacity (a leaf-set spill is a real allocation,
+    // not scheduler churn).
+    for config in [PredictorConfig::TwoLevelGskew, PredictorConfig::ArviCurrent] {
+        let spec: arvi::synth::ScenarioSpec =
+            "alloc-machine branch=datadep:16 chain=2 fanout=1 dead=1 gap=8 mem=stride:16"
+                .parse()
+                .expect("valid spec");
+        let src = SynthSource::new(&spec, 42);
+        let mut m = Machine::new(src, SimParams::for_depth(arvi::sim::Depth::D20), config);
+        // Warm: fill the ROB, wheel buckets, wait lists and predictor
+        // paths past every lazy high-water mark.
+        m.run_until_committed(150_000);
+        let n = allocations_during(|| {
+            m.run_until_committed(250_000);
+        });
+        assert_eq!(
+            n, 0,
+            "machine ({config:?}) steady state allocated {n} times in 100k insts"
+        );
+    }
+}
+
 fn main() {
-    let checks: [(&str, fn()); 5] = [
+    let checks: [(&str, fn()); 6] = [
         (
             "ddt_insert_commit_chain_is_allocation_free",
             ddt_insert_commit_chain_is_allocation_free,
@@ -216,6 +249,10 @@ fn main() {
         (
             "synth_generation_is_allocation_free",
             synth_generation_is_allocation_free,
+        ),
+        (
+            "machine_cycle_loop_is_allocation_free",
+            machine_cycle_loop_is_allocation_free,
         ),
     ];
     for (name, check) in checks {

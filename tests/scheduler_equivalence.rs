@@ -1,0 +1,213 @@
+//! Cycle-identity harness for the calendar-queue timing machine.
+//!
+//! The PR 4 rewrite replaced the machine's two `BinaryHeap` scheduler
+//! queues with a fixed-horizon timing wheel (plus a structure-of-arrays
+//! ROB, sorted-vector memory ordering and a commit-order decision FIFO).
+//! None of that may change a single figure: this harness pins the new
+//! machine against the preserved heap machine
+//! (`arvi_bench::baseline::HeapMachine`) counter-for-counter across
+//!
+//! 1. the full benchmark grid (every suite benchmark x every predictor
+//!    configuration x every pipeline depth), and
+//! 2. all curated synthetic scenarios (every configuration, 20-stage),
+//!
+//! plus a property test comparing the wheel's per-cycle drain sets
+//! against a `BinaryHeap` reference over random bounded-latency
+//! schedules (including the occupancy-bitmap cycle skip).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+
+use arvi::sim::{
+    simulate_source, Depth, EventWheel, MachineStats, PredictorConfig, SimParams, SimResult,
+};
+use arvi::trace::TraceReplayer;
+use arvi_bench::{baseline, record_trace, Spec, Workload};
+use proptest::prelude::*;
+
+fn spec() -> Spec {
+    Spec {
+        warmup: 2_000,
+        measure: 5_000,
+        seed: 42,
+    }
+}
+
+fn assert_identical(wheel: &MachineStats, heap: &MachineStats, label: &str) {
+    assert_eq!(wheel.cycles, heap.cycles, "{label}: cycles");
+    assert_eq!(wheel.committed, heap.committed, "{label}: committed");
+    assert_eq!(
+        (wheel.cond_branches.correct(), wheel.cond_branches.total()),
+        (heap.cond_branches.correct(), heap.cond_branches.total()),
+        "{label}: final accuracy"
+    );
+    assert_eq!(
+        (wheel.l1_only.correct(), wheel.l1_only.total()),
+        (heap.l1_only.correct(), heap.l1_only.total()),
+        "{label}: level-1 accuracy"
+    );
+    assert_eq!(
+        (wheel.calc_class.correct(), wheel.calc_class.total()),
+        (heap.calc_class.correct(), heap.calc_class.total()),
+        "{label}: calculated class"
+    );
+    assert_eq!(
+        (wheel.load_class.correct(), wheel.load_class.total()),
+        (heap.load_class.correct(), heap.load_class.total()),
+        "{label}: load class"
+    );
+    assert_eq!(wheel.overrides, heap.overrides, "{label}: overrides");
+    assert_eq!(
+        wheel.overrides_correcting, heap.overrides_correcting,
+        "{label}: correcting overrides"
+    );
+    assert_eq!(wheel.bvit_hits, heap.bvit_hits, "{label}: BVIT hits");
+    assert_eq!(
+        wheel.full_mispredicts, heap.full_mispredicts,
+        "{label}: full mispredicts"
+    );
+    assert_eq!(
+        wheel.override_restarts, heap.override_restarts,
+        "{label}: override restarts"
+    );
+}
+
+/// Runs one workload through both machines over a shared recording and
+/// compares every counter of the measurement window.
+fn compare(workload: &Workload, depth: Depth, config: PredictorConfig, spec: Spec) {
+    let trace = Arc::new(record_trace(workload, spec));
+    let wheel: SimResult = simulate_source(
+        arvi::sim::intern_name(workload.name()),
+        TraceReplayer::new(Arc::clone(&trace)),
+        SimParams::for_depth(depth),
+        config,
+        spec.warmup,
+        spec.measure,
+    );
+    let heap = baseline::simulate_source_heap(
+        workload.name(),
+        TraceReplayer::new(Arc::clone(&trace)),
+        SimParams::for_depth(depth),
+        config,
+        spec.warmup,
+        spec.measure,
+    );
+    assert_identical(
+        &wheel.window,
+        &heap.window,
+        &format!("{} @{depth} / {config}", workload.name()),
+    );
+}
+
+/// Every suite benchmark x configuration x depth (the fig5/fig6 grid
+/// axes at equivalence-test scale).
+#[test]
+fn benchmark_grid_is_cycle_identical() {
+    for workload in Workload::suite() {
+        for depth in Depth::all() {
+            for config in PredictorConfig::all() {
+                compare(&workload, depth, config, spec());
+            }
+        }
+    }
+}
+
+/// All curated synthetic scenarios under every configuration.
+#[test]
+fn curated_scenarios_are_cycle_identical() {
+    for sc in arvi::synth::curated() {
+        let workload = Workload::scenario(sc);
+        for config in PredictorConfig::all() {
+            compare(&workload, Depth::D20, config, spec());
+        }
+    }
+}
+
+/// The deeper pipelines exercise the largest wheel delays (D60 worst
+/// case: a TLB miss plus misses at every level) on the scenario mix too.
+#[test]
+fn deep_pipeline_scenarios_are_cycle_identical() {
+    for name in ["datadep-deep", "datadep-chase", "bias-always"] {
+        let workload = Workload::scenario(arvi::synth::find(name).expect("curated name"));
+        for depth in [Depth::D40, Depth::D60] {
+            compare(&workload, depth, PredictorConfig::ArviCurrent, spec());
+        }
+    }
+}
+
+/// Reference model for the wheel: a plain `(time, payload)` min-heap.
+#[derive(Default)]
+struct HeapRef {
+    q: BinaryHeap<Reverse<(u64, u64)>>,
+}
+
+impl HeapRef {
+    fn drain_due(&mut self, now: u64) -> Vec<u64> {
+        let mut out = Vec::new();
+        while let Some(&Reverse((t, p))) = self.q.peek() {
+            if t > now {
+                break;
+            }
+            self.q.pop();
+            out.push(p);
+        }
+        out.sort_unstable();
+        out
+    }
+
+    fn next_after(&self, now: u64) -> Option<u64> {
+        // All entries are in the future when this is called (mirrors the
+        // machine's quiet-cycle invariant).
+        self.q.peek().map(|&Reverse((t, _))| t.max(now + 1))
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Random bounded-latency schedules: at every cycle the wheel must
+    /// hand back exactly the heap's due set, and when idle both must
+    /// agree on the next occupied cycle (the cycle-skip target).
+    #[test]
+    fn wheel_matches_heap_order(
+        max_delay in 1u64..400,
+        ops in proptest::collection::vec((0u64..400, 0u64..1_000_000), 1..200),
+    ) {
+        let mut wheel = EventWheel::with_max_delay(400);
+        let mut heap = HeapRef::default();
+        let mut now = 0u64;
+        let mut scratch = Vec::new();
+        let mut pending = ops.len();
+        let mut ops = ops.into_iter();
+
+        while pending > 0 || !wheel.is_empty() {
+            // Schedule a burst of future work (delays bounded by
+            // `max_delay`, like the machine's Table-2 latencies).
+            for (delay, payload) in ops.by_ref().take(3) {
+                let at = now + 1 + delay % max_delay;
+                wheel.schedule(now, at, payload);
+                heap.q.push(Reverse((at, payload)));
+                pending -= 1;
+            }
+            // Drain this cycle from both.
+            scratch.clear();
+            wheel.drain_due_into(now, &mut scratch);
+            scratch.sort_unstable();
+            let expect = heap.drain_due(now);
+            prop_assert_eq!(&scratch, &expect, "due set at cycle {}", now);
+            prop_assert_eq!(wheel.len(), heap.q.len());
+            // Idle: jump exactly where the heap would.
+            if pending == 0 {
+                match (wheel.next_after(now), heap.next_after(now)) {
+                    (Some(w), Some(h)) => { prop_assert_eq!(w, h); now = w; }
+                    (None, None) => break,
+                    (w, h) => prop_assert!(false, "skip mismatch: wheel {:?} heap {:?}", w, h),
+                }
+            } else {
+                now += 1;
+            }
+        }
+        prop_assert_eq!(wheel.len(), 0);
+    }
+}
