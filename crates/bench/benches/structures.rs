@@ -5,8 +5,8 @@ use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
 use arvi_bench::baseline::NaiveDdt;
 use arvi_core::{
-    ArviConfig, ArviPredictor, Bvit, BvitConfig, ChainMask, Ddt, DdtConfig, LeafSet, PhysReg,
-    RenamedOp, Tracker, TrackerConfig, Values,
+    ArviConfig, ArviPredictor, Bvit, BvitConfig, ChainMask, CurrentValues, Ddt, DdtConfig, LeafSet,
+    PhysReg, RenamedOp, Tracker, TrackerConfig,
 };
 use arvi_predict::{DirectionPredictor, GskewConfig, TwoBcGskew};
 
@@ -196,7 +196,7 @@ fn bench_arvi_predict(c: &mut Criterion) {
             arvi.writeback(d, i as u64 * 3);
             prev = d;
         }
-        b.iter(|| black_box(arvi.predict(0x400, [Some(prev), None], Values::Current)).index);
+        b.iter(|| black_box(arvi.predict(0x400, [Some(prev), None], &CurrentValues)).index);
     });
     g.finish();
 }
@@ -210,7 +210,7 @@ fn bench_predictors(c: &mut Criterion) {
             pc = pc.wrapping_add(52).wrapping_mul(11) & 0xFFFF;
             let d = p.predict(pc);
             p.spec_push(d.taken);
-            p.update(pc, d.checkpoint, !d.taken);
+            p.update(pc, &d, !d.taken);
         });
     });
     g.finish();

@@ -1,6 +1,9 @@
 //! Pre-optimization implementations preserved as measurement baselines:
-//! the allocating [`NaiveDdt`] (pre-PR1) and the heap-scheduled
-//! [`HeapMachine`] (pre-calendar-queue timing machine, PR 4).
+//! the allocating [`NaiveDdt`] (pre-PR1), the heap-scheduled
+//! [`HeapMachine`] (pre-calendar-queue timing machine, PR 4), and the
+//! scalar `Vec<SatCounter>` direction predictors (pre-packed-counter
+//! branch path, PR 5): [`ScalarBimodal`], [`ScalarGshare`],
+//! [`ScalarLocal`], [`ScalarTwoBcGskew`].
 //!
 //! This is the allocating implementation the repository shipped before
 //! the zero-allocation refactor: `insert` builds two fresh `Vec<u64>` per
@@ -13,6 +16,9 @@
 //! bit-compatible with this one.
 
 pub use crate::baseline_machine::{simulate_source_heap, HeapMachine};
+pub use crate::baseline_predict::{
+    ScalarBimodal, ScalarDirectionPredictor, ScalarGshare, ScalarLocal, ScalarTwoBcGskew,
+};
 
 use arvi_core::{DdtConfig, InstSlot, PhysReg};
 

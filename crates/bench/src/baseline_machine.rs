@@ -18,11 +18,11 @@
 use std::cmp::Reverse;
 use std::collections::{BTreeSet, BinaryHeap, VecDeque};
 
-use arvi_core::{PhysReg, RenamedOp, Values};
+use arvi_core::{CurrentValues, PhysReg, RenamedOp};
 use arvi_isa::{DynInst, InstKind};
 use arvi_sim::{
-    intern_name, BranchDecision, BranchUnit, Hierarchy, InstSource, MachineStats, PredictorConfig,
-    RenameState, SimParams, SimResult,
+    intern_name, BranchDecision, BranchUnit, Hierarchy, InstSource, LoadBackOracle, MachineStats,
+    PerfectOracle, PredictorConfig, ReadyOracle, RenameState, SimParams, SimResult,
 };
 
 #[derive(Debug)]
@@ -289,7 +289,7 @@ impl<S: InstSource> HeapMachine<S> {
     fn record_branch_stats(&mut self, decision: &BranchDecision, actual: bool) {
         let correct = decision.final_taken == actual;
         self.stats.cond_branches.record(correct);
-        self.stats.l1_only.record(decision.l1_taken == actual);
+        self.stats.l1_only.record(decision.l1.taken == actual);
         if let Some(ap) = &decision.arvi {
             match ap.class {
                 arvi_core::BranchClass::Calculated => self.stats.calc_class.record(correct),
@@ -301,7 +301,7 @@ impl<S: InstSource> HeapMachine<S> {
         }
         if decision.override_fired {
             self.stats.overrides += 1;
-            if correct && decision.l1_taken != actual {
+            if correct && decision.l1.taken != actual {
                 self.stats.overrides_correcting += 1;
             }
         }
@@ -483,33 +483,29 @@ impl<S: InstSource> HeapMachine<S> {
             let pc = d.byte_pc();
             let rename = &self.rename;
             let now = self.cycle;
-            let lb_window = self.lb_window;
-            let fetch_seq = seq;
+            // Same monomorphized oracles as the wheel machine: the two
+            // machines share the BranchUnit, so the predict/train data
+            // path stays identical on both sides of the comparison.
             let dec = match self.config {
                 PredictorConfig::TwoLevelGskew => {
-                    self.bu.decide(pc, src_phys, Values::Current, actual)
+                    self.bu.decide(pc, src_phys, &CurrentValues, actual)
                 }
                 PredictorConfig::ArviCurrent => {
-                    let f = |p: PhysReg| rename.is_ready(p, now).then(|| rename.oracle_value(p));
-                    self.bu.decide(pc, src_phys, Values::External(&f), actual)
+                    self.bu
+                        .decide(pc, src_phys, &ReadyOracle { rename, now }, actual)
                 }
                 PredictorConfig::ArviLoadBack => {
-                    let f = |p: PhysReg| {
-                        if rename.is_ready(p, now) {
-                            return Some(rename.oracle_value(p));
-                        }
-                        let (is_load, pseq, hoist) = rename.producer(p);
-                        if is_load && (fetch_seq - pseq) + hoist as u64 >= lb_window {
-                            Some(rename.oracle_value(p))
-                        } else {
-                            None
-                        }
+                    let oracle = LoadBackOracle {
+                        rename,
+                        now,
+                        fetch_seq: seq,
+                        lb_window: self.lb_window,
                     };
-                    self.bu.decide(pc, src_phys, Values::External(&f), actual)
+                    self.bu.decide(pc, src_phys, &oracle, actual)
                 }
                 PredictorConfig::ArviPerfect => {
-                    let f = |p: PhysReg| Some(rename.oracle_value(p));
-                    self.bu.decide(pc, src_phys, Values::External(&f), actual)
+                    self.bu
+                        .decide(pc, src_phys, &PerfectOracle { rename }, actual)
                 }
             };
             // Fetch disruption bookkeeping.
@@ -519,7 +515,7 @@ impl<S: InstSource> HeapMachine<S> {
                     seq,
                     resume_override: None,
                 };
-            } else if dec.l1_taken != actual {
+            } else if dec.l1.taken != actual {
                 // The L2 override will re-steer fetch after its latency.
                 self.stats.override_restarts += 1;
                 self.fetch_state = FetchState::BranchBlocked {

@@ -1,0 +1,340 @@
+//! The pre-PR5 scalar direction predictors, preserved as equivalence and
+//! measurement baselines.
+//!
+//! These are the predictor implementations the repository shipped before
+//! the packed-counter refactor: every table is a `Vec<SatCounter>` (two
+//! bytes of host memory per 2-bit counter, one allocation per bank) and
+//! training *re-derives* its table indices from the PC and the history
+//! checkpoint — the second round of hashing the index-carrying
+//! [`Prediction`](arvi_predict::Prediction) now eliminates.
+//!
+//! They exist so that
+//!
+//! * `tests/predictor_equivalence.rs` can prove the packed + carried-
+//!   index path produces bit-identical prediction/train streams over the
+//!   full benchmark grid and the curated scenarios, and
+//! * `perf_report` / the `branch_path` criterion group can quantify the
+//!   packed layout against the exact prior algorithm on the same host —
+//!   mirroring how [`NaiveDdt`](crate::baseline::NaiveDdt) and
+//!   [`HeapMachine`](crate::baseline::HeapMachine) preserve earlier hot
+//!   paths.
+//!
+//! Do not use them for anything but comparison.
+
+#![allow(deprecated)] // the scalar SatCounter tables are the point
+
+use arvi_predict::{GlobalHistory, GskewConfig, SatCounter};
+
+/// The pre-PR5 predictor protocol: `predict` returns the direction plus
+/// a history checkpoint, and `update` re-hashes PC and checkpoint into
+/// table indices at training time.
+pub trait ScalarDirectionPredictor {
+    /// Predicts the branch at byte address `pc`: `(taken, checkpoint)`.
+    fn predict(&mut self, pc: u64) -> (bool, u64);
+    /// Shifts the global history with the followed direction.
+    fn spec_push(&mut self, taken: bool);
+    /// Trains with the actual outcome, re-deriving indices from
+    /// `checkpoint` (the preserved data path under measurement).
+    fn update(&mut self, pc: u64, checkpoint: u64, taken: bool);
+    /// Short name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Scalar bimodal: per-PC `Vec<SatCounter>` table.
+#[derive(Debug, Clone)]
+pub struct ScalarBimodal {
+    table: Vec<SatCounter>,
+    index_mask: u64,
+}
+
+impl ScalarBimodal {
+    /// Creates a predictor with `2^index_bits` counters.
+    pub fn new(index_bits: u32) -> ScalarBimodal {
+        let size = 1usize << index_bits;
+        ScalarBimodal {
+            table: vec![SatCounter::two_bit(); size],
+            index_mask: (size - 1) as u64,
+        }
+    }
+
+    #[inline]
+    fn index(&self, pc: u64) -> usize {
+        ((pc >> 2) & self.index_mask) as usize
+    }
+}
+
+impl ScalarDirectionPredictor for ScalarBimodal {
+    fn predict(&mut self, pc: u64) -> (bool, u64) {
+        (self.table[self.index(pc)].is_set(), 0)
+    }
+
+    fn spec_push(&mut self, _taken: bool) {}
+
+    fn update(&mut self, pc: u64, _checkpoint: u64, taken: bool) {
+        let idx = self.index(pc);
+        self.table[idx].update(taken);
+    }
+
+    fn name(&self) -> &'static str {
+        "scalar-bimodal"
+    }
+}
+
+/// Scalar gshare: `PC XOR history` indexed `Vec<SatCounter>`.
+#[derive(Debug, Clone)]
+pub struct ScalarGshare {
+    table: Vec<SatCounter>,
+    index_mask: u64,
+    history: GlobalHistory,
+    history_len: u32,
+}
+
+impl ScalarGshare {
+    /// Creates a predictor with `2^index_bits` counters and
+    /// `history_len` bits of global history.
+    pub fn new(index_bits: u32, history_len: u32) -> ScalarGshare {
+        let size = 1usize << index_bits;
+        ScalarGshare {
+            table: vec![SatCounter::two_bit(); size],
+            index_mask: (size - 1) as u64,
+            history: GlobalHistory::new(),
+            history_len,
+        }
+    }
+
+    #[inline]
+    fn index(&self, pc: u64, history: u64) -> usize {
+        let h = if self.history_len >= 64 {
+            history
+        } else if self.history_len == 0 {
+            0
+        } else {
+            history & ((1u64 << self.history_len) - 1)
+        };
+        (((pc >> 2) ^ h) & self.index_mask) as usize
+    }
+}
+
+impl ScalarDirectionPredictor for ScalarGshare {
+    fn predict(&mut self, pc: u64) -> (bool, u64) {
+        let checkpoint = self.history.bits();
+        (self.table[self.index(pc, checkpoint)].is_set(), checkpoint)
+    }
+
+    fn spec_push(&mut self, taken: bool) {
+        self.history.push(taken);
+    }
+
+    fn update(&mut self, pc: u64, checkpoint: u64, taken: bool) {
+        let idx = self.index(pc, checkpoint);
+        self.table[idx].update(taken);
+    }
+
+    fn name(&self) -> &'static str {
+        "scalar-gshare"
+    }
+}
+
+/// Scalar two-level local predictor (PAg).
+#[derive(Debug, Clone)]
+pub struct ScalarLocal {
+    histories: Vec<u16>,
+    counters: Vec<SatCounter>,
+    history_len: u32,
+    hist_mask: u64,
+    ctr_mask: u64,
+}
+
+impl ScalarLocal {
+    /// Creates a predictor; parameters as `arvi_predict::Local::new`.
+    pub fn new(hist_index_bits: u32, history_len: u32, counter_index_bits: u32) -> ScalarLocal {
+        ScalarLocal {
+            histories: vec![0; 1 << hist_index_bits],
+            counters: vec![SatCounter::two_bit(); 1 << counter_index_bits],
+            history_len,
+            hist_mask: ((1u64 << hist_index_bits) - 1),
+            ctr_mask: ((1u64 << counter_index_bits) - 1),
+        }
+    }
+
+    #[inline]
+    fn hist_index(&self, pc: u64) -> usize {
+        ((pc >> 2) & self.hist_mask) as usize
+    }
+
+    #[inline]
+    fn ctr_index(&self, pc: u64, local: u16) -> usize {
+        let pc_part = (pc >> 2) << self.history_len;
+        (((local as u64) | pc_part) & self.ctr_mask) as usize
+    }
+}
+
+impl ScalarDirectionPredictor for ScalarLocal {
+    fn predict(&mut self, pc: u64) -> (bool, u64) {
+        let local = self.histories[self.hist_index(pc)];
+        (
+            self.counters[self.ctr_index(pc, local)].is_set(),
+            local as u64,
+        )
+    }
+
+    fn spec_push(&mut self, _taken: bool) {}
+
+    fn update(&mut self, pc: u64, checkpoint: u64, taken: bool) {
+        let idx = self.ctr_index(pc, checkpoint as u16);
+        self.counters[idx].update(taken);
+        let hist_idx = self.hist_index(pc);
+        let h = &mut self.histories[hist_idx];
+        *h = (((*h as u32) << 1) | taken as u32) as u16 & ((1u16 << self.history_len) - 1);
+    }
+
+    fn name(&self) -> &'static str {
+        "scalar-local"
+    }
+}
+
+/// Scalar 2Bc-gskew: four separate `Vec<SatCounter>` banks, indices
+/// re-hashed at update from the checkpoint. The skewing hash is shared
+/// with the packed implementation by construction (copied verbatim), so
+/// any divergence is a storage/semantics bug, not an indexing one.
+#[derive(Debug, Clone)]
+pub struct ScalarTwoBcGskew {
+    bim: Vec<SatCounter>,
+    g0: Vec<SatCounter>,
+    g1: Vec<SatCounter>,
+    meta: Vec<SatCounter>,
+    cfg: GskewConfig,
+    mask: u64,
+    history: GlobalHistory,
+}
+
+/// The pre-PR5 skewing hash (identical to the packed predictor's).
+#[inline]
+fn skew_hash(pc: u64, hist: u64, hist_len: u32, bank: u32, mask: u64) -> usize {
+    let h = if hist_len == 0 {
+        0
+    } else if hist_len >= 64 {
+        hist
+    } else {
+        hist & ((1u64 << hist_len) - 1)
+    };
+    let a = pc >> 2;
+    let mult: u64 = match bank {
+        0 => 0x9E37_79B9_7F4A_7C15,
+        1 => 0xC2B2_AE3D_27D4_EB4F,
+        _ => 0x1656_67B1_9E37_79F9,
+    };
+    let mixed = (a ^ h.rotate_left(bank * 7 + 1)).wrapping_mul(mult);
+    ((mixed >> 17) & mask) as usize
+}
+
+impl ScalarTwoBcGskew {
+    /// Creates a predictor with the given configuration.
+    pub fn new(cfg: GskewConfig) -> ScalarTwoBcGskew {
+        let size = 1usize << cfg.index_bits;
+        ScalarTwoBcGskew {
+            bim: vec![SatCounter::two_bit(); size],
+            g0: vec![SatCounter::two_bit(); size],
+            g1: vec![SatCounter::two_bit(); size],
+            meta: vec![SatCounter::two_bit(); size],
+            cfg,
+            mask: (size - 1) as u64,
+            history: GlobalHistory::new(),
+        }
+    }
+
+    #[inline]
+    fn indices(&self, pc: u64, hist: u64) -> [usize; 4] {
+        [
+            ((pc >> 2) & self.mask) as usize,
+            skew_hash(pc, hist, self.cfg.g0_history, 1, self.mask),
+            skew_hash(pc, hist, self.cfg.g1_history, 2, self.mask),
+            skew_hash(pc, hist, self.cfg.meta_history, 0, self.mask),
+        ]
+    }
+}
+
+impl ScalarDirectionPredictor for ScalarTwoBcGskew {
+    fn predict(&mut self, pc: u64) -> (bool, u64) {
+        let checkpoint = self.history.bits();
+        let [bi, g0i, g1i, mi] = self.indices(pc, checkpoint);
+        let bim = self.bim[bi].is_set();
+        let g0 = self.g0[g0i].is_set();
+        let g1 = self.g1[g1i].is_set();
+        let majority = (bim as u8 + g0 as u8 + g1 as u8) >= 2;
+        let use_majority = self.meta[mi].is_set();
+        (if use_majority { majority } else { bim }, checkpoint)
+    }
+
+    fn spec_push(&mut self, taken: bool) {
+        self.history.push(taken);
+    }
+
+    fn update(&mut self, pc: u64, checkpoint: u64, taken: bool) {
+        let [bi, g0i, g1i, mi] = self.indices(pc, checkpoint);
+        let bim = self.bim[bi].is_set();
+        let g0 = self.g0[g0i].is_set();
+        let g1 = self.g1[g1i].is_set();
+        let majority = (bim as u8 + g0 as u8 + g1 as u8) >= 2;
+        let use_majority = self.meta[mi].is_set();
+        let pred = if use_majority { majority } else { bim };
+
+        if bim != majority {
+            self.meta[mi].update(majority == taken);
+        }
+
+        if pred == taken {
+            if use_majority {
+                if bim == taken {
+                    self.bim[bi].strengthen();
+                }
+                if g0 == taken {
+                    self.g0[g0i].strengthen();
+                }
+                if g1 == taken {
+                    self.g1[g1i].strengthen();
+                }
+            } else {
+                self.bim[bi].strengthen();
+            }
+        } else {
+            self.bim[bi].update(taken);
+            self.g0[g0i].update(taken);
+            self.g1[g1i].update(taken);
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "scalar-2Bc-gskew"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Quick self-check against the packed predictor on a synthetic
+    /// stream (the exhaustive cross-workload harness lives in
+    /// `tests/predictor_equivalence.rs`).
+    #[test]
+    fn scalar_gskew_matches_packed_on_a_noise_stream() {
+        use arvi_predict::{DirectionPredictor, TwoBcGskew};
+        let mut scalar = ScalarTwoBcGskew::new(GskewConfig::level1());
+        let mut packed = TwoBcGskew::new(GskewConfig::level1());
+        let mut x = 0x1234_5678_9ABC_DEF0u64;
+        for _ in 0..20_000 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let pc = ((x >> 20) & 0xFFFF) << 2;
+            let taken = (x >> 40) & 0b11 != 0;
+            let (st, sc) = ScalarDirectionPredictor::predict(&mut scalar, pc);
+            let pp = packed.predict(pc);
+            assert_eq!((st, sc), (pp.taken, pp.checkpoint));
+            ScalarDirectionPredictor::spec_push(&mut scalar, taken);
+            packed.spec_push(taken);
+            ScalarDirectionPredictor::update(&mut scalar, pc, sc, taken);
+            packed.update(pc, &pp, taken);
+        }
+    }
+}

@@ -1,18 +1,22 @@
-//! Performance report: quantifies the calendar-queue timing machine
-//! against the preserved heap-scheduled baseline and emits a
-//! machine-readable `BENCH_PR4.json` so the perf trajectory is tracked
-//! PR over PR (`BENCH_PR1.json`–`BENCH_PR3.json` preserve the earlier
-//! trails).
+//! Performance report: quantifies the hot paths against their preserved
+//! baselines and emits a machine-readable `BENCH_PR5.json` so the perf
+//! trajectory is tracked PR over PR (`BENCH_PR1.json`–`BENCH_PR4.json`
+//! preserve the earlier trails).
 //!
-//! 1. **Machine micro** — ns per committed instruction of the wheel
+//! 1. **Branch-path micro** — ns per branch of the packed-counter,
+//!    index-carrying 2Bc-gskew vs the preserved scalar
+//!    `arvi_bench::baseline::ScalarTwoBcGskew` over the same recorded
+//!    m88ksim branch stream (delayed-update protocol, interleaved
+//!    best-of-3, with a stream-identity assertion) — the PR 5 trail.
+//! 2. **Machine micro** — ns per committed instruction of the wheel
 //!    machine vs `arvi_bench::baseline::HeapMachine` replaying the same
 //!    m88ksim recording (interleaved best-of-3 per side, with a
 //!    cycle-identity assertion), for the pure timing path
 //!    (2-level gskew) and the ARVI path.
-//! 2. **DDT micro** — steady-state insert+commit and deep chain read of
+//! 3. **DDT micro** — steady-state insert+commit and deep chain read of
 //!    `arvi_core::Ddt` vs the preserved `NaiveDdt` (the PR 1 trail,
 //!    kept hot so the guardrail watches both hot paths).
-//! 3. **Sweep** — the quick Figure-6 grid replayed over shared traces,
+//! 4. **Sweep** — the quick Figure-6 grid replayed over shared traces,
 //!    asserted bit-identical to per-cell live emulation (the PR 2
 //!    guarantee), with the whole-sweep ns/inst.
 //!
@@ -25,11 +29,14 @@
 use std::sync::Arc;
 use std::time::Instant;
 
+use arvi_bench::baseline::ScalarTwoBcGskew;
 use arvi_bench::{
     baseline, grid, record_trace, run_sweep_emulated, run_sweep_with, threads_from_args,
     trace_dir_from_args, trace_len, write_report, Json, Spec, SweepPoint, TraceSet, Workload,
 };
+use arvi_bench::{conditional_branches, run_delayed, run_delayed_scalar};
 use arvi_core::{Ddt, DdtConfig, PhysReg};
+use arvi_predict::{GskewConfig, TwoBcGskew};
 use arvi_sim::{intern_name, simulate_source, Depth, PredictorConfig, SimParams};
 use arvi_trace::{Trace, TraceReplayer};
 use arvi_workloads::Benchmark;
@@ -37,6 +44,68 @@ use arvi_workloads::Benchmark;
 struct MachineSide {
     wheel_ns: f64,
     heap_ns: f64,
+}
+
+struct BranchSide {
+    packed_ns: f64,
+    scalar_ns: f64,
+}
+
+/// Times the packed vs scalar 2Bc-gskew (level-2 size) through the
+/// machine-shaped delayed-update protocol ([`arvi_bench::run_delayed`])
+/// over the same branch stream: both sides are trained over the stream
+/// once (warm, steady-state tables), then timed over alternating
+/// whole-stream passes (min of `reps` per side, pairwise interleaved
+/// against host drift). The warm pass asserts the two sides' predicted
+/// direction *streams* identical (order-sensitive hash, not just the
+/// aggregate accuracy count).
+fn branch_micro(stream: &[(u64, bool)], window: usize, reps: u32) -> BranchSide {
+    // Warm pass doubles as the stream-identity assertion.
+    let mut packed = TwoBcGskew::new(GskewConfig::level2());
+    let mut scalar = ScalarTwoBcGskew::new(GskewConfig::level2());
+    let p0 = run_delayed(&mut packed, stream, window);
+    let s0 = run_delayed_scalar(&mut scalar, stream, window);
+    assert_eq!(
+        p0, s0,
+        "packed gskew diverged from the scalar baseline on the branch stream"
+    );
+
+    let mut packed_s = f64::INFINITY;
+    let mut scalar_s = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        std::hint::black_box(run_delayed(&mut packed, stream, window));
+        packed_s = packed_s.min(t0.elapsed().as_secs_f64());
+
+        let t0 = Instant::now();
+        std::hint::black_box(run_delayed_scalar(&mut scalar, stream, window));
+        scalar_s = scalar_s.min(t0.elapsed().as_secs_f64());
+    }
+    let n = stream.len().max(1) as f64;
+    BranchSide {
+        packed_ns: packed_s * 1e9 / n,
+        scalar_ns: scalar_s * 1e9 / n,
+    }
+}
+
+/// A synthetic table-pressure stream: `sites` distinct branch PCs in
+/// seeded-random order with value-dependent outcomes. A site count in
+/// the tens of thousands makes the working set span the whole level-2
+/// table — the scalar layout streams 256 KB of counters through the
+/// cache where the packed layout touches 32 KB; the recorded benchmark
+/// streams concentrate on far fewer sites and fit either way.
+fn pressure_stream(sites: u64, len: usize) -> Vec<(u64, bool)> {
+    let mut x = 0x2545_F491_4F6C_DD1Du64;
+    (0..len)
+        .map(|_| {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let pc = ((x >> 24) % sites) << 2;
+            let taken = (x >> 60) & 0b11 != 0;
+            (pc, taken)
+        })
+        .collect()
 }
 
 /// Times one predictor configuration through both machines over a shared
@@ -155,7 +224,7 @@ fn main() {
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1))
         .map(String::as_str)
-        .unwrap_or("BENCH_PR4.json")
+        .unwrap_or("BENCH_PR5.json")
         .to_string();
 
     let (spec, micro_spec, ddt_iters) = if quick {
@@ -184,15 +253,36 @@ fn main() {
         )
     };
 
-    // 1. Machine micro: wheel vs preserved heap baseline.
-    eprintln!(
-        "perf_report: machine micro (m88ksim, {} insts, wheel vs heap, best of 3 interleaved)...",
-        trace_len(micro_spec)
-    );
+    // 1. Branch-path micro: packed vs preserved scalar predictor, over
+    // the recorded m88ksim stream and a table-pressure stream.
     let trace = Arc::new(record_trace(
         &Workload::from(Benchmark::M88ksim),
         micro_spec,
     ));
+    let reps = if quick { 7 } else { 15 };
+    eprintln!(
+        "perf_report: branch-path micro (packed vs scalar 2Bc-gskew, warm tables, min of {reps} alternating passes)..."
+    );
+    let branch = branch_micro(&conditional_branches(&trace), 8, reps);
+    eprintln!(
+        "  m88ksim stream: packed {:.1} ns/branch vs scalar {:.1} ns/branch ({:.2}x); streams identical",
+        branch.packed_ns,
+        branch.scalar_ns,
+        branch.scalar_ns / branch.packed_ns,
+    );
+    let pressure = branch_micro(&pressure_stream(60_000, 200_000), 8, reps);
+    eprintln!(
+        "  pressure stream (60k sites): packed {:.1} ns/branch vs scalar {:.1} ns/branch ({:.2}x)",
+        pressure.packed_ns,
+        pressure.scalar_ns,
+        pressure.scalar_ns / pressure.packed_ns,
+    );
+
+    // 2. Machine micro: wheel vs preserved heap baseline.
+    eprintln!(
+        "perf_report: machine micro (m88ksim, {} insts, wheel vs heap, best of 3 interleaved)...",
+        trace_len(micro_spec)
+    );
     let gskew = machine_micro(&trace, PredictorConfig::TwoLevelGskew, micro_spec);
     let arvi = machine_micro(&trace, PredictorConfig::ArviCurrent, micro_spec);
     eprintln!(
@@ -206,7 +296,7 @@ fn main() {
         arvi.heap_ns / arvi.wheel_ns,
     );
 
-    // 2. DDT micro: optimized vs preserved naive baseline.
+    // 3. DDT micro: optimized vs preserved naive baseline.
     eprintln!("perf_report: DDT micro ({ddt_iters} steady-state insert+commit iters)...");
     let ddt = ddt_micro(ddt_iters);
     eprintln!(
@@ -216,7 +306,7 @@ fn main() {
         ddt.naive_ns / ddt.fast_ns
     );
 
-    // 3. Quick fig6 sweep, replayed over shared traces, asserted
+    // 4. Quick fig6 sweep, replayed over shared traces, asserted
     // bit-identical to per-cell emulation.
     let points = fig6_points();
     eprintln!(
@@ -255,16 +345,45 @@ fn main() {
         ])
     };
     let report = Json::obj([
-        ("pr", Json::Num(4.0)),
+        ("pr", Json::Num(5.0)),
         (
             "title",
-            Json::str("calendar-queue timing machine vs preserved heap baseline"),
+            Json::str("packed-counter branch path vs preserved scalar baseline"),
         ),
         (
             "host_cores",
             Json::Num(arvi_bench::default_threads() as f64),
         ),
         ("quick", Json::Bool(quick)),
+        (
+            "branch_path",
+            Json::obj([
+                ("workload", Json::str("m88ksim")),
+                ("update_window_branches", Json::Num(8.0)),
+                ("packed_ns_per_branch", Json::Num(branch.packed_ns)),
+                ("scalar_baseline_ns_per_branch", Json::Num(branch.scalar_ns)),
+                (
+                    "speedup_vs_scalar",
+                    Json::Num(branch.scalar_ns / branch.packed_ns),
+                ),
+                ("stream_identical", Json::Bool(true)),
+                (
+                    "pressure",
+                    Json::obj([
+                        ("sites", Json::Num(60_000.0)),
+                        ("packed_ns_per_branch", Json::Num(pressure.packed_ns)),
+                        (
+                            "scalar_baseline_ns_per_branch",
+                            Json::Num(pressure.scalar_ns),
+                        ),
+                        (
+                            "speedup_vs_scalar",
+                            Json::Num(pressure.scalar_ns / pressure.packed_ns),
+                        ),
+                    ]),
+                ),
+            ]),
+        ),
         (
             "machine",
             Json::obj([
@@ -306,6 +425,15 @@ fn main() {
         (
             "guardrail",
             Json::obj([
+                ("branch_gskew_ns_per_branch", Json::Num(branch.packed_ns)),
+                (
+                    "branch_gskew_speedup_vs_scalar",
+                    Json::Num(branch.scalar_ns / branch.packed_ns),
+                ),
+                (
+                    "branch_pressure_speedup_vs_scalar",
+                    Json::Num(pressure.scalar_ns / pressure.packed_ns),
+                ),
                 ("machine_gskew_ns_per_inst", Json::Num(gskew.wheel_ns)),
                 ("machine_arvi_ns_per_inst", Json::Num(arvi.wheel_ns)),
                 (

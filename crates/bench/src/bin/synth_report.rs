@@ -60,7 +60,7 @@ fn standalone_accuracy(
         let pc = d.byte_pc();
         let p = predictor.predict(pc);
         predictor.spec_push(branch.taken);
-        predictor.update(pc, p.checkpoint, branch.taken);
+        predictor.update(pc, &p, branch.taken);
         if d.seq >= spec.warmup {
             correct += (p.taken == branch.taken) as u64;
             total += 1;

@@ -51,11 +51,14 @@
 
 pub mod baseline;
 mod baseline_machine;
+mod baseline_predict;
+pub mod branch_stream;
 pub mod harness;
 pub mod report;
 pub mod sweep;
 pub mod workload;
 
+pub use branch_stream::{conditional_branches, run_delayed, run_delayed_scalar, StreamRun};
 pub use harness::{
     fig5_tables, fig5_tables_over, fig5_tables_threaded, fig5_tables_with, fig6_tables,
     paper_tables, run_one, run_one_traced, Fig6Data, Spec,

@@ -51,23 +51,34 @@ impl ArviConfig {
 }
 
 /// Where the ARVI predictor obtains register values at prediction time.
-pub enum Values<'a> {
-    /// The predictor's own shadow register file gated by ready bits — the
-    /// paper's base *current value* configuration.
-    Current,
-    /// An external oracle: returns `Some(value)` when the register should
-    /// be treated as available. Used for the *perfect value* and *load
-    /// back* configurations (the host simulator supplies architectural
-    /// values / hoisted availability).
-    External(&'a dyn Fn(PhysReg) -> Option<u64>),
+///
+/// [`ArviPredictor::predict`] (and everything above it — the simulator's
+/// branch unit and machine) is *generic* over the source, so each
+/// configuration's lookup monomorphizes straight into the prediction
+/// loop: the seed-era `&dyn Fn(PhysReg) -> Option<u64>` closure paid a
+/// dynamic dispatch per leaf register of every predicted branch, on the
+/// hottest ARVI path the machine has.
+///
+/// Implementations return `Some(value)` when the register should be
+/// treated as available; the predictor masks the value to its configured
+/// low bits. The `shadow` argument is the predictor's own shadow
+/// register file, so the paper's base configuration ([`CurrentValues`])
+/// needs no borrowed state of its own; external oracles (perfect value,
+/// load back — see `arvi_sim::oracle`) ignore it.
+pub trait ValueSource {
+    /// The value of `r` if it should be treated as available.
+    fn value_of(&self, r: PhysReg, shadow: &ShadowRegFile) -> Option<u64>;
 }
 
-impl std::fmt::Debug for Values<'_> {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            Values::Current => f.write_str("Values::Current"),
-            Values::External(_) => f.write_str("Values::External(..)"),
-        }
+/// The paper's base *current value* configuration: the predictor's own
+/// shadow register file gated by ready bits.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CurrentValues;
+
+impl ValueSource for CurrentValues {
+    #[inline]
+    fn value_of(&self, r: PhysReg, shadow: &ShadowRegFile) -> Option<u64> {
+        shadow.is_ready(r).then(|| shadow.value(r))
     }
 }
 
@@ -113,7 +124,7 @@ pub struct ArviPrediction {
 ///
 /// ```
 /// use arvi_core::{ArviPredictor, ArviConfig, TrackerConfig, DdtConfig,
-///                 RenamedOp, PhysReg, Values};
+///                 RenamedOp, PhysReg, CurrentValues};
 /// use arvi_isa::Reg;
 ///
 /// let cfg = ArviConfig::paper(TrackerConfig {
@@ -124,11 +135,11 @@ pub struct ArviPrediction {
 /// // p1 = some committed value 7
 /// arvi.writeback(PhysReg(1), 7);
 /// // branch on p1: first encounter misses the BVIT ...
-/// let pred = arvi.predict(0x40, [Some(PhysReg(1)), None], Values::Current);
+/// let pred = arvi.predict(0x40, [Some(PhysReg(1)), None], &CurrentValues);
 /// assert_eq!(pred.direction, None);
 /// arvi.train(&pred, true, true);
 /// // ... the same value signature then predicts taken.
-/// let pred = arvi.predict(0x40, [Some(PhysReg(1)), None], Values::Current);
+/// let pred = arvi.predict(0x40, [Some(PhysReg(1)), None], &CurrentValues);
 /// assert_eq!(pred.direction, Some(true));
 /// ```
 #[derive(Debug)]
@@ -215,12 +226,13 @@ impl ArviPredictor {
     }
 
     /// Predicts a conditional branch about to be renamed (whose operand
-    /// physical registers are `branch_srcs`).
-    pub fn predict(
+    /// physical registers are `branch_srcs`). Monomorphized over the
+    /// value source — see [`ValueSource`].
+    pub fn predict<V: ValueSource>(
         &mut self,
         pc: u64,
         branch_srcs: [Option<PhysReg>; 2],
-        values: Values<'_>,
+        values: &V,
     ) -> ArviPrediction {
         let branch_seq = self.tracker.next_seq();
         self.tracker
@@ -235,10 +247,10 @@ impl ArviPredictor {
         let mut index = ((pc >> 2) & ((1u64 << bvit_cfg.sets_log2) - 1)) as usize;
         let mut available = 0usize;
         for &r in leaf.regs.iter() {
-            let v = match &values {
-                Values::Current => self.shadow.is_ready(r).then(|| self.shadow.value(r)),
-                Values::External(f) => f(r).map(|v| v & value_mask),
-            };
+            // Shadow-file values are stored pre-masked, so the mask is a
+            // no-op for `CurrentValues` and exactly the old external-
+            // oracle masking otherwise.
+            let v = values.value_of(r, &self.shadow).map(|v| v & value_mask);
             match v {
                 Some(val) => {
                     index ^= val as usize;
@@ -319,7 +331,7 @@ mod tests {
         let values = [3u64, 5, 9, 3, 5, 3, 9, 9, 3, 5, 3, 9, 5, 3];
         for (i, &v) in values.iter().cycle().take(200).enumerate() {
             arvi.writeback(key, v);
-            let pred = arvi.predict(0x100, [Some(key), None], Values::Current);
+            let pred = arvi.predict(0x100, [Some(key), None], &CurrentValues);
             assert_eq!(pred.class, BranchClass::Calculated);
             let taken = v == 3;
             if i >= 6 {
@@ -337,7 +349,7 @@ mod tests {
         let (ptr, t1) = (p(1), p(2));
         arvi.rename(&RenamedOp::load(t1, Some(ptr)), Some(Reg::new(8)));
         // The load has not written back: t1 unavailable.
-        let pred = arvi.predict(0x40, [Some(t1), None], Values::Current);
+        let pred = arvi.predict(0x40, [Some(t1), None], &CurrentValues);
         assert_eq!(pred.class, BranchClass::Load);
         assert_eq!(pred.available, 0);
         assert_eq!(pred.leaf_regs, vec![t1]);
@@ -349,7 +361,7 @@ mod tests {
         let (ptr, t1) = (p(1), p(2));
         arvi.rename(&RenamedOp::load(t1, Some(ptr)), Some(Reg::new(8)));
         arvi.writeback(t1, 99);
-        let pred = arvi.predict(0x40, [Some(t1), None], Values::Current);
+        let pred = arvi.predict(0x40, [Some(t1), None], &CurrentValues);
         assert_eq!(pred.class, BranchClass::Calculated);
         assert_eq!(pred.available, 1);
     }
@@ -357,11 +369,16 @@ mod tests {
     #[test]
     fn external_oracle_makes_load_branches_calculated() {
         // The perfect-value configuration: the oracle supplies every value.
+        struct Always(u64);
+        impl ValueSource for Always {
+            fn value_of(&self, _r: PhysReg, _shadow: &ShadowRegFile) -> Option<u64> {
+                Some(self.0)
+            }
+        }
         let mut arvi = predictor();
         let (ptr, t1) = (p(1), p(2));
         arvi.rename(&RenamedOp::load(t1, Some(ptr)), Some(Reg::new(8)));
-        let oracle = |_r: PhysReg| Some(7u64);
-        let pred = arvi.predict(0x40, [Some(t1), None], Values::External(&oracle));
+        let pred = arvi.predict(0x40, [Some(t1), None], &Always(7));
         assert_eq!(pred.class, BranchClass::Calculated);
     }
 
@@ -386,7 +403,7 @@ mod tests {
                     Some(counter_logical),
                 );
                 cur = next;
-                let pred = arvi.predict(0x200, [Some(cur), None], Values::Current);
+                let pred = arvi.predict(0x200, [Some(cur), None], &CurrentValues);
                 let taken = i < 2;
                 outcomes.push((pred.clone(), taken));
                 arvi.train(&pred, taken, true);
@@ -423,7 +440,7 @@ mod tests {
             let (ptr, t1) = (p(1), p(2));
             arvi.writeback(t1, 0b101); // stale value left by prior owner
             arvi.rename(&RenamedOp::load(t1, Some(ptr)), Some(Reg::new(8)));
-            arvi.predict(0x40, [Some(t1), None], Values::Current).index
+            arvi.predict(0x40, [Some(t1), None], &CurrentValues).index
         };
         assert_ne!(mk(true), mk(false));
     }
@@ -432,9 +449,9 @@ mod tests {
     fn train_respects_allocate_gate() {
         let mut arvi = predictor();
         arvi.writeback(p(1), 4);
-        let pred = arvi.predict(0x80, [Some(p(1)), None], Values::Current);
+        let pred = arvi.predict(0x80, [Some(p(1)), None], &CurrentValues);
         arvi.train(&pred, true, false); // high confidence: no allocation
-        let again = arvi.predict(0x80, [Some(p(1)), None], Values::Current);
+        let again = arvi.predict(0x80, [Some(p(1)), None], &CurrentValues);
         assert_eq!(again.direction, None);
     }
 

@@ -82,6 +82,10 @@ impl Bvit {
         let sets = 1usize << cfg.sets_log2;
         Bvit {
             cfg,
+            // The BVIT keeps scalar counters: its perf counter is an odd
+            // width (3-bit) and its entries are struct-of-tags anyway —
+            // the packed layout targets the flat 2-bit predictor tables.
+            #[allow(deprecated)]
             entries: vec![
                 Entry {
                     valid: false,
@@ -181,13 +185,15 @@ impl Bvit {
         // "The prior outcome is used as the prediction": a fresh entry
         // starts saturated toward the observed outcome, so deterministic
         // signatures predict from their second encounter.
-        ways[victim] = Entry {
+        #[allow(deprecated)]
+        let entry = Entry {
             valid: true,
             id_tag,
             depth_tag,
             perf: SatCounter::new(self.cfg.perf_bits, 1),
             dir: SatCounter::new(2, if taken { 3 } else { 0 }),
         };
+        ways[victim] = entry;
     }
 
     /// Number of valid entries (diagnostics).

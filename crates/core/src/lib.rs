@@ -41,7 +41,7 @@ pub mod shadow;
 pub mod tracker;
 pub mod types;
 
-pub use arvi::{ArviConfig, ArviPrediction, ArviPredictor, Values};
+pub use arvi::{ArviConfig, ArviPrediction, ArviPredictor, CurrentValues, ValueSource};
 pub use bvit::{Bvit, BvitConfig};
 pub use ddt::{ChainMask, Ddt, DdtConfig};
 pub use reglist::RegList;

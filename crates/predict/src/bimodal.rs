@@ -1,10 +1,11 @@
 //! Bimodal (per-PC 2-bit counter) predictor.
 
-use crate::counter::SatCounter;
+use crate::packed::PackedCounters;
 use crate::traits::{DirectionPredictor, Prediction};
 
 /// The classic bimodal predictor: a direct-mapped table of 2-bit saturating
-/// counters indexed by the branch address.
+/// counters indexed by the branch address, stored packed 32-per-word
+/// ([`PackedCounters`]).
 ///
 /// # Example
 ///
@@ -18,7 +19,7 @@ use crate::traits::{DirectionPredictor, Prediction};
 /// ```
 #[derive(Debug, Clone)]
 pub struct Bimodal {
-    table: Vec<SatCounter>,
+    table: PackedCounters,
     index_mask: u64,
 }
 
@@ -35,7 +36,7 @@ impl Bimodal {
         );
         let size = 1usize << index_bits;
         Bimodal {
-            table: vec![SatCounter::two_bit(); size],
+            table: PackedCounters::new(size, 1),
             index_mask: (size - 1) as u64,
         }
     }
@@ -61,20 +62,20 @@ impl DirectionPredictor for Bimodal {
     fn predict(&mut self, pc: u64) -> Prediction {
         let idx = self.index(pc);
         Prediction {
-            taken: self.table[idx].is_set(),
+            taken: self.table.is_set(idx),
             checkpoint: 0,
+            banks: [idx as u32, 0, 0, 0],
         }
     }
 
     fn spec_push(&mut self, _taken: bool) {}
 
-    fn update(&mut self, pc: u64, _checkpoint: u64, taken: bool) {
-        let idx = self.index(pc);
-        self.table[idx].update(taken);
+    fn update(&mut self, _pc: u64, pred: &Prediction, taken: bool) {
+        self.table.update(pred.banks[0] as usize, taken);
     }
 
     fn storage_bits(&self) -> usize {
-        self.table.len() * 2
+        self.table.storage_bits()
     }
 
     fn name(&self) -> &'static str {
@@ -116,6 +117,14 @@ mod tests {
     fn aliasing_wraps_modulo_table() {
         let p = Bimodal::new(4);
         assert_eq!(p.index(0), p.index(16 << 2));
+    }
+
+    #[test]
+    fn prediction_carries_its_index() {
+        let mut p = Bimodal::new(8);
+        let pred = p.predict(0x40);
+        assert_eq!(pred.banks[0] as usize, p.index(0x40));
+        assert_eq!(pred.banks[1..], [0, 0, 0]);
     }
 
     #[test]

@@ -93,21 +93,43 @@ impl ConfidenceEstimator {
         (((pc >> 2) ^ (h << 3)) & self.mask) as usize
     }
 
+    /// The table slot the branch at `pc` (under `history`) maps to.
+    /// Callers that carry the slot from prediction to commit (the branch
+    /// unit's decision record) avoid re-hashing at training time.
+    #[inline]
+    pub fn slot(&self, pc: u64, history: u64) -> u32 {
+        self.index(pc, history) as u32
+    }
+
+    /// Whether the counter at `slot` has reached the high-confidence
+    /// threshold.
+    #[inline]
+    pub fn is_confident_at(&self, slot: u32) -> bool {
+        self.table[slot as usize].value() >= self.cfg.threshold
+    }
+
+    /// Trains the counter at `slot` with whether the level-1 prediction
+    /// was correct.
+    #[inline]
+    pub fn update_at(&mut self, slot: u32, l1_correct: bool) {
+        let ctr = &mut self.table[slot as usize];
+        if l1_correct {
+            ctr.increment();
+        } else {
+            ctr.reset();
+        }
+    }
+
     /// Whether the branch at `pc` (under `history`) is currently
     /// high-confidence for the level-1 predictor.
     pub fn is_confident(&self, pc: u64, history: u64) -> bool {
-        self.table[self.index(pc, history)].value() >= self.cfg.threshold
+        self.is_confident_at(self.slot(pc, history))
     }
 
     /// Trains the estimator with whether the level-1 prediction was
     /// correct.
     pub fn update(&mut self, pc: u64, history: u64, l1_correct: bool) {
-        let idx = self.index(pc, history);
-        if l1_correct {
-            self.table[idx].increment();
-        } else {
-            self.table[idx].reset();
-        }
+        self.update_at(self.slot(pc, history), l1_correct);
     }
 
     /// Table storage in bits.

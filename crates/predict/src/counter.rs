@@ -1,14 +1,16 @@
 //! Saturating and resetting counters — the building blocks of every table
 //! in this crate.
 
-/// An `n`-bit saturating up/down counter (2-bit in all the paper's
-/// predictor tables; 3-bit in the BVIT performance counter).
+/// An `n`-bit saturating up/down counter (3-bit in the BVIT performance
+/// counter; historically 2-bit in every predictor table, a role now
+/// served by the packed storage in
+/// [`PackedCounters`](crate::PackedCounters)).
 ///
 /// # Example
 ///
 /// ```
 /// use arvi_predict::SatCounter;
-/// let mut c = SatCounter::new(2, 1); // 2-bit, weakly not-taken
+/// let mut c = SatCounter::two_bit(); // 2-bit, weakly not-taken
 /// assert!(!c.is_set());
 /// c.increment();
 /// assert!(c.is_set());
@@ -25,10 +27,20 @@ pub struct SatCounter {
 impl SatCounter {
     /// Creates a counter with `bits` width initialized to `initial`.
     ///
+    /// Deprecated for new predictor tables: a scalar `SatCounter` spends
+    /// two bytes (value plus a per-instance `max` that every 2-bit table
+    /// replicates) on two bits of state. Pack tables with
+    /// [`PackedCounters`](crate::PackedCounters) instead; this
+    /// constructor remains for odd widths (the BVIT's 3-bit performance
+    /// counter) and the preserved scalar baselines in `arvi-bench`.
+    ///
     /// # Panics
     ///
     /// Panics if `bits` is 0 or greater than 7, or if `initial` exceeds the
     /// maximum representable value.
+    #[deprecated(note = "2-bit predictor tables should use PackedCounters; \
+                SatCounter::new remains for odd widths (BVIT) and the \
+                preserved scalar baselines")]
     pub fn new(bits: u32, initial: u8) -> SatCounter {
         assert!((1..=7).contains(&bits), "counter width {bits} unsupported");
         let max = ((1u16 << bits) - 1) as u8;
@@ -41,6 +53,7 @@ impl SatCounter {
 
     /// A 2-bit counter initialized weakly not-taken (value 1).
     pub fn two_bit() -> SatCounter {
+        #[allow(deprecated)]
         SatCounter::new(2, 1)
     }
 
@@ -144,6 +157,7 @@ impl ResettingCounter {
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the scalar constructor is exactly what is under test
 mod tests {
     use super::*;
 

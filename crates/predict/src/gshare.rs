@@ -1,11 +1,11 @@
 //! Gshare: global-history XOR PC indexed 2-bit counters.
 
-use crate::counter::SatCounter;
 use crate::history::GlobalHistory;
+use crate::packed::PackedCounters;
 use crate::traits::{DirectionPredictor, Prediction};
 
-/// The gshare predictor of McFarling: one table of 2-bit counters indexed
-/// by `PC XOR global history`.
+/// The gshare predictor of McFarling: one packed table of 2-bit counters
+/// indexed by `PC XOR global history`.
 ///
 /// # Example
 ///
@@ -20,7 +20,7 @@ use crate::traits::{DirectionPredictor, Prediction};
 /// ```
 #[derive(Debug, Clone)]
 pub struct Gshare {
-    table: Vec<SatCounter>,
+    table: PackedCounters,
     index_mask: u64,
     history: GlobalHistory,
     history_len: u32,
@@ -45,7 +45,7 @@ impl Gshare {
         );
         let size = 1usize << index_bits;
         Gshare {
-            table: vec![SatCounter::two_bit(); size],
+            table: PackedCounters::new(size, 1),
             index_mask: (size - 1) as u64,
             history: GlobalHistory::new(),
             history_len,
@@ -68,6 +68,11 @@ impl Gshare {
     pub fn history(&self) -> u64 {
         self.history.bits()
     }
+
+    /// The counter value at `idx` (tests and diagnostics).
+    pub fn counter(&self, idx: usize) -> u8 {
+        self.table.get(idx)
+    }
 }
 
 impl DirectionPredictor for Gshare {
@@ -75,8 +80,9 @@ impl DirectionPredictor for Gshare {
         let checkpoint = self.history.bits();
         let idx = self.index(pc, checkpoint);
         Prediction {
-            taken: self.table[idx].is_set(),
+            taken: self.table.is_set(idx),
             checkpoint,
+            banks: [idx as u32, 0, 0, 0],
         }
     }
 
@@ -84,13 +90,14 @@ impl DirectionPredictor for Gshare {
         self.history.push(taken);
     }
 
-    fn update(&mut self, pc: u64, checkpoint: u64, taken: bool) {
-        let idx = self.index(pc, checkpoint);
-        self.table[idx].update(taken);
+    fn update(&mut self, _pc: u64, pred: &Prediction, taken: bool) {
+        // The carried index is the one the prediction's checkpoint
+        // resolved to — no second history hash at commit.
+        self.table.update(pred.banks[0] as usize, taken);
     }
 
     fn storage_bits(&self) -> usize {
-        self.table.len() * 2
+        self.table.storage_bits()
     }
 
     fn name(&self) -> &'static str {
@@ -116,20 +123,22 @@ mod tests {
     }
 
     #[test]
-    fn update_uses_checkpoint_not_current_history() {
+    fn update_uses_carried_index_not_current_history() {
         let mut p = Gshare::new(10, 8);
         let pred = p.predict(0);
         // History moves on before the delayed update.
         p.spec_push(true);
         p.spec_push(false);
         p.spec_push(true);
-        p.update(0, pred.checkpoint, true);
-        // The entry trained must be the one indexed by the checkpoint.
+        p.update(0, &pred, true);
+        // The entry trained must be the one the prediction resolved (and
+        // carried), not one re-derived from the current history.
         let idx = p.index(0, pred.checkpoint);
-        assert_eq!(p.table[idx].value(), 2);
+        assert_eq!(pred.banks[0] as usize, idx);
+        assert_eq!(p.table.get(idx), 2);
         let wrong_idx = p.index(0, p.history());
         assert_ne!(idx, wrong_idx, "test requires distinct indices");
-        assert_eq!(p.table[wrong_idx].value(), 1);
+        assert_eq!(p.table.get(wrong_idx), 1);
     }
 
     #[test]

@@ -17,9 +17,21 @@
 //! misprediction all three direction banks are retrained toward the
 //! outcome. META trains toward the component (BIM vs majority) that was
 //! correct whenever the two disagree.
+//!
+//! # Storage layout (PR 5)
+//!
+//! The four banks live in one bank-interleaved [`PackedCounters`] table:
+//! the physical index of entry `i` of bank `b` is `(i << 2) | b`, so the
+//! four counters sharing an entry index occupy one byte and a whole
+//! 64-byte cache line holds 64 entry groups — where the previous
+//! `Vec<SatCounter>`-of-structs layout spent two *bytes* per counter in
+//! four separate allocations (an 8x density loss on every bank).
+//! Predictions carry their resolved physical indices
+//! ([`Prediction::banks`], order BIM/G0/G1/META), so the commit-time
+//! update re-reads exactly the predicted entries without re-hashing.
 
-use crate::counter::SatCounter;
 use crate::history::GlobalHistory;
+use crate::packed::PackedCounters;
 use crate::traits::{DirectionPredictor, Prediction};
 
 /// Size/shape parameters for [`TwoBcGskew`].
@@ -59,6 +71,12 @@ impl GskewConfig {
     }
 }
 
+/// Bank tags in the interleaved layout (and in [`Prediction::banks`]).
+const BIM: usize = 0;
+const G0: usize = 1;
+const G1: usize = 2;
+const META: usize = 3;
+
 /// The 2Bc-gskew hybrid predictor.
 ///
 /// # Example
@@ -73,10 +91,8 @@ impl GskewConfig {
 /// ```
 #[derive(Debug, Clone)]
 pub struct TwoBcGskew {
-    bim: Vec<SatCounter>,
-    g0: Vec<SatCounter>,
-    g1: Vec<SatCounter>,
-    meta: Vec<SatCounter>,
+    /// All four banks, bank-interleaved (see module docs).
+    table: PackedCounters,
     cfg: GskewConfig,
     mask: u64,
     history: GlobalHistory,
@@ -120,23 +136,33 @@ impl TwoBcGskew {
         );
         let size = 1usize << cfg.index_bits;
         TwoBcGskew {
-            bim: vec![SatCounter::two_bit(); size],
-            g0: vec![SatCounter::two_bit(); size],
-            g1: vec![SatCounter::two_bit(); size],
-            meta: vec![SatCounter::two_bit(); size],
+            table: PackedCounters::new(4 * size, 1),
             cfg,
             mask: (size - 1) as u64,
             history: GlobalHistory::new(),
         }
     }
 
+    /// Per-bank *entry* indices (pre-interleaving), BIM/G0/G1/META order.
     #[inline]
-    fn indices(&self, pc: u64, hist: u64) -> [usize; 4] {
+    fn entry_indices(&self, pc: u64, hist: u64) -> [usize; 4] {
         [
             ((pc >> 2) & self.mask) as usize,
             skew_hash(pc, hist, self.cfg.g0_history, 1, self.mask),
             skew_hash(pc, hist, self.cfg.g1_history, 2, self.mask),
             skew_hash(pc, hist, self.cfg.meta_history, 0, self.mask),
+        ]
+    }
+
+    /// Physical (interleaved) indices into the packed table.
+    #[inline]
+    fn bank_indices(&self, pc: u64, hist: u64) -> [u32; 4] {
+        let [bi, g0i, g1i, mi] = self.entry_indices(pc, hist);
+        [
+            ((bi << 2) | BIM) as u32,
+            ((g0i << 2) | G0) as u32,
+            ((g1i << 2) | G1) as u32,
+            ((mi << 2) | META) as u32,
         ]
     }
 
@@ -148,12 +174,12 @@ impl TwoBcGskew {
     /// Detailed component votes for a PC under the current history
     /// (exposed for tests and the predictor-anatomy example).
     pub fn component_votes(&self, pc: u64) -> (bool, bool, bool, bool) {
-        let [bi, g0i, g1i, mi] = self.indices(pc, self.history.bits());
+        let banks = self.bank_indices(pc, self.history.bits());
         (
-            self.bim[bi].is_set(),
-            self.g0[g0i].is_set(),
-            self.g1[g1i].is_set(),
-            self.meta[mi].is_set(),
+            self.table.is_set(banks[BIM] as usize),
+            self.table.is_set(banks[G0] as usize),
+            self.table.is_set(banks[G1] as usize),
+            self.table.is_set(banks[META] as usize),
         )
     }
 }
@@ -161,15 +187,16 @@ impl TwoBcGskew {
 impl DirectionPredictor for TwoBcGskew {
     fn predict(&mut self, pc: u64) -> Prediction {
         let checkpoint = self.history.bits();
-        let [bi, g0i, g1i, mi] = self.indices(pc, checkpoint);
-        let bim = self.bim[bi].is_set();
-        let g0 = self.g0[g0i].is_set();
-        let g1 = self.g1[g1i].is_set();
+        let banks = self.bank_indices(pc, checkpoint);
+        let bim = self.table.is_set(banks[BIM] as usize);
+        let g0 = self.table.is_set(banks[G0] as usize);
+        let g1 = self.table.is_set(banks[G1] as usize);
         let majority = (bim as u8 + g0 as u8 + g1 as u8) >= 2;
-        let use_majority = self.meta[mi].is_set();
+        let use_majority = self.table.is_set(banks[META] as usize);
         Prediction {
             taken: if use_majority { majority } else { bim },
             checkpoint,
+            banks,
         }
     }
 
@@ -177,46 +204,55 @@ impl DirectionPredictor for TwoBcGskew {
         self.history.push(taken);
     }
 
-    fn update(&mut self, pc: u64, checkpoint: u64, taken: bool) {
-        let [bi, g0i, g1i, mi] = self.indices(pc, checkpoint);
-        let bim = self.bim[bi].is_set();
-        let g0 = self.g0[g0i].is_set();
-        let g1 = self.g1[g1i].is_set();
+    fn update(&mut self, _pc: u64, pred: &Prediction, taken: bool) {
+        // The four physical indices computed at predict ride in `pred`;
+        // the counters themselves are re-read here (they may have moved
+        // since prediction — aliasing branches trained in between), which
+        // is exactly what the checkpoint-re-hashing implementation did.
+        let [bi, g0i, g1i, mi] = [
+            pred.banks[BIM] as usize,
+            pred.banks[G0] as usize,
+            pred.banks[G1] as usize,
+            pred.banks[META] as usize,
+        ];
+        let bim = self.table.is_set(bi);
+        let g0 = self.table.is_set(g0i);
+        let g1 = self.table.is_set(g1i);
         let majority = (bim as u8 + g0 as u8 + g1 as u8) >= 2;
-        let use_majority = self.meta[mi].is_set();
-        let pred = if use_majority { majority } else { bim };
+        let use_majority = self.table.is_set(mi);
+        let pred_dir = if use_majority { majority } else { bim };
 
         // META learns which component to trust whenever they disagree.
         if bim != majority {
-            self.meta[mi].update(majority == taken);
+            self.table.update(mi, majority == taken);
         }
 
-        if pred == taken {
+        if pred_dir == taken {
             // Partial update: strengthen only the banks that agreed with
             // the outcome, and only within the component that predicted.
             if use_majority {
                 if bim == taken {
-                    self.bim[bi].strengthen();
+                    self.table.strengthen(bi);
                 }
                 if g0 == taken {
-                    self.g0[g0i].strengthen();
+                    self.table.strengthen(g0i);
                 }
                 if g1 == taken {
-                    self.g1[g1i].strengthen();
+                    self.table.strengthen(g1i);
                 }
             } else {
-                self.bim[bi].strengthen();
+                self.table.strengthen(bi);
             }
         } else {
             // Misprediction: retrain all three direction banks.
-            self.bim[bi].update(taken);
-            self.g0[g0i].update(taken);
-            self.g1[g1i].update(taken);
+            self.table.update(bi, taken);
+            self.table.update(g0i, taken);
+            self.table.update(g1i, taken);
         }
     }
 
     fn storage_bits(&self) -> usize {
-        (self.bim.len() + self.g0.len() + self.g1.len() + self.meta.len()) * 2
+        self.table.storage_bits()
     }
 
     fn name(&self) -> &'static str {
@@ -282,24 +318,34 @@ mod tests {
     }
 
     #[test]
-    fn skewed_banks_use_different_indices() {
+    fn skewed_banks_use_different_entry_indices() {
         let p = TwoBcGskew::new(GskewConfig::level1());
         let hist = 0b1011_0110_1010u64;
-        let [_, g0, g1, _] = p.indices(0x4000, hist);
+        let [_, g0, g1, _] = p.entry_indices(0x4000, hist);
         assert_ne!(g0, g1);
     }
 
     #[test]
-    fn update_with_checkpoint_trains_prediction_entries() {
+    fn interleaving_keeps_banks_disjoint() {
+        let p = TwoBcGskew::new(GskewConfig::level1());
+        let banks = p.bank_indices(0x4000, 0b1011);
+        for (b, &phys) in banks.iter().enumerate() {
+            assert_eq!(phys as usize & 0b11, b, "bank tag in low bits");
+            assert!((phys as usize) < p.table.len());
+        }
+    }
+
+    #[test]
+    fn update_with_carried_indices_trains_prediction_entries() {
         let mut p = TwoBcGskew::new(GskewConfig::level1());
         let pr = p.predict(0x80);
         p.spec_push(true);
         p.spec_push(true);
-        // Delayed update must not be affected by the history movement.
-        let before = p.indices(0x80, pr.checkpoint);
-        p.update(0x80, pr.checkpoint, true);
-        let after = p.indices(0x80, pr.checkpoint);
-        assert_eq!(before, after);
+        // Delayed update must train the entries the prediction resolved,
+        // unaffected by the history movement.
+        assert_eq!(pr.banks, p.bank_indices(0x80, pr.checkpoint));
+        p.update(0x80, &pr, true);
+        assert_eq!(pr.banks, p.bank_indices(0x80, pr.checkpoint));
     }
 
     #[test]

@@ -13,11 +13,20 @@
 //! * [`ConfidenceEstimator`] — resetting-counter confidence table used to
 //!   decide when the ARVI second level should override the first level.
 //!
+//! Every predictor's table storage is a [`PackedCounters`]: 2-bit
+//! saturating counters packed 32 per `u64` word (the 2Bc-gskew's four
+//! banks additionally bank-interleaved), replacing the seed-era
+//! `Vec<SatCounter>`-of-structs layout that spent 16x the cache
+//! footprint on the same state.
+//!
 //! All predictors implement [`DirectionPredictor`]: `predict` returns the
-//! direction *and* a checkpoint of the indexing state (the global history
-//! at prediction time) which callers hand back to `update`, so that delayed
-//! (commit-time) updates index the same table entries the prediction used —
-//! as the real hardware's history checkpointing does.
+//! direction, a checkpoint of the indexing state (the global history at
+//! prediction time) *and* the resolved table indices, which callers hand
+//! back to `update` — so a delayed (commit-time) update trains exactly
+//! the entries the prediction read without re-hashing PC and history a
+//! second time. The scalar pre-PR5 predictors are preserved verbatim in
+//! `arvi_bench::baseline` and pinned stream-identical by
+//! `tests/predictor_equivalence.rs`.
 
 pub mod bimodal;
 pub mod confidence;
@@ -26,6 +35,7 @@ pub mod gshare;
 pub mod gskew;
 pub mod history;
 pub mod local;
+pub mod packed;
 pub mod traits;
 pub mod value;
 
@@ -36,5 +46,6 @@ pub use gshare::Gshare;
 pub use gskew::{GskewConfig, TwoBcGskew};
 pub use history::GlobalHistory;
 pub use local::Local;
+pub use packed::PackedCounters;
 pub use traits::{DirectionPredictor, Prediction};
 pub use value::{LastValue, Stride};

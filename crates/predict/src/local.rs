@@ -1,18 +1,18 @@
 //! Two-level local-history predictor (PAg style, as in the Alpha 21264
 //! tournament predictor's local component).
 
-use crate::counter::SatCounter;
+use crate::packed::PackedCounters;
 use crate::traits::{DirectionPredictor, Prediction};
 
 /// A two-level local predictor: a table of per-branch history registers
-/// selecting into a shared table of counters.
+/// selecting into a shared packed table of counters.
 ///
 /// Included as an additional baseline for predictor-comparison examples;
 /// the paper's hybrid uses global components only.
 #[derive(Debug, Clone)]
 pub struct Local {
     histories: Vec<u16>,
-    counters: Vec<SatCounter>,
+    counters: PackedCounters,
     history_len: u32,
     hist_mask: u64,
     ctr_mask: u64,
@@ -36,7 +36,7 @@ impl Local {
         );
         Local {
             histories: vec![0; 1 << hist_index_bits],
-            counters: vec![SatCounter::two_bit(); 1 << counter_index_bits],
+            counters: PackedCounters::new(1 << counter_index_bits, 1),
             history_len,
             hist_mask: ((1u64 << hist_index_bits) - 1),
             ctr_mask: ((1u64 << counter_index_bits) - 1),
@@ -59,25 +59,26 @@ impl Local {
 impl DirectionPredictor for Local {
     fn predict(&mut self, pc: u64) -> Prediction {
         let local = self.histories[self.hist_index(pc)];
+        let idx = self.ctr_index(pc, local);
         Prediction {
-            taken: self.counters[self.ctr_index(pc, local)].is_set(),
+            taken: self.counters.is_set(idx),
             // The checkpoint carries the *local* history used.
             checkpoint: local as u64,
+            banks: [idx as u32, 0, 0, 0],
         }
     }
 
     fn spec_push(&mut self, _taken: bool) {}
 
-    fn update(&mut self, pc: u64, checkpoint: u64, taken: bool) {
-        let idx = self.ctr_index(pc, checkpoint as u16);
-        self.counters[idx].update(taken);
+    fn update(&mut self, pc: u64, pred: &Prediction, taken: bool) {
+        self.counters.update(pred.banks[0] as usize, taken);
         let hist_idx = self.hist_index(pc);
         let h = &mut self.histories[hist_idx];
         *h = (((*h as u32) << 1) | taken as u32) as u16 & ((1u16 << self.history_len) - 1);
     }
 
     fn storage_bits(&self) -> usize {
-        self.histories.len() * self.history_len as usize + self.counters.len() * 2
+        self.histories.len() * self.history_len as usize + self.counters.storage_bits()
     }
 
     fn name(&self) -> &'static str {
@@ -113,9 +114,19 @@ mod tests {
         let mut p = Local::new(4, 4, 8);
         for _ in 0..100 {
             let pr = p.predict(0);
-            p.update(0, pr.checkpoint, true);
+            p.update(0, &pr, true);
         }
         assert_eq!(p.histories[0], 0b1111);
+    }
+
+    #[test]
+    fn prediction_carries_the_counter_index() {
+        let mut p = Local::new(4, 4, 8);
+        let pr = p.predict(0x20);
+        assert_eq!(
+            pr.banks[0] as usize,
+            p.ctr_index(0x20, pr.checkpoint as u16)
+        );
     }
 
     #[test]

@@ -1,19 +1,44 @@
 //! The direction-predictor interface shared by all predictors.
 
-/// The result of a prediction: the direction plus a checkpoint of the
-/// global-history state used to index the tables.
+/// The maximum number of table indices a prediction carries (the
+/// 2Bc-gskew reads four banks; simpler predictors use a prefix).
+pub const MAX_BANKS: usize = 4;
+
+/// The result of a prediction: the direction, a checkpoint of the
+/// global-history state used to index the tables, and the table indices
+/// the prediction actually read.
 ///
-/// The checkpoint must be handed back to
+/// The whole record must be handed back to
 /// [`DirectionPredictor::update`] so that a commit-time (delayed) update
 /// trains exactly the entries the prediction read — mirroring the history
-/// checkpointing real pipelines carry with each in-flight branch.
+/// checkpointing real pipelines carry with each in-flight branch. Since
+/// PR 5 the record also carries the resolved bank indices, so training
+/// re-reads the counters without re-hashing PC and history a second
+/// time (the index computation happens once, at predict).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Prediction {
     /// Predicted direction (true = taken).
     pub taken: bool,
     /// Global-history bits at prediction time (0 for history-less
-    /// predictors).
+    /// predictors). Kept alongside the indices for history repair and
+    /// diagnostics; `update` no longer needs it to re-derive indices.
     pub checkpoint: u64,
+    /// Resolved table indices, one per bank the predictor read (unused
+    /// lanes are 0). For the 2Bc-gskew these are the interleaved
+    /// physical indices of BIM/G0/G1/META in that order.
+    pub banks: [u32; MAX_BANKS],
+}
+
+impl Prediction {
+    /// A prediction carrying no table indices (trivial predictors).
+    #[inline]
+    pub fn plain(taken: bool, checkpoint: u64) -> Prediction {
+        Prediction {
+            taken,
+            checkpoint,
+            banks: [0; MAX_BANKS],
+        }
+    }
 }
 
 /// A dynamic branch direction predictor.
@@ -25,9 +50,11 @@ pub struct Prediction {
 ///    the direction fetch follows (the trace-driven simulator pushes the
 ///    actual outcome — speculative update with perfect repair);
 /// 3. [`update`](DirectionPredictor::update) at commit with the actual
-///    outcome and the checkpoint from step 1.
+///    outcome and the full prediction record from step 1.
 pub trait DirectionPredictor {
-    /// Predicts the direction of the branch at byte address `pc`.
+    /// Predicts the direction of the branch at byte address `pc`,
+    /// resolving and recording the table indices the caller hands back
+    /// at training time.
     fn predict(&mut self, pc: u64) -> Prediction;
 
     /// Shifts the predictor's global history with the followed direction.
@@ -35,8 +62,9 @@ pub trait DirectionPredictor {
     fn spec_push(&mut self, taken: bool);
 
     /// Trains the predictor with the actual outcome of a branch previously
-    /// predicted at `pc` with history `checkpoint`.
-    fn update(&mut self, pc: u64, checkpoint: u64, taken: bool);
+    /// predicted at `pc`, using the indices (and, where a structure is
+    /// not index-addressed, the checkpoint) carried by `pred`.
+    fn update(&mut self, pc: u64, pred: &Prediction, taken: bool);
 
     /// Total table storage in bits (for the paper's size-matched
     /// comparisons, Table 4).
@@ -59,7 +87,7 @@ pub fn run_immediate<P: DirectionPredictor, I: IntoIterator<Item = (u64, bool)>>
     for (pc, taken) in stream {
         let p = predictor.predict(pc);
         predictor.spec_push(taken);
-        predictor.update(pc, p.checkpoint, taken);
+        predictor.update(pc, &p, taken);
         correct += (p.taken == taken) as u64;
         total += 1;
     }
@@ -75,13 +103,10 @@ mod tests {
 
     impl DirectionPredictor for AlwaysTaken {
         fn predict(&mut self, _pc: u64) -> Prediction {
-            Prediction {
-                taken: true,
-                checkpoint: 0,
-            }
+            Prediction::plain(true, 0)
         }
         fn spec_push(&mut self, _taken: bool) {}
-        fn update(&mut self, _pc: u64, _checkpoint: u64, _taken: bool) {}
+        fn update(&mut self, _pc: u64, _pred: &Prediction, _taken: bool) {}
         fn storage_bits(&self) -> usize {
             0
         }

@@ -9,22 +9,34 @@
 //! * ARVI L2: overrides only when the confidence estimator marks the
 //!   branch low-confidence (the L1 "filters easily predicted highly biased
 //!   branches") *and* the BVIT hits.
+//!
+//! The predict/train data path is index-carrying (PR 5): every
+//! [`BranchDecision`] records the full [`Prediction`]s — including the
+//! packed-table bank indices each level resolved — plus the confidence
+//! slot, so commit-time training touches exactly the predicted entries
+//! without re-hashing PC and history a second time. The value oracle is
+//! a monomorphized [`ValueSource`] (no per-leaf dynamic dispatch), and
+//! the hybrid level-2 lives inline in the unit (no `Box` indirection on
+//! the per-branch match).
 
 use arvi_core::{
     ArviConfig, ArviPrediction, ArviPredictor, BranchClass, DdtConfig, PhysReg, RenamedOp,
-    TrackerConfig, Values,
+    TrackerConfig, ValueSource,
 };
 use arvi_isa::Reg;
-use arvi_predict::{ConfidenceEstimator, DirectionPredictor, TwoBcGskew};
+use arvi_predict::{ConfidenceEstimator, DirectionPredictor, Prediction, TwoBcGskew};
 
 use crate::params::{PredictorConfig, SimParams};
 
 /// The level-2 predictor variant.
 #[derive(Debug)]
 pub enum Level2 {
-    /// 32 KB 2Bc-gskew.
-    Hybrid(Box<TwoBcGskew>),
-    /// The ARVI predictor (BVIT + DDT/RSE + shadow state).
+    /// 32 KB 2Bc-gskew, stored inline (packed counters make the variant
+    /// small enough that boxing would only add a pointer chase to every
+    /// predict/train).
+    Hybrid(TwoBcGskew),
+    /// The ARVI predictor (BVIT + DDT/RSE + shadow state). Boxed: its
+    /// tracker state is orders of magnitude larger than the hybrid.
     Arvi(Box<ArviPredictor>),
 }
 
@@ -32,12 +44,13 @@ pub enum Level2 {
 /// consumed again at commit for training.
 #[derive(Debug, Clone)]
 pub struct BranchDecision {
-    /// Level-1 direction.
-    pub l1_taken: bool,
-    /// Level-1 history checkpoint.
-    pub l1_ckpt: u64,
-    /// Level-2 hybrid history checkpoint (0 for ARVI).
-    pub l2_ckpt: u64,
+    /// Level-1 prediction record (direction, history checkpoint, packed
+    /// bank indices).
+    pub l1: Prediction,
+    /// Level-2 hybrid prediction record (zeroed for ARVI).
+    pub l2: Prediction,
+    /// Confidence-estimator slot resolved at prediction time.
+    pub conf_slot: u32,
     /// The direction the machine follows once the L2 result is in.
     pub final_taken: bool,
     /// Whether the L2 result overrode (differed from) the L1 direction.
@@ -79,7 +92,7 @@ impl BranchUnit {
             )
         } else {
             (
-                Level2::Hybrid(Box::new(TwoBcGskew::new(params.l2_predictor))),
+                Level2::Hybrid(TwoBcGskew::new(params.l2_predictor)),
                 params.l2_pred_latency,
             )
         };
@@ -129,25 +142,27 @@ impl BranchUnit {
 
     /// Predicts a conditional branch at fetch. `srcs_phys` are the
     /// branch's renamed operands; `values` supplies register values for
-    /// the ARVI index (see [`Values`]); `actual` is the trace outcome used
-    /// to speculatively advance the global histories (the trace-driven
-    /// machine fetches the correct path).
-    pub fn decide(
+    /// the ARVI index (see [`ValueSource`] and [`crate::oracle`]);
+    /// `actual` is the trace outcome used to speculatively advance the
+    /// global histories (the trace-driven machine fetches the correct
+    /// path).
+    pub fn decide<V: ValueSource>(
         &mut self,
         pc: u64,
         srcs_phys: [Option<PhysReg>; 2],
-        values: Values<'_>,
+        values: &V,
         actual: bool,
     ) -> BranchDecision {
         let l1p = self.l1.predict(pc);
-        let confident = self.confidence.is_confident(pc, l1p.checkpoint);
-        let (final_taken, override_fired, l2_ckpt, arvi) = match &mut self.level2 {
+        let conf_slot = self.confidence.slot(pc, l1p.checkpoint);
+        let confident = self.confidence.is_confident_at(conf_slot);
+        let (final_taken, override_fired, l2, arvi) = match &mut self.level2 {
             Level2::Hybrid(l2) => {
                 let l2p = l2.predict(pc);
                 l2.spec_push(actual);
                 // "If the two predictions differ then the level 2
                 // prediction is used."
-                (l2p.taken, l2p.taken != l1p.taken, l2p.checkpoint, None)
+                (l2p.taken, l2p.taken != l1p.taken, l2p, None)
             }
             Level2::Arvi(arvi) => {
                 let ap = arvi.predict(pc, srcs_phys, values);
@@ -166,14 +181,14 @@ impl BranchUnit {
                 } else {
                     l1p.taken
                 };
-                (dir, dir != l1p.taken, 0, Some(ap))
+                (dir, dir != l1p.taken, Prediction::plain(false, 0), Some(ap))
             }
         };
         self.l1.spec_push(actual);
         BranchDecision {
-            l1_taken: l1p.taken,
-            l1_ckpt: l1p.checkpoint,
-            l2_ckpt,
+            l1: l1p,
+            l2,
+            conf_slot,
             final_taken,
             override_fired,
             confident,
@@ -181,13 +196,14 @@ impl BranchUnit {
         }
     }
 
-    /// Trains every component at commit with the branch's actual outcome.
+    /// Trains every component at commit with the branch's actual outcome,
+    /// consuming the indices the decision carried from prediction time.
     pub fn commit_branch(&mut self, pc: u64, decision: &BranchDecision, actual: bool) {
-        self.l1.update(pc, decision.l1_ckpt, actual);
+        self.l1.update(pc, &decision.l1, actual);
         self.confidence
-            .update(pc, decision.l1_ckpt, decision.l1_taken == actual);
+            .update_at(decision.conf_slot, decision.l1.taken == actual);
         match &mut self.level2 {
-            Level2::Hybrid(l2) => l2.update(pc, decision.l2_ckpt, actual),
+            Level2::Hybrid(l2) => l2.update(pc, &decision.l2, actual),
             Level2::Arvi(arvi) => {
                 let ap = decision
                     .arvi
@@ -210,6 +226,7 @@ impl BranchUnit {
 mod tests {
     use super::*;
     use crate::params::{Depth, SimParams};
+    use arvi_core::CurrentValues;
 
     fn unit(config: PredictorConfig) -> BranchUnit {
         let mut p = SimParams::for_depth(Depth::D20);
@@ -223,9 +240,9 @@ mod tests {
         let mut bu = unit(PredictorConfig::TwoLevelGskew);
         assert_eq!(bu.l2_latency, 2);
         // Cold predictors agree (both weakly not-taken): no override.
-        let d = bu.decide(0x40, [None, None], Values::Current, true);
+        let d = bu.decide(0x40, [None, None], &CurrentValues, true);
         assert!(!d.override_fired);
-        assert_eq!(d.final_taken, d.l1_taken);
+        assert_eq!(d.final_taken, d.l1.taken);
     }
 
     #[test]
@@ -254,8 +271,8 @@ mod tests {
             if let Level2::Arvi(arvi) = &mut bu.level2 {
                 arvi.writeback(PhysReg(40), v);
             }
-            let d = bu.decide(pc, srcs, Values::Current, taken);
-            if d.l1_taken != taken {
+            let d = bu.decide(pc, srcs, &CurrentValues, taken);
+            if d.l1.taken != taken {
                 l1_wrong += 1;
                 if d.override_fired && d.final_taken == taken {
                     assert!(!d.confident, "override requires low confidence");
@@ -277,10 +294,10 @@ mod tests {
         let pc = 0x100u64;
         // Drive L1 to high confidence with a biased branch.
         for _ in 0..30 {
-            let d = bu.decide(pc, [None, None], Values::Current, true);
+            let d = bu.decide(pc, [None, None], &CurrentValues, true);
             bu.commit_branch(pc, &d, true);
         }
-        let d = bu.decide(pc, [None, None], Values::Current, true);
+        let d = bu.decide(pc, [None, None], &CurrentValues, true);
         assert!(d.confident);
         assert!(!d.override_fired, "high confidence pins the L1 result");
     }
@@ -290,11 +307,28 @@ mod tests {
         let mut bu = unit(PredictorConfig::TwoLevelGskew);
         let pc = 0x200u64;
         for _ in 0..40 {
-            let d = bu.decide(pc, [None, None], Values::Current, false);
+            let d = bu.decide(pc, [None, None], &CurrentValues, false);
             bu.commit_branch(pc, &d, false);
         }
-        let d = bu.decide(pc, [None, None], Values::Current, false);
-        assert!(!d.l1_taken);
+        let d = bu.decide(pc, [None, None], &CurrentValues, false);
+        assert!(!d.l1.taken);
         assert!(!d.final_taken);
+    }
+
+    #[test]
+    fn decision_carries_indices_and_slot() {
+        let mut bu = unit(PredictorConfig::TwoLevelGskew);
+        let d = bu.decide(0x300, [None, None], &CurrentValues, true);
+        // The L1 and hybrid L2 read four banks each; their carried
+        // physical indices keep the bank tags in the low two bits.
+        for (b, &idx) in d.l1.banks.iter().enumerate() {
+            assert_eq!(idx as usize & 0b11, b);
+        }
+        for (b, &idx) in d.l2.banks.iter().enumerate() {
+            assert_eq!(idx as usize & 0b11, b);
+        }
+        // Training with the carried record must not panic and must feed
+        // the confidence slot resolved at predict time.
+        bu.commit_branch(0x300, &d, true);
     }
 }

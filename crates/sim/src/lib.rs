@@ -12,7 +12,10 @@
 //!   (`arvi-trace`).
 //! * [`rename`] — fetch-time register rename with oracle value metadata.
 //! * [`branch_unit`] — the two-level overriding predictor stack (2Bc-gskew
-//!   level 1; 2Bc-gskew or ARVI level 2, confidence-gated).
+//!   level 1; 2Bc-gskew or ARVI level 2, confidence-gated), carrying the
+//!   packed-table indices from predict to commit-time train.
+//! * [`oracle`] — monomorphized [`ValueSource`](arvi_core::ValueSource)
+//!   oracles for the ARVI current/load-back/perfect value regimes.
 //! * [`wheel`] — the calendar-queue event scheduler: O(1) fixed-horizon
 //!   cycle buckets with zero steady-state allocation.
 //! * [`machine`] — the cycle engine: 4-wide fetch/issue/commit, dataflow
@@ -39,6 +42,7 @@ pub mod branch_unit;
 pub mod cache;
 pub mod hierarchy;
 pub mod machine;
+pub mod oracle;
 pub mod params;
 pub mod rename;
 pub mod run;
@@ -50,6 +54,7 @@ pub use branch_unit::{BranchDecision, BranchUnit, Level2};
 pub use cache::Cache;
 pub use hierarchy::Hierarchy;
 pub use machine::{Machine, MachineStats, PcProfile};
+pub use oracle::{LoadBackOracle, PerfectOracle, ReadyOracle};
 pub use params::{ArviTuning, CacheConfig, Depth, PredictorConfig, SimParams, TlbConfig};
 pub use rename::RenameState;
 pub use run::{intern_name, simulate, simulate_source, SimResult};

@@ -26,12 +26,13 @@
 
 use std::collections::VecDeque;
 
-use arvi_core::{PhysReg, RenamedOp, Values};
+use arvi_core::{CurrentValues, PhysReg, RenamedOp};
 use arvi_isa::{DynInst, Emulator, InstKind};
 use arvi_stats::Accuracy;
 
 use crate::branch_unit::{BranchDecision, BranchUnit};
 use crate::hierarchy::Hierarchy;
+use crate::oracle::{LoadBackOracle, PerfectOracle, ReadyOracle};
 use crate::params::{PredictorConfig, SimParams};
 use crate::rename::RenameState;
 use crate::source::InstSource;
@@ -146,6 +147,24 @@ const NO_REG: u16 = u16::MAX;
 /// event, an untagged `seq << 1` is an operand-ready issue candidate.
 const EV_WRITEBACK: u64 = 1;
 
+/// Records pulled from the instruction source per [`InstSource::fill`]
+/// call — one trace chunk's worth of decode amortized over 64 fetches.
+const FETCH_CHUNK: usize = 64;
+
+/// Placeholder filling the fetch buffer's unwritten tail (never fetched:
+/// consumption is bounded by the fill count).
+const BLANK_INST: DynInst = DynInst {
+    seq: 0,
+    pc: 0,
+    kind: InstKind::Halt,
+    srcs: [None, None],
+    dest: None,
+    result: 0,
+    mem_addr: 0,
+    branch: None,
+    hoist: 0,
+};
+
 impl Rob {
     fn new(entries: usize) -> Rob {
         let cap = entries.next_power_of_two();
@@ -242,7 +261,11 @@ pub struct Machine<S: InstSource = Emulator> {
     mem_blocked_loads: SeqSet,
     mem_in_flight: usize,
     fetch_state: FetchState,
-    lookahead: Option<DynInst>,
+    /// Block-decoded fetch buffer: the source fills it a chunk at a
+    /// time ([`InstSource::fill`]), fetch consumes `fetch_pos..fetch_len`.
+    fetch_buf: Box<[DynInst]>,
+    fetch_pos: usize,
+    fetch_len: usize,
     current_fetch_line: u64,
     /// `log2(l1i.line_bytes)` — fetch computes a line per instruction.
     fetch_line_shift: u32,
@@ -298,7 +321,9 @@ impl<S: InstSource> Machine<S> {
             mem_blocked_loads: SeqSet::default(),
             mem_in_flight: 0,
             fetch_state: FetchState::Running,
-            lookahead: None,
+            fetch_buf: vec![BLANK_INST; FETCH_CHUNK].into_boxed_slice(),
+            fetch_pos: 0,
+            fetch_len: 0,
             current_fetch_line: u64::MAX,
             fetch_line_shift: (params.l1i.line_bytes as u64).trailing_zeros(),
             trace_done: false,
@@ -526,7 +551,7 @@ impl<S: InstSource> Machine<S> {
     fn record_branch_stats(&mut self, pc: u64, decision: &BranchDecision, actual: bool) {
         let correct = decision.final_taken == actual;
         self.stats.cond_branches.record(correct);
-        self.stats.l1_only.record(decision.l1_taken == actual);
+        self.stats.l1_only.record(decision.l1.taken == actual);
         if let Some(ap) = &decision.arvi {
             match ap.class {
                 arvi_core::BranchClass::Calculated => self.stats.calc_class.record(correct),
@@ -538,7 +563,7 @@ impl<S: InstSource> Machine<S> {
         }
         if decision.override_fired {
             self.stats.overrides += 1;
-            if correct && decision.l1_taken != actual {
+            if correct && decision.l1.taken != actual {
                 self.stats.overrides_correcting += 1;
             }
         }
@@ -546,7 +571,7 @@ impl<S: InstSource> Machine<S> {
             let p = profile.entry(pc).or_default();
             p.total += 1;
             p.final_correct += correct as u64;
-            p.l1_correct += (decision.l1_taken == actual) as u64;
+            p.l1_correct += (decision.l1.taken == actual) as u64;
             p.overrides += decision.override_fired as u64;
             if let Some(ap) = &decision.arvi {
                 p.bvit_hits += ap.direction.is_some() as u64;
@@ -656,6 +681,30 @@ impl<S: InstSource> Machine<S> {
         self.ready_loads_scratch = ready;
     }
 
+    /// The next trace record out of the block-decoded fetch buffer,
+    /// refilling a chunk at a time from the source.
+    #[inline]
+    fn next_from_buffer(&mut self) -> Option<DynInst> {
+        if self.fetch_pos == self.fetch_len {
+            self.fetch_len = self.source.fill(&mut self.fetch_buf);
+            self.fetch_pos = 0;
+            if self.fetch_len == 0 {
+                return None;
+            }
+        }
+        let d = self.fetch_buf[self.fetch_pos];
+        self.fetch_pos += 1;
+        Some(d)
+    }
+
+    /// Returns the most recently pulled record to the buffer (fetch
+    /// gates that must retry the same instruction next cycle).
+    #[inline]
+    fn unfetch(&mut self) {
+        debug_assert!(self.fetch_pos > 0, "nothing to return");
+        self.fetch_pos -= 1;
+    }
+
     /// Fetches, renames and dispatches up to `fetch_width` instructions.
     fn fetch(&mut self) -> bool {
         if self.fetch_state != FetchState::Running || self.trace_done {
@@ -667,7 +716,7 @@ impl<S: InstSource> Machine<S> {
                 break;
             }
             // Pull the next trace record.
-            let d = match self.lookahead.take().or_else(|| self.source.next_inst()) {
+            let d = match self.next_from_buffer() {
                 Some(d) => d,
                 None => {
                     self.trace_done = true;
@@ -676,7 +725,7 @@ impl<S: InstSource> Machine<S> {
             };
             // LSQ occupancy gate.
             if (d.is_load() || d.is_store()) && self.mem_in_flight >= self.params.lsq_entries {
-                self.lookahead = Some(d);
+                self.unfetch();
                 break;
             }
             // Instruction-cache access, once per new line.
@@ -690,7 +739,7 @@ impl<S: InstSource> Machine<S> {
                     self.fetch_state = FetchState::Stalled {
                         until: self.cycle + (lat - self.params.l1_latency),
                     };
-                    self.lookahead = Some(d);
+                    self.unfetch();
                     break;
                 }
             }
@@ -722,33 +771,28 @@ impl<S: InstSource> Machine<S> {
             let pc = d.byte_pc();
             let rename = &self.rename;
             let now = self.cycle;
-            let lb_window = self.lb_window;
-            let fetch_seq = seq;
+            // Each configuration's oracle is a concrete ValueSource, so
+            // the whole predict path monomorphizes per arm.
             let dec = match self.config {
                 PredictorConfig::TwoLevelGskew => {
-                    self.bu.decide(pc, src_phys, Values::Current, actual)
+                    self.bu.decide(pc, src_phys, &CurrentValues, actual)
                 }
                 PredictorConfig::ArviCurrent => {
-                    let f = |p: PhysReg| rename.is_ready(p, now).then(|| rename.oracle_value(p));
-                    self.bu.decide(pc, src_phys, Values::External(&f), actual)
+                    self.bu
+                        .decide(pc, src_phys, &ReadyOracle { rename, now }, actual)
                 }
                 PredictorConfig::ArviLoadBack => {
-                    let f = |p: PhysReg| {
-                        if rename.is_ready(p, now) {
-                            return Some(rename.oracle_value(p));
-                        }
-                        let (is_load, pseq, hoist) = rename.producer(p);
-                        if is_load && (fetch_seq - pseq) + hoist as u64 >= lb_window {
-                            Some(rename.oracle_value(p))
-                        } else {
-                            None
-                        }
+                    let oracle = LoadBackOracle {
+                        rename,
+                        now,
+                        fetch_seq: seq,
+                        lb_window: self.lb_window,
                     };
-                    self.bu.decide(pc, src_phys, Values::External(&f), actual)
+                    self.bu.decide(pc, src_phys, &oracle, actual)
                 }
                 PredictorConfig::ArviPerfect => {
-                    let f = |p: PhysReg| Some(rename.oracle_value(p));
-                    self.bu.decide(pc, src_phys, Values::External(&f), actual)
+                    self.bu
+                        .decide(pc, src_phys, &PerfectOracle { rename }, actual)
                 }
             };
             // Fetch disruption bookkeeping.
@@ -758,7 +802,7 @@ impl<S: InstSource> Machine<S> {
                     seq,
                     resume_override: None,
                 };
-            } else if dec.l1_taken != actual {
+            } else if dec.l1.taken != actual {
                 // The L2 override will re-steer fetch after its latency.
                 self.stats.override_restarts += 1;
                 self.fetch_state = FetchState::BranchBlocked {

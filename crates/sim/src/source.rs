@@ -22,6 +22,29 @@ pub trait InstSource {
     /// The next committed instruction, or `None` when the stream ends
     /// (program halt or end of a recorded trace).
     fn next_inst(&mut self) -> Option<DynInst>;
+
+    /// Fills `out` with the next records and returns how many were
+    /// written; `0` means the stream has ended. Records are written from
+    /// `out[0]` and the machine consumes exactly the returned prefix.
+    ///
+    /// The default forwards to [`next_inst`](InstSource::next_inst) one
+    /// record at a time, so every source works unchanged; batch-native
+    /// sources override it — `arvi_trace::TraceReplayer` decodes whole
+    /// chunks straight into `out`, amortizing its per-record cursor
+    /// overhead across the machine's fetch buffer.
+    fn fill(&mut self, out: &mut [DynInst]) -> usize {
+        let mut n = 0;
+        while n < out.len() {
+            match self.next_inst() {
+                Some(d) => {
+                    out[n] = d;
+                    n += 1;
+                }
+                None => break,
+            }
+        }
+        n
+    }
 }
 
 impl InstSource for Emulator {

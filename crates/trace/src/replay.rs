@@ -52,6 +52,34 @@ impl Cursor {
         }
     }
 
+    /// Fills `out` with the next records, decoding chunk-at-a-time and
+    /// copying contiguous runs straight into the caller's buffer.
+    /// Returns the number written (less than `out.len()` only at end of
+    /// trace). Shares [`Cursor::next`]'s allocation discipline and panic
+    /// conditions.
+    fn fill(&mut self, trace: &Trace, out: &mut [DynInst]) -> usize {
+        let mut n = 0;
+        while n < out.len() {
+            let buffered = self.buf.len() - self.pos;
+            if buffered > 0 {
+                let take = buffered.min(out.len() - n);
+                out[n..n + take].copy_from_slice(&self.buf[self.pos..self.pos + take]);
+                self.pos += take;
+                n += take;
+                continue;
+            }
+            if self.chunk >= trace.chunk_count() {
+                break;
+            }
+            trace
+                .decode_chunk_trusted(self.chunk, &mut self.buf)
+                .unwrap_or_else(|e| panic!("chunk {} of trace {}: {e}", self.chunk, trace.name()));
+            self.chunk += 1;
+            self.pos = 0;
+        }
+        n
+    }
+
     /// Advances the cursor by `n` records from its current position,
     /// skipping whole chunks via the index without decoding them.
     /// Returns the number of records actually skipped (less than `n`
@@ -165,6 +193,14 @@ impl InstSource for TraceReplayer {
     fn next_inst(&mut self) -> Option<DynInst> {
         self.cursor.next(&self.trace)
     }
+
+    /// Block decode: whole chunks are copied into the caller's buffer in
+    /// contiguous runs, amortizing the per-record cursor bounds checks
+    /// the one-at-a-time default pays.
+    #[inline]
+    fn fill(&mut self, out: &mut [DynInst]) -> usize {
+        self.cursor.fill(&self.trace, out)
+    }
 }
 
 impl Iterator for TraceReplayer {
@@ -219,6 +255,51 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
+    }
+
+    #[test]
+    fn fill_matches_plain_iteration() {
+        use arvi_sim::InstSource;
+        let trace = Arc::new(small_chunk_trace(1_000));
+        let reference: Vec<DynInst> = TraceReader::new(&trace).collect();
+        // Odd buffer sizes straddle chunk boundaries (chunks are 64).
+        for chunk in [1usize, 7, 63, 64, 65, 200] {
+            let mut r = TraceReplayer::new(Arc::clone(&trace));
+            let mut buf = vec![reference[0]; chunk];
+            let mut got: Vec<DynInst> = Vec::new();
+            loop {
+                let n = r.fill(&mut buf);
+                if n == 0 {
+                    break;
+                }
+                got.extend_from_slice(&buf[..n]);
+            }
+            assert_eq!(got, reference, "fill size {chunk}");
+        }
+    }
+
+    #[test]
+    fn fill_interleaves_with_next() {
+        use arvi_sim::InstSource;
+        let trace = Arc::new(small_chunk_trace(300));
+        let reference: Vec<DynInst> = TraceReader::new(&trace).collect();
+        let mut r = TraceReplayer::new(Arc::clone(&trace));
+        let mut got: Vec<DynInst> = Vec::new();
+        let mut buf = vec![reference[0]; 50];
+        while got.len() < reference.len() {
+            // Mixed pulls: a few singles, then a block.
+            for _ in 0..3 {
+                if let Some(d) = r.next_inst() {
+                    got.push(d);
+                }
+            }
+            let n = r.fill(&mut buf);
+            got.extend_from_slice(&buf[..n]);
+            if n == 0 && r.next_inst().is_none() {
+                break;
+            }
+        }
+        assert_eq!(got, reference);
     }
 
     #[test]

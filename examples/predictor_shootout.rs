@@ -32,7 +32,7 @@ fn main() {
             for &(pc, taken) in &stream {
                 let pred = p.predict(pc);
                 p.spec_push(taken);
-                p.update(pc, pred.checkpoint, taken);
+                p.update(pc, &pred, taken);
                 correct += (pred.taken == taken) as u64;
             }
             correct as f64 / stream.len() as f64

@@ -18,8 +18,8 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use arvi::core::{
-    ArviConfig, ArviPredictor, ChainMask, Ddt, DdtConfig, LeafSet, PhysReg, RenamedOp, Tracker,
-    TrackerConfig, Values,
+    ArviConfig, ArviPredictor, ChainMask, CurrentValues, Ddt, DdtConfig, LeafSet, PhysReg,
+    RenamedOp, Tracker, TrackerConfig,
 };
 use arvi::isa::Reg;
 
@@ -131,7 +131,7 @@ fn arvi_predict_train_cycle_is_allocation_free() {
             let pred = arvi.predict(
                 0x400 + (i % 32) as u64 * 4,
                 [Some(p(i)), Some(p(i + 2))],
-                Values::Current,
+                &CurrentValues,
             );
             arvi.train(&pred, i % 3 == 0, true);
         }
@@ -196,6 +196,41 @@ fn synth_generation_is_allocation_free() {
     );
 }
 
+fn branch_unit_predict_train_is_allocation_free() {
+    use arvi::sim::{BranchUnit, Depth, PredictorConfig, SimParams};
+
+    // The whole branch-path data flow — packed-table reads, the
+    // index-carrying BranchDecision, confidence slots and commit-time
+    // training — must not allocate per branch, for the inline hybrid L2
+    // and the ARVI L2 alike. Construction (table allocation, and the
+    // ARVI variant's Box) happens exactly once, outside the measured
+    // window: the PR 5 unboxing of `Level2::Hybrid` removed the last
+    // steady-state-adjacent heap object on this path.
+    for config in [PredictorConfig::TwoLevelGskew, PredictorConfig::ArviCurrent] {
+        let mut p = SimParams::for_depth(Depth::D20);
+        p.rob_entries = 32;
+        p.phys_regs = 128;
+        let mut bu = BranchUnit::new(&p, config);
+        let mut lfsr: u64 = 0xACE1;
+        let mut drive = |bu: &mut BranchUnit, rounds: u32| {
+            for _ in 0..rounds {
+                lfsr = lfsr.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let pc = ((lfsr >> 20) & 0x3FF) << 2;
+                let taken = (lfsr >> 40) & 0b11 != 0;
+                let d = bu.decide(pc, [None, None], &CurrentValues, taken);
+                bu.commit_branch(pc, &d, taken);
+                std::hint::black_box(d.final_taken);
+            }
+        };
+        drive(&mut bu, 2_000);
+        let n = allocations_during(|| drive(&mut bu, 20_000));
+        assert_eq!(
+            n, 0,
+            "branch unit ({config:?}) allocated {n} times in 20k predict/train rounds"
+        );
+    }
+}
+
 fn machine_cycle_loop_is_allocation_free() {
     use arvi::sim::{Machine, PredictorConfig, SimParams};
     use arvi::synth::SynthSource;
@@ -229,7 +264,11 @@ fn machine_cycle_loop_is_allocation_free() {
 }
 
 fn main() {
-    let checks: [(&str, fn()); 6] = [
+    let checks: [(&str, fn()); 7] = [
+        (
+            "branch_unit_predict_train_is_allocation_free",
+            branch_unit_predict_train_is_allocation_free,
+        ),
         (
             "ddt_insert_commit_chain_is_allocation_free",
             ddt_insert_commit_chain_is_allocation_free,

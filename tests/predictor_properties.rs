@@ -4,7 +4,7 @@
 use arvi::core::{Bvit, BvitConfig};
 use arvi::predict::{
     Bimodal, ConfidenceConfig, ConfidenceEstimator, DirectionPredictor, Gshare, GskewConfig,
-    TwoBcGskew,
+    PackedCounters, SatCounter, TwoBcGskew,
 };
 use proptest::prelude::*;
 
@@ -31,11 +31,11 @@ proptest! {
             for (i, &(pc, taken)) in noise.iter().enumerate() {
                 let n = p.predict(pc);
                 p.spec_push(taken);
-                p.update(pc, n.checkpoint, taken);
+                p.update(pc, &n, taken);
                 if i % 3 == 0 {
                     let t = p.predict(target_pc);
                     p.spec_push(bias);
-                    p.update(target_pc, t.checkpoint, bias);
+                    p.update(target_pc, &t, bias);
                 }
             }
             // Warm the biased branch with a run longer than any history
@@ -44,7 +44,7 @@ proptest! {
             for _ in 0..24 {
                 let t = p.predict(target_pc);
                 p.spec_push(bias);
-                p.update(target_pc, t.checkpoint, bias);
+                p.update(target_pc, &t, bias);
             }
             let final_pred = p.predict(target_pc);
             prop_assert_eq!(
@@ -65,7 +65,7 @@ proptest! {
             prop_assert_eq!(a.taken, b.taken);
             prop_assert_eq!(a.checkpoint, b.checkpoint);
             p.spec_push(taken);
-            p.update(pc, a.checkpoint, taken);
+            p.update(pc, &a, taken);
         }
     }
 
@@ -123,9 +123,65 @@ proptest! {
         for (pc, taken) in stream {
             let d = p.predict(pc);
             p.spec_push(taken);
-            p.update(pc, d.checkpoint, taken);
+            p.update(pc, &d, taken);
         }
         prop_assert_eq!(p.storage_bits(), before);
         prop_assert_eq!(before / 8, 32 * 1024, "level-2 hybrid is 32 KB");
     }
+
+    /// `PackedCounters` must replicate `SatCounter`'s 2-bit semantics —
+    /// value, saturation and the is-set threshold — for any initial
+    /// value and any interleaved update/strengthen sequence, at any
+    /// table position (including word-straddling indices).
+    #[test]
+    fn packed_counters_match_satcounter(
+        init in 0u8..4,
+        ops in proptest::collection::vec((0usize..96, 0u8..3), 1..300),
+    ) {
+        let mut packed = PackedCounters::new(96, init);
+        #[allow(deprecated)]
+        let mut scalar = [SatCounter::new(2, init); 96];
+        for (i, op) in ops {
+            match op {
+                0 => { packed.update(i, true); scalar[i].update(true); }
+                1 => { packed.update(i, false); scalar[i].update(false); }
+                _ => { packed.strengthen(i); scalar[i].strengthen(); }
+            }
+            prop_assert_eq!(packed.get(i), scalar[i].value(), "value at {}", i);
+            prop_assert_eq!(packed.is_set(i), scalar[i].is_set(), "is_set at {}", i);
+        }
+        // Full-table sweep: untouched lanes must still agree too.
+        for (i, c) in scalar.iter().enumerate() {
+            prop_assert_eq!(packed.get(i), c.value(), "final value at {}", i);
+        }
+    }
+}
+
+/// Word-boundary wraparound: counters 31 and 32 live in different `u64`
+/// words; saturating either to both rails must never leak a carry or
+/// borrow into its neighbour across the boundary.
+#[test]
+fn packed_counters_word_boundary_isolation() {
+    let mut t = PackedCounters::new(64, 1);
+    // Drive 31 to the ceiling and 32 to the floor, interleaved.
+    for _ in 0..10 {
+        t.update(31, true);
+        t.update(32, false);
+    }
+    assert_eq!(t.get(31), 3);
+    assert_eq!(t.get(32), 0);
+    assert_eq!(t.get(30), 1, "same-word neighbour untouched");
+    assert_eq!(t.get(33), 1, "next-word neighbour untouched");
+    // Cross the rails the other way.
+    for _ in 0..10 {
+        t.update(31, false);
+        t.update(32, true);
+    }
+    assert_eq!((t.get(31), t.get(32)), (0, 3));
+    assert_eq!((t.get(30), t.get(33)), (1, 1));
+    // Strengthen pins both to their rails without neighbour effects.
+    t.strengthen(31);
+    t.strengthen(32);
+    assert_eq!((t.get(31), t.get(32)), (0, 3));
+    assert_eq!((t.get(30), t.get(33)), (1, 1));
 }
