@@ -3,6 +3,8 @@
 //!
 //! Usage: `experiments [--quick] [--threads N] [--trace-dir DIR]
 //!                     [--scenario NAME_OR_SPEC]... [--scenario-file FILE]
+//!                     [--journal FILE] [--resume] [--fault-plan FILE]
+//!                     [--deadline-ms N]
 //!                     [--list-scenarios] [--list-benchmarks]`
 //!
 //! Each workload is functionally emulated exactly once (per run — or
@@ -10,10 +12,16 @@
 //! shared recording. Runs the benchmark suite by default; any
 //! `--scenario`/`--scenario-file` flag switches the grids to the named
 //! synthetic scenarios instead.
+//!
+//! Any fault-tolerance flag switches the grids to the fault-isolated
+//! sweep runner: cell failures are reported at the end (exit code 3)
+//! instead of aborting, completed cells are journaled as they finish,
+//! and `--resume` completes an interrupted run from its journal.
 
 use arvi_bench::{
-    fig5_tables_over, handle_list_flags, paper_tables, threads_from_args, trace_dir_from_args,
-    workloads_from_args, Fig6Data, Spec, TraceSet,
+    fig5_tables_over, fig5_tables_resilient, handle_list_flags, paper_tables, resilience_from_args,
+    threads_from_args, trace_dir_from_args, workloads_from_args, Fig6Data, Spec, SweepIncomplete,
+    TraceSet,
 };
 use arvi_sim::{Depth, PredictorConfig};
 
@@ -44,22 +52,76 @@ fn main() {
         }
     }
 
-    // One recording per workload feeds fig5 and all three fig6 depths.
-    let traces = TraceSet::record(&workloads, spec, threads, trace_dir.as_deref());
+    let resilience = resilience_from_args(&args).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    });
 
-    let (fig5a, fig5b) = fig5_tables_over(&workloads, spec, true, threads, Some(&traces));
-    println!(
-        "== Figure 5(a): fraction of load branches ==\n{}",
-        fig5a.to_text()
+    // A failed grid reports every failed cell and exits 3 — after all
+    // the other grids have run (and journaled), so one bad cell costs
+    // one re-run with --resume, not the whole evaluation.
+    let mut incomplete: Vec<SweepIncomplete> = Vec::new();
+
+    // One recording per workload feeds fig5 and all three fig6 depths.
+    let traces = TraceSet::record_resilient(
+        &workloads,
+        spec,
+        threads,
+        trace_dir.as_deref(),
+        resilience.as_ref(),
     );
-    println!(
-        "== Figure 5(b): accuracy, calculated vs load branches (20-stage, ARVI current value) ==\n{}",
-        fig5b.to_text()
-    );
+
+    let fig5 = match &resilience {
+        None => Some(fig5_tables_over(
+            &workloads,
+            spec,
+            true,
+            threads,
+            Some(&traces),
+        )),
+        Some(res) => {
+            match fig5_tables_resilient(&workloads, spec, true, threads, Some(&traces), res) {
+                Ok(tables) => Some(tables),
+                Err(e) => {
+                    incomplete.push(e);
+                    None
+                }
+            }
+        }
+    };
+    if let Some((fig5a, fig5b)) = fig5 {
+        println!(
+            "== Figure 5(a): fraction of load branches ==\n{}",
+            fig5a.to_text()
+        );
+        println!(
+            "== Figure 5(b): accuracy, calculated vs load branches (20-stage, ARVI current value) ==\n{}",
+            fig5b.to_text()
+        );
+    }
 
     let mut headlines = Vec::new();
     for depth in Depth::all() {
-        let data = Fig6Data::collect_over(&workloads, depth, spec, true, threads, Some(&traces));
+        let data = match &resilience {
+            None => Fig6Data::collect_over(&workloads, depth, spec, true, threads, Some(&traces)),
+            Some(res) => {
+                match Fig6Data::collect_resilient(
+                    &workloads,
+                    depth,
+                    spec,
+                    true,
+                    threads,
+                    Some(&traces),
+                    res,
+                ) {
+                    Ok(data) => data,
+                    Err(e) => {
+                        incomplete.push(e);
+                        continue;
+                    }
+                }
+            }
+        };
         println!(
             "== Figure 6: prediction accuracy, {depth} pipeline ==\n{}",
             data.accuracy_table().to_text()
@@ -80,5 +142,12 @@ fn main() {
     println!("depth      current  load-back  perfect   (paper: current 1.126@20, 1.156@60; perfect 1.251@20)");
     for (depth, cur, lb, perf) in headlines {
         println!("{depth:<10} {cur:<8.3} {lb:<10.3} {perf:<8.3}");
+    }
+
+    if !incomplete.is_empty() {
+        for e in &incomplete {
+            eprintln!("{e}");
+        }
+        std::process::exit(3);
     }
 }

@@ -4,15 +4,20 @@
 //!
 //! Usage: `fig5 [--quick] [--threads N] [--trace-dir DIR]
 //!              [--scenario NAME_OR_SPEC]... [--scenario-file FILE]
+//!              [--journal FILE] [--resume] [--fault-plan FILE]
+//!              [--deadline-ms N]
 //!              [--list-scenarios] [--list-benchmarks]`
 //!
 //! Runs the benchmark suite by default; any `--scenario`/
 //! `--scenario-file` flag switches the grid to the named synthetic
-//! scenarios instead.
+//! scenarios instead. Any fault-tolerance flag switches to the
+//! fault-isolated sweep runner: cell failures are reported (exit code
+//! 3) instead of aborting, and `--resume` completes an interrupted run
+//! from its journal.
 
 use arvi_bench::{
-    fig5_tables_over, handle_list_flags, threads_from_args, trace_dir_from_args,
-    workloads_from_args, Spec, TraceSet,
+    fig5_tables_over, fig5_tables_resilient, handle_list_flags, resilience_from_args,
+    threads_from_args, trace_dir_from_args, workloads_from_args, Spec, TraceSet,
 };
 
 fn main() {
@@ -29,8 +34,29 @@ fn main() {
     let threads = threads_from_args(&args);
     let trace_dir = trace_dir_from_args(&args);
     let workloads = workloads_from_args(&args);
-    let traces = TraceSet::record(&workloads, spec, threads, trace_dir.as_deref());
-    let (fig5a, fig5b) = fig5_tables_over(&workloads, spec, true, threads, Some(&traces));
+    let resilience = resilience_from_args(&args).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    });
+    let traces = TraceSet::record_resilient(
+        &workloads,
+        spec,
+        threads,
+        trace_dir.as_deref(),
+        resilience.as_ref(),
+    );
+    let (fig5a, fig5b) = match &resilience {
+        None => fig5_tables_over(&workloads, spec, true, threads, Some(&traces)),
+        Some(res) => {
+            match fig5_tables_resilient(&workloads, spec, true, threads, Some(&traces), res) {
+                Ok(tables) => tables,
+                Err(incomplete) => {
+                    eprintln!("{incomplete}");
+                    std::process::exit(3);
+                }
+            }
+        }
+    };
     println!(
         "== Figure 5(a): fraction of load branches ==\n{}",
         fig5a.to_text()

@@ -3,15 +3,20 @@
 //!
 //! Usage: `fig6 [20|40|60] [--quick] [--threads N] [--trace-dir DIR]
 //!              [--scenario NAME_OR_SPEC]... [--scenario-file FILE]
+//!              [--journal FILE] [--resume] [--fault-plan FILE]
+//!              [--deadline-ms N]
 //!              [--list-scenarios] [--list-benchmarks]`
 //!
 //! Runs the benchmark suite by default; any `--scenario`/
 //! `--scenario-file` flag switches the grid to the named synthetic
-//! scenarios instead.
+//! scenarios instead. Any fault-tolerance flag switches to the
+//! fault-isolated sweep runner: cell failures are reported (exit code
+//! 3) instead of aborting, and `--resume` completes an interrupted run
+//! from its journal.
 
 use arvi_bench::{
-    handle_list_flags, threads_from_args, trace_dir_from_args, workloads_from_args, Fig6Data, Spec,
-    TraceSet,
+    handle_list_flags, resilience_from_args, threads_from_args, trace_dir_from_args,
+    workloads_from_args, Fig6Data, Spec, TraceSet,
 };
 use arvi_sim::{Depth, PredictorConfig};
 
@@ -22,7 +27,15 @@ fn main() {
     }
     // First positional argument, skipping flag values (`--threads N`,
     // `--trace-dir DIR`, `--scenario X`, `--scenario-file F`).
-    let value_flags = ["--threads", "--trace-dir", "--scenario", "--scenario-file"];
+    let value_flags = [
+        "--threads",
+        "--trace-dir",
+        "--scenario",
+        "--scenario-file",
+        "--journal",
+        "--fault-plan",
+        "--deadline-ms",
+    ];
     let mut positional = None;
     let mut i = 0;
     while i < args.len() {
@@ -50,8 +63,37 @@ fn main() {
     let threads = threads_from_args(&args);
     let trace_dir = trace_dir_from_args(&args);
     let workloads = workloads_from_args(&args);
-    let traces = TraceSet::record(&workloads, spec, threads, trace_dir.as_deref());
-    let data = Fig6Data::collect_over(&workloads, depth, spec, true, threads, Some(&traces));
+    let resilience = resilience_from_args(&args).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    });
+    let traces = TraceSet::record_resilient(
+        &workloads,
+        spec,
+        threads,
+        trace_dir.as_deref(),
+        resilience.as_ref(),
+    );
+    let data = match &resilience {
+        None => Fig6Data::collect_over(&workloads, depth, spec, true, threads, Some(&traces)),
+        Some(res) => {
+            match Fig6Data::collect_resilient(
+                &workloads,
+                depth,
+                spec,
+                true,
+                threads,
+                Some(&traces),
+                res,
+            ) {
+                Ok(data) => data,
+                Err(incomplete) => {
+                    eprintln!("{incomplete}");
+                    std::process::exit(3);
+                }
+            }
+        }
+    };
     println!(
         "== Figure 6: prediction accuracy, {depth} pipeline ==\n{}",
         data.accuracy_table().to_text()

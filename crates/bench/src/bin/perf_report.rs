@@ -19,6 +19,10 @@
 //! 4. **Sweep** — the quick Figure-6 grid replayed over shared traces,
 //!    asserted bit-identical to per-cell live emulation (the PR 2
 //!    guarantee), with the whole-sweep ns/inst.
+//! 5. **Resilient sweep** — the same grid through the fault-isolated
+//!    runner (`run_sweep_resilient`) with per-cell journaling on,
+//!    asserted bit-identical, reporting the fault-tolerance overhead
+//!    (catch_unwind + fingerprint + journal append per cell).
 //!
 //! The `guardrail` section of the JSON is the flat metric set
 //! `perf_guard` compares against the checked-in `BENCH_BASELINE.json`
@@ -31,8 +35,9 @@ use std::time::Instant;
 
 use arvi_bench::baseline::ScalarTwoBcGskew;
 use arvi_bench::{
-    baseline, grid, record_trace, run_sweep_emulated, run_sweep_with, threads_from_args,
-    trace_dir_from_args, trace_len, write_report, Json, Spec, SweepPoint, TraceSet, Workload,
+    baseline, collect_results, grid, record_trace, run_sweep_emulated, run_sweep_resilient,
+    run_sweep_with, threads_from_args, trace_dir_from_args, trace_len, write_report, Json,
+    Resilience, Spec, SweepPoint, TraceSet, Workload,
 };
 use arvi_bench::{conditional_branches, run_delayed, run_delayed_scalar};
 use arvi_core::{Ddt, DdtConfig, PhysReg};
@@ -336,6 +341,34 @@ fn main() {
         "  replayed sweep {replay_s:.2} s ({sweep_ns:.0} ns/inst overall) vs emulated {emulated_s:.2} s; bit-identical"
     );
 
+    // 5. The same grid through the fault-isolated runner with per-cell
+    // journaling: what does crash-safety cost on the happy path?
+    let journal_path =
+        std::env::temp_dir().join(format!("arvi-perf-sweep-{}.journal", std::process::id()));
+    std::fs::remove_file(&journal_path).ok();
+    let res = Resilience::new().with_journal(&journal_path);
+    eprintln!("perf_report: same grid, fault-isolated + journaled (run_sweep_resilient)...");
+    let t0 = Instant::now();
+    let outcomes = run_sweep_resilient(&points, spec, threads, false, Some(&traces), &res);
+    let resilient_s = t0.elapsed().as_secs_f64();
+    let resilient =
+        collect_results(&points, outcomes).expect("resilient sweep completed every cell");
+    for (e, r) in replayed.iter().zip(&resilient) {
+        assert_eq!(
+            (e.window.cycles, e.window.committed),
+            (r.window.cycles, r.window.committed),
+            "resilient sweep diverged from the strict sweep on {} / {}",
+            e.name,
+            e.config
+        );
+    }
+    std::fs::remove_file(&journal_path).ok();
+    let resilient_overhead_pct = (resilient_s - replay_s) / replay_s * 100.0;
+    eprintln!(
+        "  resilient sweep {resilient_s:.2} s vs strict {replay_s:.2} s \
+         ({resilient_overhead_pct:+.1}% overhead); bit-identical"
+    );
+
     let side = |m: &MachineSide| {
         Json::obj([
             ("wheel_ns_per_inst", Json::Num(m.wheel_ns)),
@@ -419,6 +452,9 @@ fn main() {
                 ("emulated_s", Json::Num(emulated_s)),
                 ("ns_per_inst", Json::Num(sweep_ns)),
                 ("bit_identical", Json::Bool(true)),
+                ("resilient_s", Json::Num(resilient_s)),
+                ("resilient_overhead_pct", Json::Num(resilient_overhead_pct)),
+                ("resilient_bit_identical", Json::Bool(true)),
             ]),
         ),
         // Flat metrics for the CI perf guardrail (perf_guard).

@@ -13,6 +13,7 @@ use arvi_stats::{amean, Table};
 use arvi_trace::{Trace, TraceReplayer};
 use arvi_workloads::Benchmark;
 
+use crate::resilience::{collect_results, run_sweep_resilient, Resilience, SweepIncomplete};
 use crate::sweep::{default_threads, grid, run_sweep, run_sweep_with, TraceSet};
 use crate::workload::Workload;
 
@@ -140,7 +141,38 @@ pub fn fig5_tables_over(
         Some(traces) => run_sweep_with(&points, spec, threads, progress, traces),
         None => run_sweep(&points, spec, threads, progress),
     };
+    fig5_assemble(workloads, &depths, &results)
+}
 
+/// [`fig5_tables_over`] on the fault-isolated sweep runner: cell
+/// failures are collected into a [`SweepIncomplete`] (naming every
+/// failed cell, with a resume hint) instead of aborting the process,
+/// and completed cells are journaled/resumed per `res`.
+pub fn fig5_tables_resilient(
+    workloads: &[Workload],
+    spec: Spec,
+    progress: bool,
+    threads: usize,
+    traces: Option<&TraceSet>,
+    res: &Resilience,
+) -> Result<(Table, Table), SweepIncomplete> {
+    let depths = Depth::all();
+    let points = grid(workloads, &depths, &[PredictorConfig::ArviCurrent]);
+    let outcomes = run_sweep_resilient(&points, spec, threads, progress, traces, res);
+    if let Some(summary) = crate::resilience::outcome_summary(&outcomes) {
+        eprintln!("{summary}");
+    }
+    let results = collect_results(&points, outcomes)?;
+    Ok(fig5_assemble(workloads, &depths, &results))
+}
+
+/// Builds the two Figure-5 tables from grid-ordered results (the shared
+/// tail of the strict and resilient paths).
+fn fig5_assemble(
+    workloads: &[Workload],
+    depths: &[Depth],
+    results: &[SimResult],
+) -> (Table, Table) {
     let mut fig5a = Table::new(vec![
         "workload".into(),
         "20-cycle".into(),
@@ -224,12 +256,39 @@ impl Fig6Data {
         threads: usize,
         traces: Option<&TraceSet>,
     ) -> Fig6Data {
-        let configs = PredictorConfig::all();
-        let points = grid(workloads, &[depth], &configs);
-        let mut flat = match traces {
+        let points = grid(workloads, &[depth], &PredictorConfig::all());
+        let flat = match traces {
             Some(traces) => run_sweep_with(&points, spec, threads, progress, traces),
             None => run_sweep(&points, spec, threads, progress),
         };
+        Fig6Data::assemble(workloads, depth, flat)
+    }
+
+    /// [`Fig6Data::collect_over`] on the fault-isolated sweep runner:
+    /// cell failures become a [`SweepIncomplete`] instead of aborting
+    /// the process, and completed cells are journaled/resumed per `res`.
+    pub fn collect_resilient(
+        workloads: &[Workload],
+        depth: Depth,
+        spec: Spec,
+        progress: bool,
+        threads: usize,
+        traces: Option<&TraceSet>,
+        res: &Resilience,
+    ) -> Result<Fig6Data, SweepIncomplete> {
+        let points = grid(workloads, &[depth], &PredictorConfig::all());
+        let outcomes = run_sweep_resilient(&points, spec, threads, progress, traces, res);
+        if let Some(summary) = crate::resilience::outcome_summary(&outcomes) {
+            eprintln!("{summary}");
+        }
+        let flat = collect_results(&points, outcomes)?;
+        Ok(Fig6Data::assemble(workloads, depth, flat))
+    }
+
+    /// Splits flat grid-ordered results per workload (the shared tail
+    /// of the strict and resilient paths).
+    fn assemble(workloads: &[Workload], depth: Depth, mut flat: Vec<SimResult>) -> Fig6Data {
+        let configs = PredictorConfig::all();
         let mut results = Vec::new();
         for _ in workloads {
             let rest = flat.split_off(configs.len());

@@ -55,19 +55,25 @@ mod baseline_predict;
 pub mod branch_stream;
 pub mod harness;
 pub mod report;
+pub mod resilience;
 pub mod sweep;
 pub mod workload;
 
 pub use branch_stream::{conditional_branches, run_delayed, run_delayed_scalar, StreamRun};
 pub use harness::{
-    fig5_tables, fig5_tables_over, fig5_tables_threaded, fig5_tables_with, fig6_tables,
-    paper_tables, run_one, run_one_traced, Fig6Data, Spec,
+    fig5_tables, fig5_tables_over, fig5_tables_resilient, fig5_tables_threaded, fig5_tables_with,
+    fig6_tables, paper_tables, run_one, run_one_traced, Fig6Data, Spec,
 };
 pub use report::{write_report, Json};
+pub use resilience::{
+    cell_fingerprint, collect_results, outcome_summary, run_sweep_resilient, CellOutcome,
+    CellSuccess, Degradation, FaultKind, FaultPlan, FaultyIo, Resilience, SweepIncomplete,
+    SweepJournal,
+};
 pub use sweep::{
-    default_threads, distinct_workloads, full_grid, grid, par_map, record_trace, run_sweep,
-    run_sweep_emulated, run_sweep_with, trace_file_name, trace_len, SweepPoint, TraceSet,
-    TRACE_SLACK,
+    default_threads, distinct_workloads, full_grid, grid, par_map, par_map_caught, record_trace,
+    run_sweep, run_sweep_emulated, run_sweep_with, trace_file_name, trace_len, try_record_trace,
+    SweepPoint, TraceProvenance, TraceSet, TRACE_SLACK,
 };
 pub use workload::Workload;
 
@@ -92,6 +98,64 @@ pub fn trace_dir_from_args(args: &[String]) -> Option<std::path::PathBuf> {
         .position(|a| a == "--trace-dir")
         .and_then(|i| args.get(i + 1))
         .map(std::path::PathBuf::from)
+}
+
+/// Parses the fault-tolerance flags out of `args`:
+///
+/// * `--journal FILE` — append completed sweep cells to `FILE` (the
+///   sweep journal) as they finish.
+/// * `--resume` — restore completed cells from the journal instead of
+///   re-running them. Implies a journal; without `--journal` it
+///   defaults to `sweep.journal` inside `--trace-dir` (or the current
+///   directory without one).
+/// * `--fault-plan FILE` — inject the deterministic faults listed in
+///   `FILE` (see [`FaultPlan::parse`] for the line syntax).
+/// * `--deadline-ms N` — soft per-cell deadline; slower cells are
+///   reported as timed out and their results discarded.
+///
+/// Returns `Ok(None)` when none of the flags are present (callers run
+/// the strict, fail-fast sweep), `Ok(Some(policy))` otherwise.
+pub fn resilience_from_args(args: &[String]) -> Result<Option<Resilience>, String> {
+    let value_of = |flag: &str| -> Result<Option<&String>, String> {
+        match args.iter().position(|a| a == flag) {
+            None => Ok(None),
+            Some(i) => args
+                .get(i + 1)
+                .filter(|v| !v.starts_with('-'))
+                .map(Some)
+                .ok_or_else(|| format!("{flag} needs a value")),
+        }
+    };
+    let journal = value_of("--journal")?;
+    let resume = args.iter().any(|a| a == "--resume");
+    let plan_path = value_of("--fault-plan")?;
+    let deadline_ms = value_of("--deadline-ms")?
+        .map(|v| {
+            v.parse::<u64>()
+                .map_err(|_| format!("--deadline-ms: not a number: `{v}`"))
+        })
+        .transpose()?;
+    if journal.is_none() && !resume && plan_path.is_none() && deadline_ms.is_none() {
+        return Ok(None);
+    }
+    let mut res = Resilience::new();
+    res.journal = match journal {
+        Some(path) => Some(std::path::PathBuf::from(path)),
+        // --resume without --journal: the conventional location.
+        None if resume => Some(
+            trace_dir_from_args(args)
+                .unwrap_or_default()
+                .join("sweep.journal"),
+        ),
+        None => None,
+    };
+    res.resume = resume;
+    res.deadline = deadline_ms.map(std::time::Duration::from_millis);
+    if let Some(path) = plan_path {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        res.plan = Some(std::sync::Arc::new(FaultPlan::parse(&text)?));
+    }
+    Ok(Some(res))
 }
 
 /// Parses the scenario-selection flags out of `args`:
@@ -283,6 +347,57 @@ mod tests {
         ]))
         .unwrap_err()
         .contains("duplicate"));
+    }
+
+    #[test]
+    fn resilience_flags_parse() {
+        assert_eq!(
+            resilience_from_args(&args(&["--quick", "--threads", "2"]))
+                .unwrap()
+                .map(|_| ()),
+            None
+        );
+        let r = resilience_from_args(&args(&["--journal", "j.log"]))
+            .unwrap()
+            .unwrap();
+        assert_eq!(r.journal.as_deref(), Some(std::path::Path::new("j.log")));
+        assert!(!r.resume);
+        assert!(r.rerecord && r.live_fallback, "graceful defaults");
+        // --resume defaults the journal into the trace dir.
+        let r = resilience_from_args(&args(&["--resume", "--trace-dir", "traces"]))
+            .unwrap()
+            .unwrap();
+        assert!(r.resume);
+        assert_eq!(
+            r.journal.as_deref(),
+            Some(std::path::Path::new("traces/sweep.journal"))
+        );
+        let r = resilience_from_args(&args(&["--deadline-ms", "1500"]))
+            .unwrap()
+            .unwrap();
+        assert_eq!(r.deadline, Some(std::time::Duration::from_millis(1500)));
+        assert!(resilience_from_args(&args(&["--journal"])).is_err());
+        assert!(resilience_from_args(&args(&["--deadline-ms", "soon"])).is_err());
+        assert!(resilience_from_args(&args(&["--fault-plan", "/nonexistent/plan"])).is_err());
+    }
+
+    #[test]
+    fn fault_plan_flag_loads_and_validates() {
+        let dir = std::env::temp_dir().join(format!("arvi-resflag-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("plan.faults");
+        std::fs::write(&path, "panic-cell 0\nkill-after 2\n").unwrap();
+        let r = resilience_from_args(&args(&["--fault-plan", path.to_str().unwrap()]))
+            .unwrap()
+            .unwrap();
+        assert_eq!(r.plan.as_ref().unwrap().len(), 2);
+        std::fs::write(&path, "warp-core-breach 1\n").unwrap();
+        assert!(
+            resilience_from_args(&args(&["--fault-plan", path.to_str().unwrap()]))
+                .unwrap_err()
+                .contains("unknown fault kind")
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -51,6 +51,43 @@ impl Json {
         out
     }
 
+    /// Renders on a single line with no whitespace — the sweep journal
+    /// stores one record per line, so a torn write (crash mid-append)
+    /// damages at most the final line.
+    pub fn render_compact(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    Json::write_escaped(out, k);
+                    out.push(':');
+                    v.write_compact(out);
+                }
+                out.push('}');
+            }
+            scalar => scalar.write(out, 0),
+        }
+    }
+
     fn write(&self, out: &mut String, depth: usize) {
         match self {
             Json::Null => out.push_str("null"),
@@ -382,6 +419,18 @@ mod tests {
         ]);
         let parsed = Json::parse(&v.render()).expect("round trip");
         assert_eq!(parsed, v);
+    }
+
+    #[test]
+    fn compact_rendering_is_single_line_and_round_trips() {
+        let v = Json::obj([
+            ("name", Json::str("li")),
+            ("acc", Json::Arr(vec![Json::Num(3.0), Json::Num(7.0)])),
+            ("nested", Json::obj([("cycles", Json::Num(12345.0))])),
+        ]);
+        let line = v.render_compact();
+        assert!(!line.contains('\n'));
+        assert_eq!(Json::parse(&line).expect("round trip"), v);
     }
 
     #[test]

@@ -1,0 +1,1150 @@
+//! Fault-tolerant sweeps: panic isolation, resumable runs, and a
+//! deterministic fault-injection harness.
+//!
+//! A full-spec grid is hours of compute; one corrupt cached trace or one
+//! panicking cell must not take the whole run down. This module makes
+//! the sweep pipeline crash-safe end to end:
+//!
+//! * **Per-cell fault isolation** — [`run_sweep_resilient`] runs every
+//!   grid cell under `catch_unwind` with a soft deadline, and reports a
+//!   structured [`CellOutcome`] per cell instead of aborting the grid.
+//!   Panics whose message carries
+//!   [`arvi_trace::REPLAY_PANIC_PREFIX`] are classified as trace
+//!   failures, everything else as a generic cell panic.
+//! * **Graceful degradation** — a corrupt on-disk trace is quarantined
+//!   (renamed `*.quarantined`, logged to `quarantine.log`) and
+//!   re-recorded once by [`TraceSet::record_resilient`]; if re-recording
+//!   is impossible the affected cells fall back to live emulation
+//!   through the `InstSource` seam. Replay is bit-identical to live
+//!   emulation, so a degraded sweep still reports the same numbers —
+//!   the degradation is recorded in the outcome, not in the data.
+//! * **Durability** — completed cells are journaled (fingerprint +
+//!   result, one line per cell, appended as cells finish) so an
+//!   interrupted sweep resumes by skipping finished cells
+//!   ([`Resilience::resume`]). Trace files themselves are written
+//!   atomically by `arvi-trace` (temp file + fsync + rename).
+//! * **Deterministic fault injection** — a [`FaultPlan`] (parsed from
+//!   `--fault-plan` text) flips bytes, truncates files, panics or
+//!   stalls chosen cells, and simulates a mid-grid kill, all
+//!   deterministically, so `tests/fault_injection.rs` and the CI fault
+//!   job exercise every failure path on demand.
+
+use std::collections::HashMap;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use arvi_sim::{intern_name, PredictorConfig, SimResult};
+use arvi_stats::Accuracy;
+use arvi_trace::{StdIo, TraceError, TraceIo, REPLAY_PANIC_PREFIX};
+
+use crate::harness::{run_one, run_one_traced, Spec};
+use crate::report::Json;
+use crate::sweep::{trace_len, SweepPoint, TraceSet};
+use crate::workload::{fnv1a, FNV_OFFSET};
+
+/// How a successful cell got its result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Degradation {
+    /// The normal path: replayed a healthy (or freshly recorded) trace,
+    /// or ran live because the sweep had no trace set at all.
+    None,
+    /// The cell's cached trace was corrupt; it was quarantined and the
+    /// workload re-recorded, and the cell replayed the re-recording.
+    Requarantined,
+    /// No usable trace existed (re-recording disabled or failed, or the
+    /// recording was too short); the cell fell back to live emulation.
+    LiveEmulation,
+}
+
+impl Degradation {
+    /// Short journal/report tag.
+    pub fn tag(self) -> &'static str {
+        match self {
+            Degradation::None => "none",
+            Degradation::Requarantined => "requarantined",
+            Degradation::LiveEmulation => "live-emulation",
+        }
+    }
+
+    fn from_tag(tag: &str) -> Option<Degradation> {
+        match tag {
+            "none" => Some(Degradation::None),
+            "requarantined" => Some(Degradation::Requarantined),
+            "live-emulation" => Some(Degradation::LiveEmulation),
+            _ => None,
+        }
+    }
+}
+
+/// A completed cell: the result plus how it was obtained.
+#[derive(Debug, Clone)]
+pub struct CellSuccess {
+    /// The simulation result (bit-identical regardless of degradation —
+    /// replay and live emulation see the same committed stream).
+    pub result: SimResult,
+    /// How the result was obtained.
+    pub degradation: Degradation,
+    /// Whether the result was restored from a journal instead of
+    /// simulated in this run.
+    pub resumed: bool,
+}
+
+/// The structured outcome of one grid cell under
+/// [`run_sweep_resilient`]: no cell failure aborts the grid.
+#[derive(Debug, Clone)]
+pub enum CellOutcome {
+    /// The cell produced a result.
+    Ok(CellSuccess),
+    /// The cell panicked (payload message attached). Trace-replay
+    /// panics are reported as [`CellOutcome::TraceError`] instead.
+    Panicked {
+        /// The panic payload, rendered.
+        message: String,
+    },
+    /// The cell completed but exceeded the soft deadline; its result is
+    /// discarded (and not journaled) so a wedged configuration cannot
+    /// silently dominate a sweep.
+    TimedOut {
+        /// How long the cell actually ran.
+        elapsed: Duration,
+        /// The configured deadline it exceeded.
+        deadline: Duration,
+    },
+    /// The cell could not obtain its instruction stream (corrupt trace
+    /// with fallback disabled, recording failure, replay corruption).
+    TraceError {
+        /// What went wrong.
+        message: String,
+    },
+    /// The cell was never dispatched (a simulated [`FaultKind::KillAfter`]
+    /// stopped the run first). Re-run with resume to complete it.
+    Skipped,
+}
+
+impl CellOutcome {
+    /// The success payload, if any.
+    pub fn success(&self) -> Option<&CellSuccess> {
+        match self {
+            CellOutcome::Ok(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// A short human label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            CellOutcome::Ok(s) if s.resumed => "ok (resumed)",
+            CellOutcome::Ok(_) => "ok",
+            CellOutcome::Panicked { .. } => "panicked",
+            CellOutcome::TimedOut { .. } => "timed out",
+            CellOutcome::TraceError { .. } => "trace error",
+            CellOutcome::Skipped => "skipped",
+        }
+    }
+
+    /// The failure reason, for everything except `Ok`.
+    pub fn failure(&self) -> Option<String> {
+        match self {
+            CellOutcome::Ok(_) => None,
+            CellOutcome::Panicked { message } => Some(format!("panicked: {message}")),
+            CellOutcome::TimedOut { elapsed, deadline } => Some(format!(
+                "timed out: ran {:.1}s past the {:.1}s deadline",
+                elapsed.as_secs_f64(),
+                deadline.as_secs_f64()
+            )),
+            CellOutcome::TraceError { message } => Some(format!("trace error: {message}")),
+            CellOutcome::Skipped => Some("skipped (run stopped before dispatch)".into()),
+        }
+    }
+}
+
+/// Fault-tolerance policy for a sweep. [`Resilience::default`] journals
+/// nothing, injects nothing, and degrades gracefully (quarantine +
+/// re-record + live fallback all on).
+#[derive(Debug, Clone, Default)]
+pub struct Resilience {
+    /// Where to journal completed cells (appended as cells finish).
+    pub journal: Option<PathBuf>,
+    /// Restore completed cells from the journal instead of re-running
+    /// them.
+    pub resume: bool,
+    /// Soft per-cell deadline: a cell that runs longer is reported as
+    /// [`CellOutcome::TimedOut`] and its result discarded. (Soft: the
+    /// check is post-hoc — safe Rust cannot preempt a running cell.)
+    pub deadline: Option<Duration>,
+    /// Deterministic fault plan (testing/CI only).
+    pub plan: Option<Arc<FaultPlan>>,
+    /// Re-record a workload whose cached trace was quarantined
+    /// (default `true`).
+    pub rerecord: bool,
+    /// Fall back to live emulation when no usable trace exists
+    /// (default `true`); with this off such cells report
+    /// [`CellOutcome::TraceError`].
+    pub live_fallback: bool,
+}
+
+impl Resilience {
+    /// The graceful-degradation defaults with no journal or fault plan.
+    pub fn new() -> Resilience {
+        Resilience {
+            journal: None,
+            resume: false,
+            deadline: None,
+            plan: None,
+            rerecord: true,
+            live_fallback: true,
+        }
+    }
+
+    /// Sets the journal path (builder style).
+    pub fn with_journal(mut self, path: impl Into<PathBuf>) -> Resilience {
+        self.journal = Some(path.into());
+        self
+    }
+
+    /// Enables resume-from-journal (builder style).
+    pub fn resuming(mut self) -> Resilience {
+        self.resume = true;
+        self
+    }
+
+    /// Sets the fault plan (builder style).
+    pub fn with_plan(mut self, plan: FaultPlan) -> Resilience {
+        self.plan = Some(Arc::new(plan));
+        self
+    }
+}
+
+/// One planned fault.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultKind {
+    /// XOR byte `offset` of the named workload's trace file with 0xFF
+    /// at read time.
+    FlipByte {
+        /// Workload whose trace file to corrupt.
+        workload: String,
+        /// Absolute byte offset into the container.
+        offset: u64,
+    },
+    /// Flip byte `byte` within the payload of chunk `chunk` (addressed
+    /// through the container index, so the fault lands in encoded
+    /// instruction data, not framing).
+    FlipChunkByte {
+        /// Workload whose trace file to corrupt.
+        workload: String,
+        /// Chunk index.
+        chunk: u32,
+        /// Byte offset within that chunk's payload.
+        byte: u32,
+    },
+    /// Truncate the named workload's trace file to `len` bytes at read
+    /// time.
+    Truncate {
+        /// Workload whose trace file to truncate.
+        workload: String,
+        /// Length to keep.
+        len: u64,
+    },
+    /// Panic inside grid cell `cell` (by dispatch index).
+    PanicCell {
+        /// Cell index into the sweep's point list.
+        cell: u32,
+    },
+    /// Sleep `millis` before running grid cell `cell` (drives the
+    /// deadline path deterministically).
+    StallCell {
+        /// Cell index into the sweep's point list.
+        cell: u32,
+        /// Milliseconds to stall.
+        millis: u64,
+    },
+    /// Stop dispatching new cells once `cells` cells have completed —
+    /// a deterministic stand-in for kill -9 mid-sweep.
+    KillAfter {
+        /// Completed-cell threshold.
+        cells: u32,
+    },
+}
+
+/// A deterministic, seed-free fault schedule, parsed from text
+/// (`--fault-plan FILE`). One fault per line, `#` comments and blank
+/// lines ignored:
+///
+/// ```text
+/// flip <workload> <offset>          # XOR one container byte at read
+/// flip-chunk <workload> <chunk> <byte>  # flip inside a chunk payload
+/// truncate <workload> <len>         # short read of the container
+/// panic-cell <index>                # panic inside grid cell <index>
+/// stall-cell <index> <millis>       # sleep before cell <index>
+/// kill-after <count>                # stop dispatch after <count> cells
+/// ```
+///
+/// Read faults fire **once** (the first read of a matching file), so a
+/// quarantine + re-record cycle observes the corruption exactly once
+/// and the re-recorded file reads back clean — the same once-ness a
+/// real corrupted file has.
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    faults: Vec<(FaultKind, AtomicBool)>,
+}
+
+impl FaultPlan {
+    /// Parses a plan from its text form. Errors name the offending line.
+    pub fn parse(text: &str) -> Result<FaultPlan, String> {
+        let mut faults = Vec::new();
+        for (ln, line) in text.lines().enumerate() {
+            let line = line.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let bad = |what: &str| format!("fault plan line {}: {what}: `{line}`", ln + 1);
+            let mut tok = line.split_whitespace();
+            let kind = tok.next().expect("non-empty line has a first token");
+            let fault = match kind {
+                "flip" | "truncate" => {
+                    let workload = tok.next().ok_or_else(|| bad("missing workload"))?;
+                    let n: u64 = tok
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or_else(|| bad("missing or bad number"))?;
+                    let workload = workload.to_string();
+                    if kind == "flip" {
+                        FaultKind::FlipByte {
+                            workload,
+                            offset: n,
+                        }
+                    } else {
+                        FaultKind::Truncate { workload, len: n }
+                    }
+                }
+                "flip-chunk" => {
+                    let workload = tok.next().ok_or_else(|| bad("missing workload"))?;
+                    let chunk: u32 = tok
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or_else(|| bad("missing or bad chunk index"))?;
+                    let byte: u32 = tok
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or_else(|| bad("missing or bad byte offset"))?;
+                    FaultKind::FlipChunkByte {
+                        workload: workload.to_string(),
+                        chunk,
+                        byte,
+                    }
+                }
+                "panic-cell" => FaultKind::PanicCell {
+                    cell: tok
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or_else(|| bad("missing or bad cell index"))?,
+                },
+                "stall-cell" => FaultKind::StallCell {
+                    cell: tok
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or_else(|| bad("missing or bad cell index"))?,
+                    millis: tok
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or_else(|| bad("missing or bad millis"))?,
+                },
+                "kill-after" => FaultKind::KillAfter {
+                    cells: tok
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or_else(|| bad("missing or bad cell count"))?,
+                },
+                _ => return Err(bad("unknown fault kind")),
+            };
+            if tok.next().is_some() {
+                return Err(bad("trailing tokens"));
+            }
+            faults.push((fault, AtomicBool::new(false)));
+        }
+        Ok(FaultPlan { faults })
+    }
+
+    /// Builds a plan from already-constructed faults (tests).
+    pub fn from_faults(kinds: impl IntoIterator<Item = FaultKind>) -> FaultPlan {
+        FaultPlan {
+            faults: kinds
+                .into_iter()
+                .map(|k| (k, AtomicBool::new(false)))
+                .collect(),
+        }
+    }
+
+    /// Number of planned faults.
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// Whether the plan is empty.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Atomically claims the first unfired fault `select` matches.
+    fn take(&self, select: impl Fn(&FaultKind) -> bool) -> Option<&FaultKind> {
+        for (kind, fired) in &self.faults {
+            if select(kind) && !fired.swap(true, Ordering::AcqRel) {
+                return Some(kind);
+            }
+        }
+        None
+    }
+
+    /// Claims a pending panic fault for cell `i`.
+    pub fn take_panic(&self, i: usize) -> bool {
+        self.take(|k| matches!(k, FaultKind::PanicCell { cell } if *cell as usize == i))
+            .is_some()
+    }
+
+    /// Claims a pending stall fault for cell `i`, returning the stall.
+    pub fn take_stall(&self, i: usize) -> Option<Duration> {
+        match self.take(|k| matches!(k, FaultKind::StallCell { cell, .. } if *cell as usize == i)) {
+            Some(FaultKind::StallCell { millis, .. }) => Some(Duration::from_millis(*millis)),
+            _ => None,
+        }
+    }
+
+    /// Whether a kill fault says to stop dispatching: `completed` cells
+    /// have finished and some `kill-after` threshold is reached. Sticky
+    /// (not consumed) — once tripped, every dispatcher sees it.
+    pub fn kill_now(&self, completed: usize) -> bool {
+        self.faults.iter().any(
+            |(k, _)| matches!(k, FaultKind::KillAfter { cells } if completed >= *cells as usize),
+        )
+    }
+
+    /// Applies pending read faults to `bytes` just read from `path`.
+    /// A fault matches when the file name starts with `<workload>-`
+    /// (how [`crate::sweep::trace_file_name`] keys files).
+    pub fn apply_read(&self, path: &Path, bytes: &mut Vec<u8>) {
+        let name = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or_default();
+        let matches = |workload: &str| name.starts_with(&format!("{workload}-"));
+        while let Some(kind) = self.take(|k| match k {
+            FaultKind::FlipByte { workload, .. }
+            | FaultKind::FlipChunkByte { workload, .. }
+            | FaultKind::Truncate { workload, .. } => matches(workload),
+            _ => false,
+        }) {
+            match kind {
+                FaultKind::FlipByte { offset, .. } => {
+                    let off = *offset as usize;
+                    if let Some(b) = bytes.get_mut(off) {
+                        *b ^= 0xFF;
+                    }
+                }
+                FaultKind::FlipChunkByte { chunk, byte, .. } => {
+                    // Address through the container index so the flip
+                    // lands in encoded payload; fall back to an absolute
+                    // offset if the container cannot be parsed.
+                    let off = arvi_trace::file::chunk_payload_span(bytes, *chunk as usize)
+                        .map(|(start, len)| start + (*byte as usize).min(len.saturating_sub(1)))
+                        .unwrap_or(*byte as usize);
+                    if let Some(b) = bytes.get_mut(off) {
+                        *b ^= 0xFF;
+                    }
+                }
+                FaultKind::Truncate { len, .. } => bytes.truncate(*len as usize),
+                _ => unreachable!("take matched a read fault"),
+            }
+        }
+    }
+}
+
+/// An [`arvi_trace::TraceIo`] that injects a [`FaultPlan`]'s read
+/// faults — the seam [`TraceSet::record_resilient`] reads traces
+/// through, so fault-injection tests corrupt bytes between disk and
+/// verification without touching real files.
+#[derive(Debug)]
+pub struct FaultyIo<'a> {
+    plan: &'a FaultPlan,
+}
+
+impl<'a> FaultyIo<'a> {
+    /// Wraps standard I/O with `plan`'s read faults.
+    pub fn new(plan: &'a FaultPlan) -> FaultyIo<'a> {
+        FaultyIo { plan }
+    }
+}
+
+impl TraceIo for FaultyIo<'_> {
+    fn read(&self, path: &Path) -> Result<Vec<u8>, TraceError> {
+        let mut bytes = StdIo.read(path)?;
+        self.plan.apply_read(path, &mut bytes);
+        Ok(bytes)
+    }
+
+    fn write_atomic(&self, path: &Path, bytes: &[u8]) -> Result<(), TraceError> {
+        StdIo.write_atomic(path, bytes)
+    }
+}
+
+/// Identity hash of one grid cell under one spec: everything that
+/// determines the cell's result. Journal entries are keyed by this, so
+/// a journal recorded under a different spec, workload knob set, depth
+/// or configuration can never satisfy a resume lookup.
+pub fn cell_fingerprint(point: &SweepPoint, spec: Spec) -> u64 {
+    let mut h = fnv1a(FNV_OFFSET, b"arvi-sweep-cell-v1");
+    h = fnv1a(h, &point.workload.fingerprint().to_le_bytes());
+    h = fnv1a(h, &spec.seed.to_le_bytes());
+    h = fnv1a(h, &spec.warmup.to_le_bytes());
+    h = fnv1a(h, &spec.measure.to_le_bytes());
+    h = fnv1a(h, &point.depth.stages().to_le_bytes());
+    h = fnv1a(h, &(config_index(point.config) as u64).to_le_bytes());
+    h
+}
+
+fn config_index(config: PredictorConfig) -> usize {
+    PredictorConfig::all()
+        .iter()
+        .position(|&c| c == config)
+        .expect("known config")
+}
+
+fn accuracy_json(a: Accuracy) -> Json {
+    Json::Arr(vec![
+        Json::Num(a.correct() as f64),
+        Json::Num(a.total() as f64),
+    ])
+}
+
+fn accuracy_from(json: &Json, path: &str) -> Option<Accuracy> {
+    match json.get(path)? {
+        Json::Arr(v) if v.len() == 2 => match (&v[0], &v[1]) {
+            (Json::Num(c), Json::Num(t)) if *c >= 0.0 && c <= t => {
+                Some(Accuracy::from_counts(*c as u64, *t as u64))
+            }
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+/// Serializes one completed cell for the journal. All counters fit f64
+/// exactly (they are bounded by the instruction window, far below 2^53).
+fn entry_json(result: &SimResult, degradation: Degradation) -> Json {
+    let w = &result.window;
+    Json::obj([
+        ("name", Json::str(result.name)),
+        ("config", Json::Num(config_index(result.config) as f64)),
+        ("depth", Json::Num(result.depth_stages as f64)),
+        ("degraded", Json::str(degradation.tag())),
+        (
+            "window",
+            Json::obj([
+                ("committed", Json::Num(w.committed as f64)),
+                ("cycles", Json::Num(w.cycles as f64)),
+                ("cond", accuracy_json(w.cond_branches)),
+                ("l1", accuracy_json(w.l1_only)),
+                ("calc", accuracy_json(w.calc_class)),
+                ("load", accuracy_json(w.load_class)),
+                ("overrides", Json::Num(w.overrides as f64)),
+                ("correcting", Json::Num(w.overrides_correcting as f64)),
+                ("bvit", Json::Num(w.bvit_hits as f64)),
+                ("full_misp", Json::Num(w.full_mispredicts as f64)),
+                ("restarts", Json::Num(w.override_restarts as f64)),
+            ]),
+        ),
+    ])
+}
+
+fn entry_from_json(json: &Json) -> Option<(SimResult, Degradation)> {
+    let name = match json.get("name")? {
+        Json::Str(s) => intern_name(s),
+        _ => return None,
+    };
+    let config = *PredictorConfig::all().get(json.num("config")? as usize)?;
+    let degradation = match json.get("degraded")? {
+        Json::Str(s) => Degradation::from_tag(s)?,
+        _ => return None,
+    };
+    let count = |path: &str| json.num(path).filter(|n| *n >= 0.0).map(|n| n as u64);
+    let window = arvi_sim::MachineStats {
+        committed: count("window.committed")?,
+        cycles: count("window.cycles")?,
+        cond_branches: accuracy_from(json, "window.cond")?,
+        l1_only: accuracy_from(json, "window.l1")?,
+        calc_class: accuracy_from(json, "window.calc")?,
+        load_class: accuracy_from(json, "window.load")?,
+        overrides: count("window.overrides")?,
+        overrides_correcting: count("window.correcting")?,
+        bvit_hits: count("window.bvit")?,
+        full_mispredicts: count("window.full_misp")?,
+        override_restarts: count("window.restarts")?,
+    };
+    Some((
+        SimResult {
+            name,
+            config,
+            depth_stages: json.num("depth")? as u64,
+            window,
+        },
+        degradation,
+    ))
+}
+
+/// Append-only journal of completed sweep cells: a header comment, then
+/// one `<fingerprint-hex16> <compact-json>` line per cell, appended
+/// (and flushed) as each cell finishes. Crash-tolerant on both ends: a
+/// torn final line from an interrupted writer is skipped (with a
+/// warning) by the loader, and everything before it still resumes.
+#[derive(Debug)]
+pub struct SweepJournal {
+    path: PathBuf,
+    file: Mutex<std::fs::File>,
+}
+
+impl SweepJournal {
+    /// Opens `path` for appending, writing a header line when the file
+    /// is new or empty.
+    pub fn open_append(path: &Path, spec: Spec) -> std::io::Result<SweepJournal> {
+        if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+            std::fs::create_dir_all(parent)?;
+        }
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        if file.metadata()?.len() == 0 {
+            writeln!(
+                file,
+                "# arvi sweep journal v1 seed={} warmup={} measure={}",
+                spec.seed, spec.warmup, spec.measure
+            )?;
+        }
+        Ok(SweepJournal {
+            path: path.to_path_buf(),
+            file: Mutex::new(file),
+        })
+    }
+
+    /// The journal's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Appends one completed cell. Persistence failures only warn — a
+    /// full disk must not fail the sweep itself.
+    pub fn append(&self, fingerprint: u64, result: &SimResult, degradation: Degradation) {
+        let line = format!(
+            "{fingerprint:016x} {}",
+            entry_json(result, degradation).render_compact()
+        );
+        let mut file = self.file.lock().expect("journal writer panicked");
+        if let Err(e) = writeln!(file, "{line}").and_then(|()| file.flush()) {
+            eprintln!(
+                "warning: cannot append to sweep journal {}: {e}",
+                self.path.display()
+            );
+        }
+    }
+
+    /// Loads every well-formed entry of the journal at `path`. A
+    /// missing file is an empty journal; malformed lines (e.g. a torn
+    /// final line from a crashed writer) are skipped with a warning.
+    pub fn load(path: &Path) -> HashMap<u64, (SimResult, Degradation)> {
+        let mut entries = HashMap::new();
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(_) => return entries,
+        };
+        for (ln, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let parsed = line.split_once(' ').and_then(|(fp, json)| {
+                let fp = u64::from_str_radix(fp, 16).ok()?;
+                let entry = entry_from_json(&Json::parse(json).ok()?)?;
+                Some((fp, entry))
+            });
+            match parsed {
+                Some((fp, entry)) => {
+                    entries.insert(fp, entry);
+                }
+                None => eprintln!(
+                    "warning: sweep journal {}: skipping malformed line {} \
+                     (torn write from an interrupted run?)",
+                    path.display(),
+                    ln + 1
+                ),
+            }
+        }
+        entries
+    }
+}
+
+/// Runs every grid point with per-cell fault isolation, returning one
+/// [`CellOutcome`] per point (item order, like
+/// [`crate::sweep::run_sweep_with`]). No cell failure aborts the grid.
+///
+/// With `traces` set, cells replay shared recordings exactly like the
+/// strict sweep; a workload without a usable recording degrades to live
+/// emulation (or to [`CellOutcome::TraceError`] when
+/// [`Resilience::live_fallback`] is off). With a journal configured,
+/// completed cells are appended as they finish; with
+/// [`Resilience::resume`], previously journaled cells are restored
+/// without re-running — restored results are bit-identical to simulated
+/// ones, they are the simulated ones.
+pub fn run_sweep_resilient(
+    points: &[SweepPoint],
+    spec: Spec,
+    threads: usize,
+    progress: bool,
+    traces: Option<&TraceSet>,
+    res: &Resilience,
+) -> Vec<CellOutcome> {
+    let prior = match (&res.journal, res.resume) {
+        (Some(path), true) => SweepJournal::load(path),
+        _ => HashMap::new(),
+    };
+    let journal = res.journal.as_ref().and_then(|path| {
+        SweepJournal::open_append(path, spec)
+            .map_err(|e| {
+                eprintln!(
+                    "warning: cannot open sweep journal {}: {e} (continuing without)",
+                    path.display()
+                )
+            })
+            .ok()
+    });
+
+    let threads = threads.clamp(1, points.len().max(1));
+    let cursor = AtomicUsize::new(0);
+    let completed = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<CellOutcome>>> = points.iter().map(|_| Mutex::new(None)).collect();
+    let worker = || loop {
+        if res
+            .plan
+            .as_deref()
+            .is_some_and(|p| p.kill_now(completed.load(Ordering::Acquire)))
+        {
+            break;
+        }
+        let i = cursor.fetch_add(1, Ordering::Relaxed);
+        let Some(point) = points.get(i) else { break };
+        if progress {
+            eprintln!("sweep: {point}");
+        }
+        let outcome = run_cell(i, point, spec, traces, res, &prior);
+        if let CellOutcome::Ok(s) = &outcome {
+            if !s.resumed {
+                if let Some(journal) = &journal {
+                    journal.append(cell_fingerprint(point, spec), &s.result, s.degradation);
+                }
+            }
+        }
+        *slots[i].lock().expect("outcome slot") = Some(outcome);
+        completed.fetch_add(1, Ordering::Release);
+    };
+    if threads == 1 {
+        worker();
+    } else {
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(worker);
+            }
+        });
+    }
+    slots
+        .into_iter()
+        .map(|s| {
+            s.into_inner()
+                .expect("outcome slot")
+                .unwrap_or(CellOutcome::Skipped)
+        })
+        .collect()
+}
+
+fn run_cell(
+    i: usize,
+    point: &SweepPoint,
+    spec: Spec,
+    traces: Option<&TraceSet>,
+    res: &Resilience,
+    prior: &HashMap<u64, (SimResult, Degradation)>,
+) -> CellOutcome {
+    if let Some((result, degradation)) = prior.get(&cell_fingerprint(point, spec)) {
+        return CellOutcome::Ok(CellSuccess {
+            result: result.clone(),
+            degradation: *degradation,
+            resumed: true,
+        });
+    }
+    let start = Instant::now();
+    let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        if let Some(plan) = res.plan.as_deref() {
+            if plan.take_panic(i) {
+                panic!("injected fault: panic in cell {i} ({point})");
+            }
+            if let Some(stall) = plan.take_stall(i) {
+                std::thread::sleep(stall);
+            }
+        }
+        let degrade = |reason: String| -> Result<(SimResult, Degradation), String> {
+            if res.live_fallback {
+                Ok((
+                    run_one(&point.workload, point.depth, point.config, spec),
+                    Degradation::LiveEmulation,
+                ))
+            } else {
+                Err(reason)
+            }
+        };
+        match traces {
+            None => Ok((
+                run_one(&point.workload, point.depth, point.config, spec),
+                Degradation::None,
+            )),
+            Some(traces) => match traces.get(&point.workload) {
+                Some(trace) if trace.len() >= trace_len(spec) => {
+                    let degradation = match traces.provenance(&point.workload) {
+                        Some(TraceProvenance::Rerecorded { corrupt: true }) => {
+                            Degradation::Requarantined
+                        }
+                        _ => Degradation::None,
+                    };
+                    Ok((
+                        run_one_traced(trace, point.depth, point.config, spec),
+                        degradation,
+                    ))
+                }
+                Some(trace) => degrade(format!(
+                    "trace {} holds {} instructions but the window needs {}",
+                    trace.name(),
+                    trace.len(),
+                    trace_len(spec)
+                )),
+                None => degrade(match traces.provenance(&point.workload) {
+                    Some(TraceProvenance::Unavailable { reason }) => reason.clone(),
+                    _ => format!("no recording for workload {}", point.workload),
+                }),
+            },
+        }
+    }));
+    let elapsed = start.elapsed();
+    match attempt {
+        Err(payload) => {
+            let message = panic_message(payload.as_ref());
+            if message.contains(REPLAY_PANIC_PREFIX) {
+                CellOutcome::TraceError { message }
+            } else {
+                CellOutcome::Panicked { message }
+            }
+        }
+        Ok(Err(message)) => CellOutcome::TraceError { message },
+        Ok(Ok((result, degradation))) => match res.deadline {
+            Some(deadline) if elapsed > deadline => CellOutcome::TimedOut { elapsed, deadline },
+            _ => CellOutcome::Ok(CellSuccess {
+                result,
+                degradation,
+                resumed: false,
+            }),
+        },
+    }
+}
+
+/// Renders a caught panic payload (the `&str`/`String` payloads `panic!`
+/// produces; anything else gets a placeholder).
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else {
+        match payload.downcast_ref::<String>() {
+            Some(s) => s.clone(),
+            None => "<non-string panic payload>".to_string(),
+        }
+    }
+}
+
+/// A sweep that did not complete every cell: which cells failed and
+/// why. Rendered with a resume hint.
+#[derive(Debug, Clone)]
+pub struct SweepIncomplete {
+    /// Cells in the grid.
+    pub total: usize,
+    /// Failed/skipped cells: `(index, point, reason)`.
+    pub failed: Vec<(usize, String, String)>,
+}
+
+impl std::fmt::Display for SweepIncomplete {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "sweep incomplete: {} of {} cells did not finish:",
+            self.failed.len(),
+            self.total
+        )?;
+        for (i, point, reason) in &self.failed {
+            writeln!(f, "  cell {i} ({point}): {reason}")?;
+        }
+        write!(
+            f,
+            "completed cells are journaled; re-run with --resume to finish the rest"
+        )
+    }
+}
+
+impl std::error::Error for SweepIncomplete {}
+
+/// Unwraps a resilient sweep into plain results, or reports every
+/// failed cell. `outcomes` must be [`run_sweep_resilient`]'s output for
+/// `points`.
+pub fn collect_results(
+    points: &[SweepPoint],
+    outcomes: Vec<CellOutcome>,
+) -> Result<Vec<SimResult>, SweepIncomplete> {
+    assert_eq!(points.len(), outcomes.len(), "one outcome per point");
+    let mut results = Vec::with_capacity(outcomes.len());
+    let mut failed = Vec::new();
+    for (i, (point, outcome)) in points.iter().zip(outcomes).enumerate() {
+        match outcome {
+            CellOutcome::Ok(s) => results.push(s.result),
+            other => failed.push((
+                i,
+                point.to_string(),
+                other.failure().expect("non-ok outcome has a reason"),
+            )),
+        }
+    }
+    if failed.is_empty() {
+        Ok(results)
+    } else {
+        Err(SweepIncomplete {
+            total: points.len(),
+            failed,
+        })
+    }
+}
+
+/// One-line degradation/resume summary of a resilient sweep, or `None`
+/// when every cell ran the normal path (nothing worth reporting).
+pub fn outcome_summary(outcomes: &[CellOutcome]) -> Option<String> {
+    let mut resumed = 0usize;
+    let mut requarantined = 0usize;
+    let mut live = 0usize;
+    let mut failed = 0usize;
+    for o in outcomes {
+        match o {
+            CellOutcome::Ok(s) => {
+                resumed += s.resumed as usize;
+                match s.degradation {
+                    Degradation::None => {}
+                    Degradation::Requarantined => requarantined += 1,
+                    Degradation::LiveEmulation => live += 1,
+                }
+            }
+            _ => failed += 1,
+        }
+    }
+    if resumed + requarantined + live + failed == 0 {
+        return None;
+    }
+    let mut parts = Vec::new();
+    if resumed > 0 {
+        parts.push(format!("{resumed} resumed from journal"));
+    }
+    if requarantined > 0 {
+        parts.push(format!("{requarantined} replayed a re-recorded trace"));
+    }
+    if live > 0 {
+        parts.push(format!("{live} fell back to live emulation"));
+    }
+    if failed > 0 {
+        parts.push(format!("{failed} failed"));
+    }
+    Some(format!("resilience: {}", parts.join(", ")))
+}
+
+pub use crate::sweep::TraceProvenance;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arvi_sim::Depth;
+    use arvi_workloads::Benchmark;
+
+    fn point(b: Benchmark) -> SweepPoint {
+        SweepPoint {
+            workload: b.into(),
+            depth: Depth::D20,
+            config: PredictorConfig::ArviCurrent,
+        }
+    }
+
+    fn tiny_spec() -> Spec {
+        Spec {
+            warmup: 500,
+            measure: 1_500,
+            seed: 3,
+        }
+    }
+
+    #[test]
+    fn fault_plan_parses_every_kind_and_rejects_garbage() {
+        let plan = FaultPlan::parse(
+            "# a comment\n\
+             flip li 100\n\
+             flip-chunk go 2 7   # trailing comment\n\
+             truncate compress 64\n\
+             panic-cell 3\n\
+             stall-cell 1 250\n\
+             kill-after 5\n\
+             \n",
+        )
+        .unwrap();
+        assert_eq!(plan.len(), 6);
+        assert!(FaultPlan::parse("explode everything").is_err());
+        assert!(FaultPlan::parse("flip li").is_err());
+        assert!(FaultPlan::parse("panic-cell x").is_err());
+        assert!(FaultPlan::parse("kill-after 5 extra").is_err());
+    }
+
+    #[test]
+    fn faults_fire_exactly_once() {
+        let plan = FaultPlan::parse("panic-cell 2\nstall-cell 0 10\nkill-after 3").unwrap();
+        assert!(plan.take_panic(2));
+        assert!(!plan.take_panic(2), "one-shot");
+        assert!(!plan.take_panic(1));
+        assert_eq!(plan.take_stall(0), Some(Duration::from_millis(10)));
+        assert_eq!(plan.take_stall(0), None);
+        // kill-after is sticky, not consumed.
+        assert!(!plan.kill_now(2));
+        assert!(plan.kill_now(3));
+        assert!(plan.kill_now(4));
+    }
+
+    #[test]
+    fn read_faults_match_by_workload_prefix() {
+        let plan = FaultPlan::parse("flip li 1\ntruncate go 4").unwrap();
+        let mut li = vec![0u8; 8];
+        plan.apply_read(Path::new("/tmp/li-s3-w500-m1500.arvitrace"), &mut li);
+        assert_eq!(li[1], 0xFF);
+        // `li` fault must not fire on a different workload, and is spent.
+        let mut go = vec![0u8; 8];
+        plan.apply_read(Path::new("go-s3-w500-m1500.arvitrace"), &mut go);
+        assert_eq!(go.len(), 4);
+        assert!(go.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn cell_fingerprint_separates_every_axis() {
+        let spec = tiny_spec();
+        let base = point(Benchmark::Li);
+        let fp = cell_fingerprint(&base, spec);
+        assert_eq!(fp, cell_fingerprint(&base.clone(), spec), "stable");
+        let mut other = base.clone();
+        other.depth = Depth::D40;
+        assert_ne!(fp, cell_fingerprint(&other, spec));
+        let mut other = base.clone();
+        other.config = PredictorConfig::TwoLevelGskew;
+        assert_ne!(fp, cell_fingerprint(&other, spec));
+        assert_ne!(fp, cell_fingerprint(&point(Benchmark::Go), spec));
+        let mut spec2 = spec;
+        spec2.measure += 1;
+        assert_ne!(fp, cell_fingerprint(&base, spec2));
+        let mut spec3 = spec;
+        spec3.seed += 1;
+        assert_ne!(fp, cell_fingerprint(&base, spec3));
+    }
+
+    #[test]
+    fn journal_round_trips_results_exactly() {
+        let spec = tiny_spec();
+        let p = point(Benchmark::Compress);
+        let result = run_one(&p.workload, p.depth, p.config, spec);
+        let dir = std::env::temp_dir().join(format!("arvi-journal-test-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let path = dir.join("sweep.journal");
+        let journal = SweepJournal::open_append(&path, spec).unwrap();
+        journal.append(
+            cell_fingerprint(&p, spec),
+            &result,
+            Degradation::Requarantined,
+        );
+        drop(journal);
+        let loaded = SweepJournal::load(&path);
+        let (got, degradation) = loaded
+            .get(&cell_fingerprint(&p, spec))
+            .expect("entry present");
+        assert_eq!(*degradation, Degradation::Requarantined);
+        assert_eq!(got.name, result.name);
+        assert_eq!(got.config, result.config);
+        assert_eq!(got.depth_stages, result.depth_stages);
+        assert_eq!(got.window.committed, result.window.committed);
+        assert_eq!(got.window.cycles, result.window.cycles);
+        assert_eq!(got.window.cond_branches, result.window.cond_branches);
+        assert_eq!(got.window.l1_only, result.window.l1_only);
+        assert_eq!(got.window.calc_class, result.window.calc_class);
+        assert_eq!(got.window.load_class, result.window.load_class);
+        assert_eq!(got.window.overrides, result.window.overrides);
+        assert_eq!(
+            got.window.overrides_correcting,
+            result.window.overrides_correcting
+        );
+        assert_eq!(got.window.bvit_hits, result.window.bvit_hits);
+        assert_eq!(got.window.full_mispredicts, result.window.full_mispredicts);
+        assert_eq!(
+            got.window.override_restarts,
+            result.window.override_restarts
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn journal_loader_skips_torn_lines() {
+        let dir = std::env::temp_dir().join(format!("arvi-torn-test-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let spec = tiny_spec();
+        let p = point(Benchmark::Li);
+        let result = run_one(&p.workload, p.depth, p.config, spec);
+        let path = dir.join("sweep.journal");
+        let journal = SweepJournal::open_append(&path, spec).unwrap();
+        journal.append(cell_fingerprint(&p, spec), &result, Degradation::None);
+        drop(journal);
+        // Simulate a crash mid-append: a torn, incomplete final line.
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text.push_str("deadbeefdeadbeef {\"name\":\"go\",\"config\":1,\"de");
+        std::fs::write(&path, text).unwrap();
+        let loaded = SweepJournal::load(&path);
+        assert_eq!(loaded.len(), 1, "good line kept, torn line dropped");
+        assert!(loaded.contains_key(&cell_fingerprint(&p, spec)));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn outcome_summary_counts_paths() {
+        let spec = tiny_spec();
+        let p = point(Benchmark::Li);
+        let result = run_one(&p.workload, p.depth, p.config, spec);
+        let ok = |degradation, resumed| {
+            CellOutcome::Ok(CellSuccess {
+                result: result.clone(),
+                degradation,
+                resumed,
+            })
+        };
+        assert_eq!(outcome_summary(&[ok(Degradation::None, false)]), None);
+        let summary = outcome_summary(&[
+            ok(Degradation::None, true),
+            ok(Degradation::LiveEmulation, false),
+            CellOutcome::Panicked {
+                message: "boom".into(),
+            },
+        ])
+        .unwrap();
+        assert!(summary.contains("1 resumed"));
+        assert!(summary.contains("1 fell back"));
+        assert!(summary.contains("1 failed"));
+    }
+}

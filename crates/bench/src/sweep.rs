@@ -22,10 +22,11 @@ use std::sync::{Arc, Mutex};
 
 use arvi_isa::Emulator;
 use arvi_sim::{Depth, PredictorConfig, SimResult};
-use arvi_trace::{Trace, TraceReplayer};
+use arvi_trace::{StdIo, Trace, TraceIo, TraceReplayer};
 use arvi_workloads::WorkloadSource;
 
 use crate::harness::{run_one, run_one_traced, Spec};
+use crate::resilience::Resilience;
 use crate::workload::Workload;
 
 /// Instructions recorded beyond `warmup + measure`: the machine fetches
@@ -44,6 +45,25 @@ pub fn trace_len(spec: Spec) -> u64 {
 pub fn record_trace(workload: &Workload, spec: Spec) -> Trace {
     let emu = Emulator::new(workload.program(spec.seed));
     Trace::record(emu, trace_len(spec), workload.name(), spec.seed)
+}
+
+/// [`record_trace`] with failures contained: a source that ends early
+/// returns [`arvi_trace::TraceError::SourceEnded`] and a panicking workload builder
+/// is caught and reported as an error string — the resilient recording
+/// path degrades the workload instead of taking the sweep down.
+pub fn try_record_trace(workload: &Workload, spec: Spec) -> Result<Trace, String> {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let emu = Emulator::new(workload.program(spec.seed));
+        Trace::try_record(emu, trace_len(spec), workload.name(), spec.seed)
+    }))
+    .map_err(|payload| {
+        format!(
+            "recording {} panicked: {}",
+            workload.name(),
+            crate::resilience::panic_message(payload.as_ref())
+        )
+    })?
+    .map_err(|e| e.to_string())
 }
 
 /// Canonical file name for a persisted trace: keyed by everything that
@@ -66,15 +86,43 @@ pub fn trace_file_name(workload: &Workload, spec: Spec) -> String {
     )
 }
 
+/// How a [`TraceSet`] obtained (or failed to obtain) one workload's
+/// recording.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceProvenance {
+    /// Freshly recorded (no usable cached file existed).
+    Recorded,
+    /// Loaded from a healthy cached file.
+    Loaded,
+    /// A cached file existed but was unusable and the workload was
+    /// re-recorded; `corrupt` says whether the old file failed
+    /// verification (and was quarantined) as opposed to being merely
+    /// stale (wrong window, silently overwritten).
+    Rerecorded {
+        /// The replaced file was corrupt (quarantined), not just stale.
+        corrupt: bool,
+    },
+    /// No recording could be obtained (re-recording disabled after a
+    /// quarantine, or recording itself failed); cells over this
+    /// workload must degrade to live emulation.
+    Unavailable {
+        /// Why the workload has no recording.
+        reason: String,
+    },
+}
+
 /// One shared recording per distinct workload of a sweep.
 ///
 /// Traces are wrapped in [`Arc`] and handed read-only to every grid
 /// cell and worker thread; each cell constructs a private
-/// [`TraceReplayer`] cursor over the shared bytes.
+/// [`TraceReplayer`] cursor over the shared bytes. Each entry also
+/// carries a [`TraceProvenance`] so the resilient sweep can report
+/// *how* a cell's stream was obtained (cache hit, quarantine +
+/// re-record, unavailable).
 #[derive(Debug, Clone)]
 pub struct TraceSet {
     spec: Spec,
-    traces: Vec<(Workload, Arc<Trace>)>,
+    traces: Vec<(Workload, Option<Arc<Trace>>, TraceProvenance)>,
 }
 
 impl TraceSet {
@@ -84,57 +132,139 @@ impl TraceSet {
     /// With `dir` set, recordings are persisted there under
     /// [`trace_file_name`] and valid existing files are loaded instead of
     /// re-recorded — so a second sweep over the same spec does no
-    /// functional execution at all. A file that is missing, corrupt
-    /// (checksum/format verification failure), or too short for the
-    /// window is re-recorded and rewritten; persistence failures only
-    /// warn (the in-memory recording still serves the sweep).
+    /// functional execution at all. A corrupt cached file is quarantined
+    /// (renamed `*.quarantined`, logged to `quarantine.log` in `dir`)
+    /// and the workload re-recorded; a stale file (wrong window) is
+    /// silently re-recorded and overwritten. Writes are atomic
+    /// (temp file + fsync + rename) and persistence failures only warn
+    /// (the in-memory recording still serves the sweep).
     pub fn record(
         workloads: &[Workload],
         spec: Spec,
         threads: usize,
         dir: Option<&Path>,
     ) -> TraceSet {
+        Self::record_resilient(workloads, spec, threads, dir, None)
+    }
+
+    /// [`TraceSet::record`] under an explicit [`Resilience`] policy:
+    /// the policy's fault plan (if any) is injected into trace reads,
+    /// and `rerecord: false` leaves a quarantined workload
+    /// [`TraceProvenance::Unavailable`] instead of re-recording it.
+    pub fn record_resilient(
+        workloads: &[Workload],
+        spec: Spec,
+        threads: usize,
+        dir: Option<&Path>,
+        res: Option<&Resilience>,
+    ) -> TraceSet {
         if let Some(dir) = dir {
             if let Err(e) = std::fs::create_dir_all(dir) {
                 eprintln!("warning: cannot create trace dir {}: {e}", dir.display());
             }
         }
+        let plan = res.and_then(|r| r.plan.as_deref());
+        let faulty = plan.map(crate::resilience::FaultyIo::new);
+        let io: &dyn TraceIo = match &faulty {
+            Some(faulty) => faulty,
+            None => &StdIo,
+        };
+        let rerecord = res.is_none_or(|r| r.rerecord);
         let traces = par_map(workloads, threads, |workload| {
-            Arc::new(Self::obtain(workload, spec, dir))
+            Self::obtain(workload, spec, dir, io, rerecord)
         });
         TraceSet {
             spec,
-            traces: workloads.iter().cloned().zip(traces).collect(),
+            traces: workloads
+                .iter()
+                .cloned()
+                .zip(traces)
+                .map(|(w, (t, p))| (w, t.map(Arc::new), p))
+                .collect(),
         }
     }
 
-    fn obtain(workload: &Workload, spec: Spec, dir: Option<&Path>) -> Trace {
+    fn obtain(
+        workload: &Workload,
+        spec: Spec,
+        dir: Option<&Path>,
+        io: &dyn TraceIo,
+        rerecord: bool,
+    ) -> (Option<Trace>, TraceProvenance) {
         let need = trace_len(spec);
         let path = dir.map(|d| d.join(trace_file_name(workload, spec)));
+        let mut prior_corrupt = false;
+        let mut prior_stale = false;
         if let Some(path) = &path {
-            match Trace::read_from(path) {
+            match Trace::read_from_with(path, io) {
                 Ok(t)
                     if t.len() >= need && t.seed() == spec.seed && t.name() == workload.name() =>
                 {
-                    return t;
+                    return (Some(t), TraceProvenance::Loaded);
                 }
-                Ok(_) => eprintln!(
-                    "trace {}: stale (wrong workload or window), re-recording",
-                    path.display()
-                ),
+                Ok(_) => {
+                    eprintln!(
+                        "trace {}: stale (wrong workload or window), re-recording",
+                        path.display()
+                    );
+                    prior_stale = true;
+                }
+                Err(e) if e.is_corruption() => {
+                    // Preserve the evidence, then recover: the corrupt
+                    // file moves aside so it cannot poison later runs.
+                    prior_corrupt = true;
+                    match io.quarantine(path) {
+                        Ok(moved) => {
+                            eprintln!(
+                                "trace {}: {e}; quarantined to {}",
+                                path.display(),
+                                moved.display()
+                            );
+                            log_quarantine(dir, path, &e, rerecord);
+                        }
+                        Err(qe) => eprintln!(
+                            "trace {}: {e}; quarantine failed ({qe}), re-recording in place",
+                            path.display()
+                        ),
+                    }
+                    if !rerecord {
+                        return (
+                            None,
+                            TraceProvenance::Unavailable {
+                                reason: format!(
+                                    "quarantined corrupt trace, re-recording disabled: {e}"
+                                ),
+                            },
+                        );
+                    }
+                }
                 Err(e) if path.exists() => {
-                    eprintln!("trace {}: {e}, re-recording", path.display())
+                    eprintln!("trace {}: {e}, re-recording", path.display());
+                    prior_stale = true;
                 }
                 Err(_) => {}
             }
         }
-        let t = record_trace(workload, spec);
+        let t = match try_record_trace(workload, spec) {
+            Ok(t) => t,
+            Err(reason) => {
+                eprintln!("warning: cannot record {}: {reason}", workload.name());
+                return (None, TraceProvenance::Unavailable { reason });
+            }
+        };
         if let Some(path) = &path {
-            if let Err(e) = t.write_to(path) {
+            if let Err(e) = t.write_to_with(path, io) {
                 eprintln!("warning: cannot persist trace {}: {e}", path.display());
             }
         }
-        t
+        let provenance = if prior_corrupt {
+            TraceProvenance::Rerecorded { corrupt: true }
+        } else if prior_stale {
+            TraceProvenance::Rerecorded { corrupt: false }
+        } else {
+            TraceProvenance::Recorded
+        };
+        (Some(t), provenance)
     }
 
     /// The spec the recordings cover.
@@ -142,18 +272,53 @@ impl TraceSet {
         self.spec
     }
 
-    /// The shared recording for `workload`, if it was recorded.
+    /// The shared recording for `workload`, if one was obtained.
     pub fn get(&self, workload: &Workload) -> Option<&Arc<Trace>> {
         self.traces
             .iter()
-            .find(|(w, _)| w == workload)
-            .map(|(_, t)| t)
+            .find(|(w, _, _)| w == workload)
+            .and_then(|(_, t, _)| t.as_ref())
+    }
+
+    /// How `workload`'s recording was obtained (or why it is missing);
+    /// `None` for a workload this set never covered.
+    pub fn provenance(&self, workload: &Workload) -> Option<&TraceProvenance> {
+        self.traces
+            .iter()
+            .find(|(w, _, _)| w == workload)
+            .map(|(_, _, p)| p)
     }
 
     /// A fresh replay cursor over `workload`'s shared recording.
     pub fn replayer(&self, workload: &Workload) -> Option<TraceReplayer> {
         self.get(workload)
             .map(|t| TraceReplayer::new(Arc::clone(t)))
+    }
+}
+
+/// Appends one line to `quarantine.log` in the trace directory
+/// describing a quarantined file and what the sweep did next. Best
+/// effort: logging failures only warn.
+fn log_quarantine(dir: Option<&Path>, path: &Path, err: &arvi_trace::TraceError, rerecord: bool) {
+    let Some(dir) = dir else { return };
+    let log = dir.join("quarantine.log");
+    let name = path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| path.display().to_string());
+    let action = if rerecord {
+        "re-recording"
+    } else {
+        "re-recording disabled; affected cells degrade to live emulation"
+    };
+    let line = format!("{name}: {err}; {action}\n");
+    let res = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&log)
+        .and_then(|mut f| std::io::Write::write_all(&mut f, line.as_bytes()));
+    if let Err(e) = res {
+        eprintln!("warning: cannot append to {}: {e}", log.display());
     }
 }
 
@@ -179,25 +344,65 @@ pub fn default_threads() -> usize {
 /// Applies `f` to every item on up to `threads` scoped workers and
 /// returns the results in item order (deterministic regardless of
 /// scheduling). `threads <= 1` degenerates to a plain sequential map.
+///
+/// # Panics
+///
+/// If `f` panics for any item, the *original* panic payload is
+/// propagated (after all items have been attempted) — not a secondary
+/// "slot poisoned" panic that would mask what actually went wrong.
 pub fn par_map<T, U, F>(items: &[T], threads: usize, f: F) -> Vec<U>
 where
     T: Sync,
     U: Send,
     F: Fn(&T) -> U + Sync,
 {
+    let mut out = Vec::with_capacity(items.len());
+    let mut first_panic = None;
+    for result in par_map_caught(items, threads, &f) {
+        match result {
+            Ok(v) => out.push(v),
+            Err(payload) => {
+                first_panic.get_or_insert(payload);
+            }
+        }
+    }
+    if let Some(payload) = first_panic {
+        std::panic::resume_unwind(payload);
+    }
+    out
+}
+
+/// [`par_map`] with each item's `f` call run under `catch_unwind`:
+/// `results[i]` is `Err(payload)` when `f(items[i])` panicked. The
+/// isolation primitive under both [`par_map`] and the resilient sweep —
+/// one panicking item never prevents the others from completing.
+pub fn par_map_caught<T, U, F>(
+    items: &[T],
+    threads: usize,
+    f: &F,
+) -> Vec<Result<U, Box<dyn std::any::Any + Send>>>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    let run = |item: &T| std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(item)));
     let threads = threads.clamp(1, items.len().max(1));
     if threads == 1 {
-        return items.iter().map(&f).collect();
+        return items.iter().map(run).collect();
     }
     let cursor = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<U>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    type Slot<U> = Mutex<Option<Result<U, Box<dyn std::any::Any + Send>>>>;
+    let slots: Vec<Slot<U>> = items.iter().map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|| loop {
                 let i = cursor.fetch_add(1, Ordering::Relaxed);
                 let Some(item) = items.get(i) else { break };
-                let out = f(item);
-                *slots[i].lock().expect("result slot poisoned") = Some(out);
+                let out = run(item);
+                // `run` cannot unwind (catch_unwind), so the lock is
+                // never poisoned.
+                *slots[i].lock().expect("result slot") = Some(out);
             });
         }
     });
@@ -205,7 +410,7 @@ where
         .into_iter()
         .map(|s| {
             s.into_inner()
-                .expect("result slot poisoned")
+                .expect("result slot")
                 .expect("worker filled every slot")
         })
         .collect()
@@ -334,6 +539,85 @@ mod tests {
         assert!(par_map(&empty, 8, |&x| x).is_empty());
         let one = vec![7u8];
         assert_eq!(par_map(&one, 16, |&x| x), vec![7]);
+    }
+
+    #[test]
+    fn par_map_propagates_the_original_panic_payload() {
+        let items: Vec<u32> = (0..16).collect();
+        let caught = std::panic::catch_unwind(|| {
+            par_map(&items, 4, |&x| {
+                if x == 5 {
+                    panic!("item {x} exploded");
+                }
+                x
+            })
+        })
+        .expect_err("must propagate the panic");
+        let message = crate::resilience::panic_message(caught.as_ref());
+        assert_eq!(message, "item 5 exploded");
+    }
+
+    #[test]
+    fn par_map_caught_isolates_failures_per_item() {
+        let items: Vec<u32> = (0..8).collect();
+        let results = par_map_caught(&items, 3, &|&x: &u32| {
+            if x % 3 == 0 {
+                panic!("bad {x}");
+            }
+            x * 2
+        });
+        for (i, r) in results.iter().enumerate() {
+            if i % 3 == 0 {
+                assert!(r.is_err(), "item {i}");
+            } else {
+                assert_eq!(*r.as_ref().unwrap(), i as u32 * 2);
+            }
+        }
+    }
+
+    #[test]
+    fn corrupt_cached_trace_is_quarantined_and_rerecorded() {
+        let spec = Spec {
+            warmup: 500,
+            measure: 1_000,
+            seed: 5,
+        };
+        let dir = std::env::temp_dir().join(format!("arvi-quarantine-test-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let workloads = [Workload::from(Benchmark::Go)];
+        let clean = TraceSet::record(&workloads, spec, 1, Some(&dir));
+        assert_eq!(
+            clean.provenance(&workloads[0]),
+            Some(&TraceProvenance::Recorded)
+        );
+        let path = dir.join(trace_file_name(&workloads[0], spec));
+        // Corrupt a payload byte on disk.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let recovered = TraceSet::record(&workloads, spec, 1, Some(&dir));
+        assert_eq!(
+            recovered.provenance(&workloads[0]),
+            Some(&TraceProvenance::Rerecorded { corrupt: true })
+        );
+        // Evidence preserved, replacement healthy, incident logged.
+        assert!(arvi_trace::quarantine_path(&path).exists());
+        assert!(path.exists());
+        let log = std::fs::read_to_string(dir.join("quarantine.log")).unwrap();
+        assert!(log.contains("go-"), "{log}");
+        // The re-recorded trace replays identically to the original.
+        let a: Vec<_> = clean.replayer(&workloads[0]).unwrap().collect();
+        let b: Vec<_> = recovered.replayer(&workloads[0]).unwrap().collect();
+        assert_eq!(a, b);
+        // Third run loads the healthy replacement from cache.
+        let reloaded = TraceSet::record(&workloads, spec, 1, Some(&dir));
+        assert_eq!(
+            reloaded.provenance(&workloads[0]),
+            Some(&TraceProvenance::Loaded)
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

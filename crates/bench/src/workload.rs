@@ -66,6 +66,31 @@ impl Workload {
             Workload::Scenario(s) => Some(s),
         }
     }
+
+    /// A stable identity hash over everything that determines the
+    /// workload's instruction stream (name, and for scenarios the full
+    /// knob fingerprint) — the workload component of a sweep-journal
+    /// cell fingerprint, so two scenarios sharing a name but differing
+    /// in knobs never satisfy each other's journal entries.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = fnv1a(FNV_OFFSET, self.name().as_bytes());
+        if let Some(s) = self.as_scenario() {
+            h = fnv1a(h, &s.fingerprint().to_le_bytes());
+        }
+        h
+    }
+}
+
+pub(crate) const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// FNV-1a over `bytes`, continuing from `state` (chainable).
+pub(crate) fn fnv1a(state: u64, bytes: &[u8]) -> u64 {
+    let mut h = state;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
 }
 
 impl WorkloadSource for Workload {
@@ -110,6 +135,21 @@ mod tests {
             let n = Emulator::new(program).take(2_000).count();
             assert_eq!(n, 2_000, "{w} halted early");
         }
+    }
+
+    #[test]
+    fn fingerprints_separate_same_named_scenarios() {
+        let a = Workload::scenario("x branch=datadep:8".parse().unwrap());
+        let b = Workload::scenario("x branch=datadep:16".parse().unwrap());
+        assert_eq!(a.name(), b.name());
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        // Stable across clones / re-parses.
+        let a2 = Workload::scenario("x branch=datadep:8".parse().unwrap());
+        assert_eq!(a.fingerprint(), a2.fingerprint());
+        assert_ne!(
+            Workload::from(Benchmark::Li).fingerprint(),
+            Workload::from(Benchmark::Go).fingerprint()
+        );
     }
 
     #[test]

@@ -28,6 +28,20 @@ impl Accuracy {
         Accuracy::default()
     }
 
+    /// Reconstructs an accumulator from exact counts (e.g. reloading a
+    /// sweep journal entry).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `correct > total`.
+    pub fn from_counts(correct: u64, total: u64) -> Accuracy {
+        assert!(
+            correct <= total,
+            "accuracy counts inconsistent: {correct} correct of {total}"
+        );
+        Accuracy { correct, total }
+    }
+
     /// Records one event.
     #[inline]
     pub fn record(&mut self, correct: bool) {

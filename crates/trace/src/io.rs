@@ -1,0 +1,146 @@
+//! The injectable file I/O seam under the trace container.
+//!
+//! Everything that moves container bytes between memory and disk goes
+//! through a [`TraceIo`] implementation. Production code uses [`StdIo`]
+//! (atomic, durable writes); the fault-injection harness in `arvi-bench`
+//! substitutes an implementation that deterministically corrupts,
+//! truncates or fails specific operations, so every degradation path in
+//! the sweep pipeline is exercised by real container bytes flowing
+//! through the real load/verify/quarantine code — not by mocked errors.
+
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use crate::TraceError;
+
+/// Extension appended to a trace file when it is quarantined: the file
+/// failed verification and was moved aside (preserving the evidence)
+/// so a healthy recording can take its place.
+pub const QUARANTINE_SUFFIX: &str = "quarantined";
+
+/// File operations the trace container performs, as an injectable seam.
+///
+/// All methods operate on whole container byte vectors — the container
+/// is read and written in one piece, so the seam stays small and a
+/// fault injector can corrupt bytes at exact offsets.
+pub trait TraceIo: Sync {
+    /// Reads the entire file at `path`.
+    fn read(&self, path: &Path) -> Result<Vec<u8>, TraceError>;
+
+    /// Writes `bytes` to `path` atomically: after this returns, `path`
+    /// holds either its previous content or all of `bytes`, never a
+    /// prefix. Implementations should also make the write durable
+    /// (fsync) before committing it.
+    fn write_atomic(&self, path: &Path, bytes: &[u8]) -> Result<(), TraceError>;
+
+    /// Moves the file at `path` aside under [`QUARANTINE_SUFFIX`],
+    /// returning the quarantine path. An existing quarantined file at
+    /// the target is replaced (the newest failure is the interesting
+    /// one).
+    fn quarantine(&self, path: &Path) -> Result<PathBuf, TraceError> {
+        let target = quarantine_path(path);
+        std::fs::rename(path, &target).map_err(|e| TraceError::from(e).for_path(path))?;
+        Ok(target)
+    }
+}
+
+/// The quarantine sibling of `path` (`foo.arvitrace` →
+/// `foo.arvitrace.quarantined`).
+pub fn quarantine_path(path: &Path) -> PathBuf {
+    let mut name = path.as_os_str().to_os_string();
+    name.push(".");
+    name.push(QUARANTINE_SUFFIX);
+    PathBuf::from(name)
+}
+
+/// The production [`TraceIo`]: plain reads, atomic durable writes.
+///
+/// Writes go to a temporary sibling (`<name>.tmp.<pid>`), are fsynced,
+/// and then renamed over the destination — a sweep killed mid-write
+/// leaves either the old file or the new one, never a torn container
+/// that would poison the next run's cache load.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct StdIo;
+
+impl TraceIo for StdIo {
+    fn read(&self, path: &Path) -> Result<Vec<u8>, TraceError> {
+        std::fs::read(path).map_err(|e| TraceError::from(e).for_path(path))
+    }
+
+    fn write_atomic(&self, path: &Path, bytes: &[u8]) -> Result<(), TraceError> {
+        let tmp = tmp_sibling(path);
+        let res = (|| -> Result<(), TraceError> {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(bytes)?;
+            // Durability before visibility: the rename must never
+            // publish a file whose bytes are still in flight.
+            f.sync_all()?;
+            std::fs::rename(&tmp, path)?;
+            Ok(())
+        })();
+        if res.is_err() {
+            // Best effort: do not leave the temp file behind.
+            std::fs::remove_file(&tmp).ok();
+        }
+        res.map_err(|e| e.for_path(path))
+    }
+}
+
+fn tmp_sibling(path: &Path) -> PathBuf {
+    let mut name = path.as_os_str().to_os_string();
+    name.push(format!(".tmp.{}", std::process::id()));
+    PathBuf::from(name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("arvi-io-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn atomic_write_round_trips_and_cleans_temp() {
+        let dir = temp_dir("atomic");
+        let path = dir.join("t.arvitrace");
+        StdIo.write_atomic(&path, b"first").unwrap();
+        assert_eq!(StdIo.read(&path).unwrap(), b"first");
+        StdIo.write_atomic(&path, b"second").unwrap();
+        assert_eq!(StdIo.read(&path).unwrap(), b"second");
+        // No temp droppings.
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name())
+            .filter(|n| n.to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(leftovers.is_empty(), "{leftovers:?}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn quarantine_moves_the_file_aside() {
+        let dir = temp_dir("quarantine");
+        let path = dir.join("bad.arvitrace");
+        std::fs::write(&path, b"corrupt").unwrap();
+        let moved = StdIo.quarantine(&path).unwrap();
+        assert!(!path.exists());
+        assert!(moved.exists());
+        assert!(moved.to_string_lossy().ends_with(".arvitrace.quarantined"));
+        // A second quarantine of a fresh failure replaces the old one.
+        std::fs::write(&path, b"corrupt again").unwrap();
+        StdIo.quarantine(&path).unwrap();
+        assert_eq!(std::fs::read(&moved).unwrap(), b"corrupt again");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn read_error_names_the_file() {
+        let err = StdIo
+            .read(Path::new("/nonexistent/nope.arvitrace"))
+            .unwrap_err();
+        assert!(err.to_string().contains("nope.arvitrace"), "{err}");
+    }
+}

@@ -51,12 +51,14 @@
 pub mod chunk;
 pub mod codec;
 pub mod file;
+pub mod io;
 pub mod replay;
 pub mod store;
 
 pub use chunk::DEFAULT_CHUNK_INSTS;
 pub use file::FORMAT_VERSION;
-pub use replay::{TraceReader, TraceReplayer};
+pub use io::{quarantine_path, StdIo, TraceIo, QUARANTINE_SUFFIX};
+pub use replay::{TraceReader, TraceReplayer, REPLAY_PANIC_PREFIX};
 pub use store::{ChunkInfo, Trace, TraceWriter};
 
 use std::fmt;
@@ -83,11 +85,70 @@ pub enum TraceError {
     FileChecksumMismatch,
     /// Structurally invalid data (with a human-readable reason).
     Corrupt(&'static str),
+    /// An error with the file it occurred on attached — the persistence
+    /// path wraps every failure in this, so a sweep over dozens of
+    /// cached traces reports *which* file failed and why instead of a
+    /// bare "checksum mismatch".
+    File {
+        /// The file the operation failed on.
+        path: std::path::PathBuf,
+        /// The underlying failure.
+        source: Box<TraceError>,
+    },
+    /// An injected fault (fault-injection harness only; never produced
+    /// by production I/O).
+    Injected(&'static str),
+    /// A recording source ended before the requested window was
+    /// covered (experiment workloads are expected to run indefinitely).
+    SourceEnded {
+        /// Instructions actually produced.
+        at: u64,
+        /// Instructions requested.
+        need: u64,
+    },
 }
 
 impl TraceError {
     pub(crate) fn corrupt(reason: &'static str) -> TraceError {
         TraceError::Corrupt(reason)
+    }
+
+    /// Wraps the error with the file it occurred on (idempotent: an
+    /// already-wrapped error keeps its innermost path).
+    pub fn for_path(self, path: &std::path::Path) -> TraceError {
+        match self {
+            TraceError::File { .. } => self,
+            other => TraceError::File {
+                path: path.to_path_buf(),
+                source: Box::new(other),
+            },
+        }
+    }
+
+    /// The underlying error with any [`TraceError::File`] context
+    /// stripped — what callers match on to classify a failure.
+    pub fn root(&self) -> &TraceError {
+        match self {
+            TraceError::File { source, .. } => source.root(),
+            other => other,
+        }
+    }
+
+    /// Whether the root cause is damaged or unreadable container data
+    /// (as opposed to an I/O error like a missing file): the condition
+    /// under which a cached trace is quarantined rather than silently
+    /// overwritten.
+    pub fn is_corruption(&self) -> bool {
+        matches!(
+            self.root(),
+            TraceError::BadMagic
+                | TraceError::BadVersion(_)
+                | TraceError::Truncated
+                | TraceError::ChecksumMismatch { .. }
+                | TraceError::FileChecksumMismatch
+                | TraceError::Corrupt(_)
+                | TraceError::Injected(_)
+        )
     }
 }
 
@@ -108,6 +169,13 @@ impl fmt::Display for TraceError {
                 write!(f, "file failed its whole-container CRC-32 checksum")
             }
             TraceError::Corrupt(reason) => write!(f, "corrupt trace: {reason}"),
+            TraceError::File { path, source } => {
+                write!(f, "trace file {}: {source}", path.display())
+            }
+            TraceError::Injected(what) => write!(f, "injected fault: {what}"),
+            TraceError::SourceEnded { at, need } => {
+                write!(f, "source ended at instruction {at} of {need}")
+            }
         }
     }
 }
@@ -116,6 +184,7 @@ impl std::error::Error for TraceError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             TraceError::Io(e) => Some(e),
+            TraceError::File { source, .. } => Some(source),
             _ => None,
         }
     }

@@ -8,6 +8,23 @@ use arvi_sim::InstSource;
 
 use crate::store::Trace;
 
+/// Prefix of every panic message raised by replay cursors on a corrupt
+/// chunk. File-loaded traces are fully verified at load and in-memory
+/// recordings are trusted, so this firing means the bytes changed
+/// *after* verification — a program bug or memory corruption, not an
+/// input condition. The resilient sweep runner (`arvi-bench`) matches
+/// on this prefix to classify such a panic as a trace failure rather
+/// than a generic cell panic.
+pub const REPLAY_PANIC_PREFIX: &str = "trace replay:";
+
+#[cold]
+fn corrupt_chunk_panic(chunk: usize, trace: &Trace, e: crate::TraceError) -> ! {
+    panic!(
+        "{REPLAY_PANIC_PREFIX} chunk {chunk} of trace {}: {e}",
+        trace.name()
+    )
+}
+
 /// Shared cursor logic over a trace, borrowed per call so it works for
 /// both the borrowing [`TraceReader`] and the owning [`TraceReplayer`].
 ///
@@ -46,7 +63,7 @@ impl Cursor {
             }
             trace
                 .decode_chunk_trusted(self.chunk, &mut self.buf)
-                .unwrap_or_else(|e| panic!("chunk {} of trace {}: {e}", self.chunk, trace.name()));
+                .unwrap_or_else(|e| corrupt_chunk_panic(self.chunk, trace, e));
             self.chunk += 1;
             self.pos = 0;
         }
@@ -73,7 +90,7 @@ impl Cursor {
             }
             trace
                 .decode_chunk_trusted(self.chunk, &mut self.buf)
-                .unwrap_or_else(|e| panic!("chunk {} of trace {}: {e}", self.chunk, trace.name()));
+                .unwrap_or_else(|e| corrupt_chunk_panic(self.chunk, trace, e));
             self.chunk += 1;
             self.pos = 0;
         }
@@ -106,7 +123,7 @@ impl Cursor {
             // Target lands inside this chunk: decode it and index in.
             trace
                 .decode_chunk_trusted(self.chunk, &mut self.buf)
-                .unwrap_or_else(|e| panic!("chunk {} of trace {}: {e}", self.chunk, trace.name()));
+                .unwrap_or_else(|e| corrupt_chunk_panic(self.chunk, trace, e));
             self.chunk += 1;
             self.pos = n as usize;
             skipped += n;

@@ -46,19 +46,34 @@ impl Trace {
     /// Panics if the source ends before `n` records — recorded windows
     /// must be fully covered (experiment workloads run indefinitely).
     pub fn record<I: Iterator<Item = DynInst>>(
-        mut source: I,
+        source: I,
         n: u64,
         name: impl Into<String>,
         seed: u64,
     ) -> Trace {
+        match Trace::try_record(source, n, name, seed) {
+            Ok(t) => t,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// [`Trace::record`] returning [`TraceError::SourceEnded`] instead
+    /// of panicking when the source runs dry — the resilient sweep path
+    /// records a degradation instead of taking the grid down.
+    pub fn try_record<I: Iterator<Item = DynInst>>(
+        mut source: I,
+        n: u64,
+        name: impl Into<String>,
+        seed: u64,
+    ) -> Result<Trace, TraceError> {
         let mut w = TraceWriter::new(name, seed);
         for i in 0..n {
             let d = source
                 .next()
-                .unwrap_or_else(|| panic!("source ended at instruction {i} of {n}"));
+                .ok_or(TraceError::SourceEnded { at: i, need: n })?;
             w.push(d);
         }
-        w.finish()
+        Ok(w.finish())
     }
 
     /// The recorded workload's name.

@@ -122,8 +122,19 @@ fn corrupted_file_is_rejected() {
         bad[at] ^= 0x04;
         std::fs::write(&path, &bad).unwrap();
         match Trace::read_from(&path) {
-            Err(TraceError::FileChecksumMismatch) => {}
-            other => panic!("flip at {at}: expected checksum mismatch, got {other:?}"),
+            // `read_from` wraps every failure with the file path; the
+            // classification lives at the root cause.
+            Err(e) => {
+                assert!(
+                    matches!(e.root(), TraceError::FileChecksumMismatch),
+                    "flip at {at}: expected checksum mismatch, got {e:?}"
+                );
+                assert!(
+                    e.to_string().contains("gcc.arvitrace"),
+                    "error names the file: {e}"
+                );
+            }
+            Ok(_) => panic!("flip at {at}: corrupt file loaded"),
         }
     }
 
