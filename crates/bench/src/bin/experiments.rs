@@ -5,6 +5,8 @@
 //!                     [--scenario NAME_OR_SPEC]... [--scenario-file FILE]
 //!                     [--journal FILE] [--resume] [--fault-plan FILE]
 //!                     [--deadline-ms N]
+//!                     [--probe counters,sites,trace] [--obs-out FILE]
+//!                     [--trace-cycles START:END] [--top-sites N]
 //!                     [--list-scenarios] [--list-benchmarks]`
 //!
 //! Each workload is functionally emulated exactly once (per run — or
@@ -19,9 +21,9 @@
 //! and `--resume` completes an interrupted run from its journal.
 
 use arvi_bench::{
-    fig5_tables_over, fig5_tables_resilient, handle_list_flags, paper_tables, resilience_from_args,
-    threads_from_args, trace_dir_from_args, workloads_from_args, Fig6Data, Spec, SweepIncomplete,
-    TraceSet,
+    fig5_tables_over, fig5_tables_resilient, handle_list_flags, maybe_obs_pass, paper_tables,
+    resilience_from_args, threads_from_args, trace_dir_from_args, workloads_from_args, Fig6Data,
+    Spec, SweepIncomplete, TraceSet,
 };
 use arvi_sim::{Depth, PredictorConfig};
 
@@ -143,6 +145,16 @@ fn main() {
     for (depth, cur, lb, perf) in headlines {
         println!("{depth:<10} {cur:<8.3} {lb:<10.3} {perf:<8.3}");
     }
+
+    // The evaluation's anchor cell: 20-stage, ARVI current value.
+    maybe_obs_pass(
+        &args,
+        &workloads,
+        Depth::D20,
+        PredictorConfig::ArviCurrent,
+        spec,
+        Some(&traces),
+    );
 
     if !incomplete.is_empty() {
         for e in &incomplete {

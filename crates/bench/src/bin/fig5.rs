@@ -6,6 +6,8 @@
 //!              [--scenario NAME_OR_SPEC]... [--scenario-file FILE]
 //!              [--journal FILE] [--resume] [--fault-plan FILE]
 //!              [--deadline-ms N]
+//!              [--probe counters,sites,trace] [--obs-out FILE]
+//!              [--trace-cycles START:END] [--top-sites N]
 //!              [--list-scenarios] [--list-benchmarks]`
 //!
 //! Runs the benchmark suite by default; any `--scenario`/
@@ -16,9 +18,11 @@
 //! from its journal.
 
 use arvi_bench::{
-    fig5_tables_over, fig5_tables_resilient, handle_list_flags, resilience_from_args,
-    threads_from_args, trace_dir_from_args, workloads_from_args, Spec, TraceSet,
+    fig5_tables_over, fig5_tables_resilient, handle_list_flags, maybe_obs_pass,
+    resilience_from_args, threads_from_args, trace_dir_from_args, workloads_from_args, Spec,
+    TraceSet,
 };
+use arvi_sim::{Depth, PredictorConfig};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -64,5 +68,14 @@ fn main() {
     println!(
         "== Figure 5(b): prediction accuracy, calculated vs load branches (20-stage, ARVI current value) ==\n{}",
         fig5b.to_text()
+    );
+    // Figure 5(b)'s anchor cell: 20-stage, ARVI current value.
+    maybe_obs_pass(
+        &args,
+        &workloads,
+        Depth::D20,
+        PredictorConfig::ArviCurrent,
+        spec,
+        Some(&traces),
     );
 }

@@ -5,6 +5,8 @@
 //!              [--scenario NAME_OR_SPEC]... [--scenario-file FILE]
 //!              [--journal FILE] [--resume] [--fault-plan FILE]
 //!              [--deadline-ms N]
+//!              [--probe counters,sites,trace] [--obs-out FILE]
+//!              [--trace-cycles START:END] [--top-sites N]
 //!              [--list-scenarios] [--list-benchmarks]`
 //!
 //! Runs the benchmark suite by default; any `--scenario`/
@@ -15,8 +17,8 @@
 //! from its journal.
 
 use arvi_bench::{
-    handle_list_flags, resilience_from_args, threads_from_args, trace_dir_from_args,
-    workloads_from_args, Fig6Data, Spec, TraceSet,
+    handle_list_flags, maybe_obs_pass, resilience_from_args, threads_from_args,
+    trace_dir_from_args, workloads_from_args, Fig6Data, Spec, TraceSet,
 };
 use arvi_sim::{Depth, PredictorConfig};
 
@@ -35,6 +37,10 @@ fn main() {
         "--journal",
         "--fault-plan",
         "--deadline-ms",
+        "--probe",
+        "--obs-out",
+        "--trace-cycles",
+        "--top-sites",
     ];
     let mut positional = None;
     let mut i = 0;
@@ -109,5 +115,14 @@ fn main() {
     println!(
         "          ARVI perfect value mean normalized IPC = {:.3} (paper: 1.251 at 20 stages)",
         data.mean_normalized_ipc(PredictorConfig::ArviPerfect)
+    );
+    // The figure's headline cell at the chosen depth.
+    maybe_obs_pass(
+        &args,
+        &workloads,
+        depth,
+        PredictorConfig::ArviCurrent,
+        spec,
+        Some(&traces),
     );
 }

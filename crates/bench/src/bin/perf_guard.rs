@@ -14,7 +14,9 @@
 //!   debug build, an accidentally quadratic loop), not noise.
 //!
 //! Prints a markdown delta table (pipe it into `$GITHUB_STEP_SUMMARY`
-//! in CI). Exit code 1 = at least one metric beyond its fail band.
+//! in CI); every gating metric is also named on stderr with its band
+//! and both values. Exit code 1 = at least one metric beyond its fail
+//! band. The comparison itself lives in `arvi_bench::guard`.
 //!
 //! Usage: `perf_guard --report PATH [--baseline PATH]`
 //!
@@ -22,7 +24,7 @@
 //! `cargo run --release -p arvi-bench --bin perf_report -- --quick`,
 //! then copy the `guardrail` values into `BENCH_BASELINE.json`.
 
-use arvi_bench::Json;
+use arvi_bench::{evaluate_guardrail, Json};
 
 fn arg_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
     args.iter()
@@ -47,70 +49,16 @@ fn main() {
 
     let report = load(report_path);
     let baseline = load(baseline_path);
-
-    let Some(Json::Arr(metrics)) = baseline.get("metrics") else {
-        eprintln!("perf_guard: {baseline_path} has no `metrics` array");
+    let outcome = evaluate_guardrail(&report, &baseline).unwrap_or_else(|e| {
+        eprintln!("perf_guard: {baseline_path}: {e}");
         std::process::exit(2);
-    };
+    });
 
-    let mut rows = Vec::new();
-    let mut worst = 0u8; // 0 ok, 1 warn, 2 fail
-    for m in metrics {
-        let key = match m.get("key") {
-            Some(Json::Str(k)) => k.clone(),
-            _ => {
-                eprintln!("perf_guard: metric without a key in {baseline_path}");
-                std::process::exit(2);
-            }
-        };
-        let base = m.num("baseline").expect("metric baseline value");
-        let warn_pct = m.num("warn_pct").expect("metric warn_pct");
-        let fail_pct = m.num("fail_pct").expect("metric fail_pct");
-        let higher_is_better = matches!(m.get("direction"), Some(Json::Str(d)) if d == "higher");
-
-        let current = match report.num(&format!("guardrail.{key}")) {
-            Some(v) => v,
-            None => {
-                rows.push((key, base, f64::NAN, f64::NAN, "❌ missing".to_string()));
-                worst = worst.max(2);
-                continue;
-            }
-        };
-        // Positive regression = worse than baseline, in percent.
-        let regression_pct = if higher_is_better {
-            (base - current) / base * 100.0
-        } else {
-            (current - base) / base * 100.0
-        };
-        let status = if regression_pct > fail_pct {
-            worst = worst.max(2);
-            format!("❌ fail (>{fail_pct:.0}%)")
-        } else if regression_pct > warn_pct {
-            worst = worst.max(1);
-            format!("⚠️ warn (>{warn_pct:.0}%)")
-        } else {
-            "✅ ok".to_string()
-        };
-        rows.push((key, base, current, regression_pct, status));
-    }
-
-    println!("## Perf guardrail ({report_path} vs {baseline_path})\n");
-    println!("| metric | baseline | current | regression | status |");
-    println!("|--------|---------:|--------:|-----------:|--------|");
-    for (key, base, current, reg, status) in &rows {
-        if current.is_nan() {
-            println!("| `{key}` | {base:.2} | — | — | {status} |");
-        } else {
-            println!("| `{key}` | {base:.2} | {current:.2} | {reg:+.1}% | {status} |");
+    print!("{}", outcome.to_markdown(report_path, baseline_path));
+    if outcome.gates() {
+        for failure in outcome.failures() {
+            eprintln!("perf_guard: {failure}");
         }
-    }
-    println!();
-    match worst {
-        0 => println!("All metrics within tolerance."),
-        1 => println!("Warnings only — within the fail band, watch the trend."),
-        _ => println!("Perf regression beyond the fail band."),
-    }
-    if worst >= 2 {
         std::process::exit(1);
     }
 }

@@ -1,6 +1,6 @@
 //! Performance report: quantifies the hot paths against their preserved
-//! baselines and emits a machine-readable `BENCH_PR5.json` so the perf
-//! trajectory is tracked PR over PR (`BENCH_PR1.json`–`BENCH_PR4.json`
+//! baselines and emits a machine-readable `BENCH_PR7.json` so the perf
+//! trajectory is tracked PR over PR (`BENCH_PR1.json`–`BENCH_PR6.json`
 //! preserve the earlier trails).
 //!
 //! 1. **Branch-path micro** — ns per branch of the packed-counter,
@@ -23,6 +23,13 @@
 //!    runner (`run_sweep_resilient`) with per-cell journaling on,
 //!    asserted bit-identical, reporting the fault-tolerance overhead
 //!    (catch_unwind + fingerprint + journal append per cell).
+//! 6. **Probe overhead** — the PR 7 observability seam: the ARVI
+//!    machine timed probe-off (`NullProbe`, what every sweep runs) vs
+//!    with the zero-alloc `CounterProbe` attached vs the full obs stack
+//!    (counters + per-site attribution), interleaved best-of-3, with
+//!    bit-identity asserted between all sides. Probe-off cost is
+//!    already gated by the `machine_*` guardrail metrics; the probe-on
+//!    numbers document what turning telemetry on costs.
 //!
 //! The `guardrail` section of the JSON is the flat metric set
 //! `perf_guard` compares against the checked-in `BENCH_BASELINE.json`
@@ -41,8 +48,11 @@ use arvi_bench::{
 };
 use arvi_bench::{conditional_branches, run_delayed, run_delayed_scalar};
 use arvi_core::{Ddt, DdtConfig, PhysReg};
+use arvi_obs::{CounterProbe, SiteProbe};
 use arvi_predict::{GskewConfig, TwoBcGskew};
-use arvi_sim::{intern_name, simulate_source, Depth, PredictorConfig, SimParams};
+use arvi_sim::{
+    intern_name, simulate_source, simulate_source_probed, Depth, PredictorConfig, SimParams,
+};
 use arvi_trace::{Trace, TraceReplayer};
 use arvi_workloads::Benchmark;
 
@@ -170,6 +180,79 @@ fn machine_micro(trace: &Arc<Trace>, config: PredictorConfig, spec: Spec) -> Mac
     }
 }
 
+struct ProbeSide {
+    off_ns: f64,
+    counters_ns: f64,
+    full_ns: f64,
+}
+
+/// Times the ARVI machine over a shared recording three ways — probe-off
+/// (`NullProbe`), with the `CounterProbe` attached, and with the full
+/// counters + per-site stack — interleaved so host drift hits all sides
+/// equally, asserting every side produces identical figures.
+fn probe_micro(trace: &Arc<Trace>, spec: Spec) -> ProbeSide {
+    let insts = (spec.warmup + spec.measure) as f64;
+    let name = intern_name(trace.name());
+    let params = || SimParams::for_depth(Depth::D20);
+    let config = PredictorConfig::ArviCurrent;
+    let mut off_s = f64::INFINITY;
+    let mut counters_s = f64::INFINITY;
+    let mut full_s = f64::INFINITY;
+    let mut off_window = None;
+    let mut full_window = None;
+    for _ in 0..3 {
+        let t0 = Instant::now();
+        let off = simulate_source(
+            name,
+            TraceReplayer::new(Arc::clone(trace)),
+            params(),
+            config,
+            spec.warmup,
+            spec.measure,
+        );
+        off_s = off_s.min(t0.elapsed().as_secs_f64());
+        off_window = Some(off.window);
+
+        let t0 = Instant::now();
+        let (_, probe) = simulate_source_probed(
+            name,
+            TraceReplayer::new(Arc::clone(trace)),
+            params(),
+            config,
+            spec.warmup,
+            spec.measure,
+            CounterProbe::new(),
+        );
+        counters_s = counters_s.min(t0.elapsed().as_secs_f64());
+        std::hint::black_box(probe.cycles);
+
+        let t0 = Instant::now();
+        let (full, probe) = simulate_source_probed(
+            name,
+            TraceReplayer::new(Arc::clone(trace)),
+            params(),
+            config,
+            spec.warmup,
+            spec.measure,
+            (CounterProbe::new(), SiteProbe::new()),
+        );
+        full_s = full_s.min(t0.elapsed().as_secs_f64());
+        std::hint::black_box(probe.1.sites);
+        full_window = Some(full.window);
+    }
+    let (o, f) = (off_window.unwrap(), full_window.unwrap());
+    assert_eq!(
+        (o.cycles, o.committed, o.cond_branches.correct()),
+        (f.cycles, f.committed, f.cond_branches.correct()),
+        "probed machine diverged from the probe-off machine on {name}"
+    );
+    ProbeSide {
+        off_ns: off_s * 1e9 / insts,
+        counters_ns: counters_s * 1e9 / insts,
+        full_ns: full_s * 1e9 / insts,
+    }
+}
+
 struct DdtSide {
     fast_ns: f64,
     naive_ns: f64,
@@ -229,7 +312,7 @@ fn main() {
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1))
         .map(String::as_str)
-        .unwrap_or("BENCH_PR5.json")
+        .unwrap_or("BENCH_PR7.json")
         .to_string();
 
     let (spec, micro_spec, ddt_iters) = if quick {
@@ -369,6 +452,19 @@ fn main() {
          ({resilient_overhead_pct:+.1}% overhead); bit-identical"
     );
 
+    // 6. Probe overhead: the observability seam probe-off vs probe-on.
+    eprintln!(
+        "perf_report: probe overhead (ARVI machine, m88ksim, off vs counters vs counters+sites, best of 3 interleaved)..."
+    );
+    let probe = probe_micro(&trace, micro_spec);
+    let counters_overhead_pct = (probe.counters_ns - probe.off_ns) / probe.off_ns * 100.0;
+    let full_overhead_pct = (probe.full_ns - probe.off_ns) / probe.off_ns * 100.0;
+    eprintln!(
+        "  probe-off {:.0} ns/inst | counters {:.0} ns/inst ({counters_overhead_pct:+.1}%) | \
+         counters+sites {:.0} ns/inst ({full_overhead_pct:+.1}%); figures identical",
+        probe.off_ns, probe.counters_ns, probe.full_ns,
+    );
+
     let side = |m: &MachineSide| {
         Json::obj([
             ("wheel_ns_per_inst", Json::Num(m.wheel_ns)),
@@ -378,10 +474,10 @@ fn main() {
         ])
     };
     let report = Json::obj([
-        ("pr", Json::Num(5.0)),
+        ("pr", Json::Num(7.0)),
         (
             "title",
-            Json::str("packed-counter branch path vs preserved scalar baseline"),
+            Json::str("observability probe seam: probe-off parity and probe-on cost"),
         ),
         (
             "host_cores",
@@ -455,6 +551,23 @@ fn main() {
                 ("resilient_s", Json::Num(resilient_s)),
                 ("resilient_overhead_pct", Json::Num(resilient_overhead_pct)),
                 ("resilient_bit_identical", Json::Bool(true)),
+            ]),
+        ),
+        (
+            "probe",
+            Json::obj([
+                ("workload", Json::str("m88ksim")),
+                ("config", Json::str("arvi_current")),
+                (
+                    "insts",
+                    Json::Num((micro_spec.warmup + micro_spec.measure) as f64),
+                ),
+                ("off_ns_per_inst", Json::Num(probe.off_ns)),
+                ("counters_ns_per_inst", Json::Num(probe.counters_ns)),
+                ("counters_overhead_pct", Json::Num(counters_overhead_pct)),
+                ("full_ns_per_inst", Json::Num(probe.full_ns)),
+                ("full_overhead_pct", Json::Num(full_overhead_pct)),
+                ("bit_identical", Json::Bool(true)),
             ]),
         ),
         // Flat metrics for the CI perf guardrail (perf_guard).

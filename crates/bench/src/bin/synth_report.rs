@@ -19,13 +19,15 @@
 //!
 //! Usage: `synth_report [--quick] [--threads N] [--trace-dir DIR] [--out PATH]
 //!                      [--scenario NAME_OR_SPEC]... [--scenario-file FILE]
+//!                      [--probe counters,sites,trace] [--obs-out FILE]
+//!                      [--trace-cycles START:END] [--top-sites N]
 //!                      [--list-scenarios] [--list-benchmarks]`
 
 use std::sync::Arc;
 
 use arvi_bench::{
-    grid, handle_list_flags, run_sweep_with, scenario_workloads_from_args, threads_from_args,
-    trace_dir_from_args, write_report, Json, Spec, TraceSet, Workload,
+    grid, handle_list_flags, maybe_obs_pass, run_sweep_with, scenario_workloads_from_args,
+    threads_from_args, trace_dir_from_args, write_report, Json, Spec, TraceSet, Workload,
 };
 use arvi_predict::{Bimodal, DirectionPredictor, Gshare, GskewConfig, Local, TwoBcGskew};
 use arvi_sim::{Depth, PredictorConfig, SimResult};
@@ -325,4 +327,14 @@ fn main() {
     ]);
     write_report(std::path::Path::new(&out_path), &report).expect("write BENCH json");
     eprintln!("synth_report: wrote {out_path}");
+
+    // The characterization's anchor cell: 20-stage, ARVI current value.
+    maybe_obs_pass(
+        &args,
+        &workloads,
+        Depth::D20,
+        PredictorConfig::ArviCurrent,
+        spec,
+        Some(&traces),
+    );
 }

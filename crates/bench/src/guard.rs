@@ -1,0 +1,275 @@
+//! The perf-guardrail evaluation: compares a `perf_report` JSON against
+//! the checked-in baseline, metric by metric. The `perf_guard` binary is
+//! a thin shell over [`evaluate_guardrail`]; the logic lives here so the
+//! band arithmetic and failure messages are unit-testable.
+
+use crate::report::Json;
+
+/// One metric's verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum MetricStatus {
+    /// Within the warn band.
+    Ok,
+    /// Past warn, within fail.
+    Warn,
+    /// Past the fail band — gates the build.
+    Fail,
+    /// The report has no value for this baseline metric — also gates.
+    Missing,
+}
+
+/// One baseline metric compared against the report.
+#[derive(Debug, Clone)]
+pub struct MetricRow {
+    /// Metric key (`guardrail.<key>` in the report).
+    pub key: String,
+    /// Baseline reference value.
+    pub baseline: f64,
+    /// The report's value (`None` when missing).
+    pub current: Option<f64>,
+    /// Regression in percent — positive means worse than baseline,
+    /// whatever the metric's direction.
+    pub regression_pct: Option<f64>,
+    /// Warn threshold in percent.
+    pub warn_pct: f64,
+    /// Fail threshold in percent.
+    pub fail_pct: f64,
+    /// The verdict.
+    pub status: MetricStatus,
+}
+
+impl MetricRow {
+    /// The failure message for a gating row: names the metric, the
+    /// regression, the band it broke, and both values. `None` for
+    /// ok/warn rows.
+    pub fn failure(&self) -> Option<String> {
+        match (self.status, self.current, self.regression_pct) {
+            (MetricStatus::Fail, Some(current), Some(reg)) => Some(format!(
+                "metric `{}` regressed {reg:.1}% (fail band >{:.0}%): \
+                 baseline {:.4}, current {current:.4}",
+                self.key, self.fail_pct, self.baseline
+            )),
+            (MetricStatus::Missing, _, _) => Some(format!(
+                "metric `{}` missing from the report's guardrail section \
+                 (baseline {:.4})",
+                self.key, self.baseline
+            )),
+            _ => None,
+        }
+    }
+}
+
+/// The full guardrail comparison.
+#[derive(Debug, Clone)]
+pub struct GuardOutcome {
+    /// One row per baseline metric, in baseline order.
+    pub rows: Vec<MetricRow>,
+}
+
+impl GuardOutcome {
+    /// The worst status across all rows ([`MetricStatus::Ok`] when the
+    /// baseline is empty).
+    pub fn worst(&self) -> MetricStatus {
+        self.rows
+            .iter()
+            .map(|r| r.status)
+            .max()
+            .unwrap_or(MetricStatus::Ok)
+    }
+
+    /// Whether the build must fail.
+    pub fn gates(&self) -> bool {
+        self.worst() >= MetricStatus::Fail
+    }
+
+    /// Every gating row's named failure message.
+    pub fn failures(&self) -> Vec<String> {
+        self.rows.iter().filter_map(MetricRow::failure).collect()
+    }
+
+    /// The markdown delta table plus verdict line (piped into
+    /// `$GITHUB_STEP_SUMMARY` by CI).
+    pub fn to_markdown(&self, report_path: &str, baseline_path: &str) -> String {
+        let mut out = format!("## Perf guardrail ({report_path} vs {baseline_path})\n\n");
+        out.push_str("| metric | baseline | current | regression | status |\n");
+        out.push_str("|--------|---------:|--------:|-----------:|--------|\n");
+        for r in &self.rows {
+            let status = match r.status {
+                MetricStatus::Ok => "✅ ok".to_string(),
+                MetricStatus::Warn => format!("⚠️ warn (>{:.0}%)", r.warn_pct),
+                MetricStatus::Fail => format!("❌ fail (>{:.0}%)", r.fail_pct),
+                MetricStatus::Missing => "❌ missing".to_string(),
+            };
+            match (r.current, r.regression_pct) {
+                (Some(current), Some(reg)) => out.push_str(&format!(
+                    "| `{}` | {:.2} | {current:.2} | {reg:+.1}% | {status} |\n",
+                    r.key, r.baseline
+                )),
+                _ => out.push_str(&format!(
+                    "| `{}` | {:.2} | — | — | {status} |\n",
+                    r.key, r.baseline
+                )),
+            }
+        }
+        out.push('\n');
+        out.push_str(match self.worst() {
+            MetricStatus::Ok => "All metrics within tolerance.",
+            MetricStatus::Warn => "Warnings only — within the fail band, watch the trend.",
+            _ => "Perf regression beyond the fail band.",
+        });
+        out.push('\n');
+        for failure in self.failures() {
+            out.push_str(&format!("- {failure}\n"));
+        }
+        out
+    }
+}
+
+/// Compares `report` (a `perf_report` JSON with a `guardrail` section)
+/// against `baseline` (a `metrics` array of
+/// `{key, baseline, direction, warn_pct, fail_pct}` objects). Errors
+/// name the malformed baseline entry; a metric absent from the report
+/// is a [`MetricStatus::Missing`] row, not an error.
+pub fn evaluate_guardrail(report: &Json, baseline: &Json) -> Result<GuardOutcome, String> {
+    let Some(Json::Arr(metrics)) = baseline.get("metrics") else {
+        return Err("baseline has no `metrics` array".to_string());
+    };
+    let mut rows = Vec::with_capacity(metrics.len());
+    for (i, m) in metrics.iter().enumerate() {
+        let key = match m.get("key") {
+            Some(Json::Str(k)) => k.clone(),
+            _ => return Err(format!("baseline metric {i} has no `key`")),
+        };
+        let field = |name: &str| {
+            m.num(name)
+                .ok_or_else(|| format!("baseline metric `{key}` has no numeric `{name}`"))
+        };
+        let base = field("baseline")?;
+        let warn_pct = field("warn_pct")?;
+        let fail_pct = field("fail_pct")?;
+        let higher_is_better = matches!(m.get("direction"), Some(Json::Str(d)) if d == "higher");
+
+        let (current, regression_pct, status) = match report.num(&format!("guardrail.{key}")) {
+            None => (None, None, MetricStatus::Missing),
+            Some(current) => {
+                // Positive regression = worse than baseline, in percent.
+                let reg = if higher_is_better {
+                    (base - current) / base * 100.0
+                } else {
+                    (current - base) / base * 100.0
+                };
+                let status = if reg > fail_pct {
+                    MetricStatus::Fail
+                } else if reg > warn_pct {
+                    MetricStatus::Warn
+                } else {
+                    MetricStatus::Ok
+                };
+                (Some(current), Some(reg), status)
+            }
+        };
+        rows.push(MetricRow {
+            key,
+            baseline: base,
+            current,
+            regression_pct,
+            warn_pct,
+            fail_pct,
+            status,
+        });
+    }
+    Ok(GuardOutcome { rows })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn baseline() -> Json {
+        Json::parse(
+            r#"{"metrics":[
+                {"key":"wheel_speedup_quick","baseline":2.0,"direction":"higher",
+                 "warn_pct":10,"fail_pct":25},
+                {"key":"machine_ns_per_cycle","baseline":100.0,"direction":"lower",
+                 "warn_pct":50,"fail_pct":150}
+            ]}"#,
+        )
+        .unwrap()
+    }
+
+    fn report(speedup: f64, ns: f64) -> Json {
+        Json::parse(&format!(
+            r#"{{"guardrail":{{"wheel_speedup_quick":{speedup},"machine_ns_per_cycle":{ns}}}}}"#
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn within_band_passes() {
+        let out = evaluate_guardrail(&report(1.95, 110.0), &baseline()).unwrap();
+        assert_eq!(out.worst(), MetricStatus::Ok);
+        assert!(!out.gates());
+        assert!(out.failures().is_empty());
+        let md = out.to_markdown("r.json", "b.json");
+        assert!(md.contains("All metrics within tolerance"), "{md}");
+    }
+
+    #[test]
+    fn failure_names_metric_and_band() {
+        // Speedup 2.0 -> 1.2 is a 40% regression on a higher-is-better
+        // metric with a 25% fail band.
+        let out = evaluate_guardrail(&report(1.2, 100.0), &baseline()).unwrap();
+        assert!(out.gates());
+        let failures = out.failures();
+        assert_eq!(failures.len(), 1);
+        assert!(
+            failures[0].contains("metric `wheel_speedup_quick` regressed 40.0%"),
+            "{}",
+            failures[0]
+        );
+        assert!(failures[0].contains("(fail band >25%)"), "{}", failures[0]);
+        assert!(
+            failures[0].contains("baseline 2.0000, current 1.2000"),
+            "{}",
+            failures[0]
+        );
+        let md = out.to_markdown("r.json", "b.json");
+        assert!(md.contains("Perf regression beyond the fail band"), "{md}");
+        assert!(md.contains("regressed 40.0%"), "{md}");
+    }
+
+    #[test]
+    fn warn_band_does_not_gate() {
+        // ns 100 -> 180: +80%, past warn (50) but inside fail (150).
+        let out = evaluate_guardrail(&report(2.0, 180.0), &baseline()).unwrap();
+        assert_eq!(out.worst(), MetricStatus::Warn);
+        assert!(!out.gates());
+        assert!(out.failures().is_empty());
+    }
+
+    #[test]
+    fn missing_metric_gates_with_name() {
+        let report = Json::parse(r#"{"guardrail":{"machine_ns_per_cycle":100.0}}"#).unwrap();
+        let out = evaluate_guardrail(&report, &baseline()).unwrap();
+        assert!(out.gates());
+        let failures = out.failures();
+        assert_eq!(failures.len(), 1);
+        assert!(
+            failures[0].contains("metric `wheel_speedup_quick` missing"),
+            "{}",
+            failures[0]
+        );
+    }
+
+    #[test]
+    fn malformed_baseline_is_a_named_error() {
+        let bad = Json::parse(r#"{"metrics":[{"key":"x","baseline":1.0}]}"#).unwrap();
+        let err = evaluate_guardrail(&report(2.0, 100.0), &bad).unwrap_err();
+        assert!(
+            err.contains("metric `x` has no numeric `warn_pct`"),
+            "{err}"
+        );
+        let none = Json::parse(r#"{"other":1}"#).unwrap();
+        assert!(evaluate_guardrail(&report(2.0, 100.0), &none).is_err());
+    }
+}

@@ -162,6 +162,11 @@ pub fn fig5_tables_resilient(
     if let Some(summary) = crate::resilience::outcome_summary(&outcomes) {
         eprintln!("{summary}");
     }
+    if let Some(timing) =
+        crate::resilience::timing_summary(&outcomes, traces.map(|t| t.record_elapsed()))
+    {
+        eprintln!("{timing}");
+    }
     let results = collect_results(&points, outcomes)?;
     Ok(fig5_assemble(workloads, &depths, &results))
 }
@@ -280,6 +285,11 @@ impl Fig6Data {
         let outcomes = run_sweep_resilient(&points, spec, threads, progress, traces, res);
         if let Some(summary) = crate::resilience::outcome_summary(&outcomes) {
             eprintln!("{summary}");
+        }
+        if let Some(timing) =
+            crate::resilience::timing_summary(&outcomes, traces.map(|t| t.record_elapsed()))
+        {
+            eprintln!("{timing}");
         }
         let flat = collect_results(&points, outcomes)?;
         Ok(Fig6Data::assemble(workloads, depth, flat))

@@ -45,6 +45,12 @@
 //! `--scenario NAME_OR_SPEC` / `--scenario-file FILE` and enumerate
 //! the registries with `--list-scenarios` / `--list-benchmarks`.
 //!
+//! The experiment binaries also accept the observability flags
+//! (`--probe counters,sites,trace`, `--obs-out FILE`,
+//! `--trace-cycles START:END`, `--top-sites N`): when present, an extra
+//! probed pass runs after the tables and emits counter histograms,
+//! per-branch-site attribution and/or a Chrome trace — see [`obs`].
+//!
 //! Criterion microbenchmarks (under `benches/`) measure the hardware
 //! structures themselves (DDT insert/chain-read, RSE extraction, BVIT
 //! lookup, predictor throughput, emulator and whole-machine speed).
@@ -53,22 +59,26 @@ pub mod baseline;
 mod baseline_machine;
 mod baseline_predict;
 pub mod branch_stream;
+pub mod guard;
 pub mod harness;
+pub mod obs;
 pub mod report;
 pub mod resilience;
 pub mod sweep;
 pub mod workload;
 
 pub use branch_stream::{conditional_branches, run_delayed, run_delayed_scalar, StreamRun};
+pub use guard::{evaluate_guardrail, GuardOutcome, MetricRow, MetricStatus};
 pub use harness::{
     fig5_tables, fig5_tables_over, fig5_tables_resilient, fig5_tables_threaded, fig5_tables_with,
     fig6_tables, paper_tables, run_one, run_one_traced, Fig6Data, Spec,
 };
+pub use obs::{maybe_obs_pass, obs_from_args, run_obs_pass, ObsConfig, ObsReport, WorkloadObs};
 pub use report::{write_report, Json};
 pub use resilience::{
-    cell_fingerprint, collect_results, outcome_summary, run_sweep_resilient, CellOutcome,
-    CellSuccess, Degradation, FaultKind, FaultPlan, FaultyIo, Resilience, SweepIncomplete,
-    SweepJournal,
+    cell_fingerprint, collect_results, outcome_summary, run_sweep_resilient, timing_summary,
+    CellOutcome, CellSuccess, Degradation, FaultKind, FaultPlan, FaultyIo, Resilience,
+    SweepIncomplete, SweepJournal,
 };
 pub use sweep::{
     default_threads, distinct_workloads, full_grid, grid, par_map, par_map_caught, record_trace,

@@ -90,6 +90,10 @@ pub struct CellSuccess {
     /// Whether the result was restored from a journal instead of
     /// simulated in this run.
     pub resumed: bool,
+    /// Wall-clock time the cell took. For resumed cells this is the
+    /// journaled duration of the original run (zero for entries written
+    /// by journals that predate duration tracking).
+    pub duration: Duration,
 }
 
 /// The structured outcome of one grid cell under
@@ -532,13 +536,14 @@ fn accuracy_from(json: &Json, path: &str) -> Option<Accuracy> {
 
 /// Serializes one completed cell for the journal. All counters fit f64
 /// exactly (they are bounded by the instruction window, far below 2^53).
-fn entry_json(result: &SimResult, degradation: Degradation) -> Json {
+fn entry_json(result: &SimResult, degradation: Degradation, duration: Duration) -> Json {
     let w = &result.window;
     Json::obj([
         ("name", Json::str(result.name)),
         ("config", Json::Num(config_index(result.config) as f64)),
         ("depth", Json::Num(result.depth_stages as f64)),
         ("degraded", Json::str(degradation.tag())),
+        ("dur_us", Json::Num(duration.as_micros() as f64)),
         (
             "window",
             Json::obj([
@@ -558,7 +563,7 @@ fn entry_json(result: &SimResult, degradation: Degradation) -> Json {
     ])
 }
 
-fn entry_from_json(json: &Json) -> Option<(SimResult, Degradation)> {
+fn entry_from_json(json: &Json) -> Option<(SimResult, Degradation, Duration)> {
     let name = match json.get("name")? {
         Json::Str(s) => intern_name(s),
         _ => return None,
@@ -568,6 +573,12 @@ fn entry_from_json(json: &Json) -> Option<(SimResult, Degradation)> {
         Json::Str(s) => Degradation::from_tag(s)?,
         _ => return None,
     };
+    // Optional: journals written before duration tracking lack it.
+    let duration = json
+        .num("dur_us")
+        .filter(|n| *n >= 0.0)
+        .map(|n| Duration::from_micros(n as u64))
+        .unwrap_or_default();
     let count = |path: &str| json.num(path).filter(|n| *n >= 0.0).map(|n| n as u64);
     let window = arvi_sim::MachineStats {
         committed: count("window.committed")?,
@@ -590,6 +601,7 @@ fn entry_from_json(json: &Json) -> Option<(SimResult, Degradation)> {
             window,
         },
         degradation,
+        duration,
     ))
 }
 
@@ -635,10 +647,16 @@ impl SweepJournal {
 
     /// Appends one completed cell. Persistence failures only warn — a
     /// full disk must not fail the sweep itself.
-    pub fn append(&self, fingerprint: u64, result: &SimResult, degradation: Degradation) {
+    pub fn append(
+        &self,
+        fingerprint: u64,
+        result: &SimResult,
+        degradation: Degradation,
+        duration: Duration,
+    ) {
         let line = format!(
             "{fingerprint:016x} {}",
-            entry_json(result, degradation).render_compact()
+            entry_json(result, degradation, duration).render_compact()
         );
         let mut file = self.file.lock().expect("journal writer panicked");
         if let Err(e) = writeln!(file, "{line}").and_then(|()| file.flush()) {
@@ -652,7 +670,7 @@ impl SweepJournal {
     /// Loads every well-formed entry of the journal at `path`. A
     /// missing file is an empty journal; malformed lines (e.g. a torn
     /// final line from a crashed writer) are skipped with a warning.
-    pub fn load(path: &Path) -> HashMap<u64, (SimResult, Degradation)> {
+    pub fn load(path: &Path) -> HashMap<u64, (SimResult, Degradation, Duration)> {
         let mut entries = HashMap::new();
         let text = match std::fs::read_to_string(path) {
             Ok(text) => text,
@@ -740,7 +758,12 @@ pub fn run_sweep_resilient(
         if let CellOutcome::Ok(s) = &outcome {
             if !s.resumed {
                 if let Some(journal) = &journal {
-                    journal.append(cell_fingerprint(point, spec), &s.result, s.degradation);
+                    journal.append(
+                        cell_fingerprint(point, spec),
+                        &s.result,
+                        s.degradation,
+                        s.duration,
+                    );
                 }
             }
         }
@@ -772,13 +795,14 @@ fn run_cell(
     spec: Spec,
     traces: Option<&TraceSet>,
     res: &Resilience,
-    prior: &HashMap<u64, (SimResult, Degradation)>,
+    prior: &HashMap<u64, (SimResult, Degradation, Duration)>,
 ) -> CellOutcome {
-    if let Some((result, degradation)) = prior.get(&cell_fingerprint(point, spec)) {
+    if let Some((result, degradation, duration)) = prior.get(&cell_fingerprint(point, spec)) {
         return CellOutcome::Ok(CellSuccess {
             result: result.clone(),
             degradation: *degradation,
             resumed: true,
+            duration: *duration,
         });
     }
     let start = Instant::now();
@@ -849,6 +873,7 @@ fn run_cell(
                 result,
                 degradation,
                 resumed: false,
+                duration: elapsed,
             }),
         },
     }
@@ -966,6 +991,75 @@ pub fn outcome_summary(outcomes: &[CellOutcome]) -> Option<String> {
     Some(format!("resilience: {}", parts.join(", ")))
 }
 
+/// End-of-grid timing report: total/min/mean/max per-cell wall-clock
+/// time, the record-vs-replay-vs-machine phase breakdown, and a log2
+/// duration histogram. `record_elapsed` is the trace-recording phase
+/// (from [`TraceSet::record_elapsed`]); `None` for sweeps with no trace
+/// set. Returns `None` when no cell ran in this process (e.g. a fully
+/// resumed grid).
+pub fn timing_summary(
+    outcomes: &[CellOutcome],
+    record_elapsed: Option<Duration>,
+) -> Option<String> {
+    let mut hist = arvi_obs::Log2Hist::new();
+    let mut replay = Duration::ZERO;
+    let mut replay_cells = 0usize;
+    let mut live = Duration::ZERO;
+    let mut live_cells = 0usize;
+    let mut resumed = 0usize;
+    let (mut min, mut max) = (Duration::MAX, Duration::ZERO);
+    for o in outcomes {
+        let Some(s) = o.success() else { continue };
+        if s.resumed {
+            resumed += 1;
+            continue;
+        }
+        match s.degradation {
+            Degradation::LiveEmulation => {
+                live += s.duration;
+                live_cells += 1;
+            }
+            Degradation::None | Degradation::Requarantined => {
+                replay += s.duration;
+                replay_cells += 1;
+            }
+        }
+        hist.record(s.duration.as_millis() as u64);
+        min = min.min(s.duration);
+        max = max.max(s.duration);
+    }
+    let cells = replay_cells + live_cells;
+    if cells == 0 {
+        return None;
+    }
+    let total = replay + live;
+    let secs = |d: Duration| d.as_secs_f64();
+    let mut out = format!(
+        "sweep timing: {cells} cells in {:.2}s wall (replay {:.2}s/{replay_cells}, \
+         machine {:.2}s/{live_cells}",
+        secs(total),
+        secs(replay),
+        secs(live),
+    );
+    if let Some(record) = record_elapsed {
+        out.push_str(&format!(", record phase {:.2}s", secs(record)));
+    }
+    if resumed > 0 {
+        out.push_str(&format!(", {resumed} resumed not re-timed"));
+    }
+    out.push_str(&format!(
+        "); per-cell min/mean/max {:.3}/{:.3}/{:.3}s\n",
+        secs(min),
+        secs(total) / cells as f64,
+        secs(max),
+    ));
+    out.push_str("cell duration histogram (ms):");
+    for (lo, n) in hist.nonzero_buckets() {
+        out.push_str(&format!(" [{}]={n}", arvi_obs::Log2Hist::bucket_label(lo)));
+    }
+    Some(out)
+}
+
 pub use crate::sweep::TraceProvenance;
 
 #[cfg(test)]
@@ -1071,13 +1165,15 @@ mod tests {
             cell_fingerprint(&p, spec),
             &result,
             Degradation::Requarantined,
+            Duration::from_micros(123_456),
         );
         drop(journal);
         let loaded = SweepJournal::load(&path);
-        let (got, degradation) = loaded
+        let (got, degradation, duration) = loaded
             .get(&cell_fingerprint(&p, spec))
             .expect("entry present");
         assert_eq!(*degradation, Degradation::Requarantined);
+        assert_eq!(*duration, Duration::from_micros(123_456));
         assert_eq!(got.name, result.name);
         assert_eq!(got.config, result.config);
         assert_eq!(got.depth_stages, result.depth_stages);
@@ -1110,7 +1206,12 @@ mod tests {
         let result = run_one(&p.workload, p.depth, p.config, spec);
         let path = dir.join("sweep.journal");
         let journal = SweepJournal::open_append(&path, spec).unwrap();
-        journal.append(cell_fingerprint(&p, spec), &result, Degradation::None);
+        journal.append(
+            cell_fingerprint(&p, spec),
+            &result,
+            Degradation::None,
+            Duration::ZERO,
+        );
         drop(journal);
         // Simulate a crash mid-append: a torn, incomplete final line.
         let mut text = std::fs::read_to_string(&path).unwrap();
@@ -1132,6 +1233,7 @@ mod tests {
                 result: result.clone(),
                 degradation,
                 resumed,
+                duration: Duration::from_millis(40),
             })
         };
         assert_eq!(outcome_summary(&[ok(Degradation::None, false)]), None);
@@ -1146,5 +1248,79 @@ mod tests {
         assert!(summary.contains("1 resumed"));
         assert!(summary.contains("1 fell back"));
         assert!(summary.contains("1 failed"));
+    }
+
+    #[test]
+    fn timing_summary_breaks_down_phases() {
+        let spec = tiny_spec();
+        let p = point(Benchmark::Li);
+        let result = run_one(&p.workload, p.depth, p.config, spec);
+        let ok = |degradation, resumed, ms| {
+            CellOutcome::Ok(CellSuccess {
+                result: result.clone(),
+                degradation,
+                resumed,
+                duration: Duration::from_millis(ms),
+            })
+        };
+        // Nothing ran in-process: resumed-only grids report no timing.
+        assert_eq!(
+            timing_summary(&[ok(Degradation::None, true, 70)], None),
+            None
+        );
+        let summary = timing_summary(
+            &[
+                ok(Degradation::None, false, 100),
+                ok(Degradation::LiveEmulation, false, 300),
+                ok(Degradation::None, true, 70), // resumed: excluded
+                CellOutcome::Panicked {
+                    message: "boom".into(),
+                },
+            ],
+            Some(Duration::from_millis(250)),
+        )
+        .unwrap();
+        assert!(summary.contains("2 cells in 0.40s"), "{summary}");
+        assert!(summary.contains("replay 0.10s/1"), "{summary}");
+        assert!(summary.contains("machine 0.30s/1"), "{summary}");
+        assert!(summary.contains("record phase 0.25s"), "{summary}");
+        assert!(summary.contains("1 resumed not re-timed"), "{summary}");
+        assert!(
+            summary.contains("min/mean/max 0.100/0.200/0.300s"),
+            "{summary}"
+        );
+        // 100ms -> [64-127], 300ms -> [256-511].
+        assert!(summary.contains("[64-127]=1"), "{summary}");
+        assert!(summary.contains("[256-511]=1"), "{summary}");
+    }
+
+    #[test]
+    fn journal_without_duration_field_still_loads() {
+        // Journals from before duration tracking lack `dur_us`; their
+        // entries must load with a zero duration, not be dropped.
+        let spec = tiny_spec();
+        let p = point(Benchmark::Li);
+        let result = run_one(&p.workload, p.depth, p.config, spec);
+        let dir = std::env::temp_dir().join(format!("arvi-olddur-test-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let path = dir.join("sweep.journal");
+        let journal = SweepJournal::open_append(&path, spec).unwrap();
+        journal.append(
+            cell_fingerprint(&p, spec),
+            &result,
+            Degradation::None,
+            Duration::from_millis(5),
+        );
+        drop(journal);
+        let text = std::fs::read_to_string(&path)
+            .unwrap()
+            .replace("\"dur_us\":5000,", "");
+        std::fs::write(&path, text).unwrap();
+        let loaded = SweepJournal::load(&path);
+        let (_, _, duration) = loaded
+            .get(&cell_fingerprint(&p, spec))
+            .expect("entry still loads");
+        assert_eq!(*duration, Duration::ZERO);
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -19,6 +19,7 @@
 use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 use arvi_isa::Emulator;
 use arvi_sim::{Depth, PredictorConfig, SimResult};
@@ -123,6 +124,7 @@ pub enum TraceProvenance {
 pub struct TraceSet {
     spec: Spec,
     traces: Vec<(Workload, Option<Arc<Trace>>, TraceProvenance)>,
+    record_elapsed: Duration,
 }
 
 impl TraceSet {
@@ -170,6 +172,7 @@ impl TraceSet {
             None => &StdIo,
         };
         let rerecord = res.is_none_or(|r| r.rerecord);
+        let start = Instant::now();
         let traces = par_map(workloads, threads, |workload| {
             Self::obtain(workload, spec, dir, io, rerecord)
         });
@@ -181,6 +184,7 @@ impl TraceSet {
                 .zip(traces)
                 .map(|(w, (t, p))| (w, t.map(Arc::new), p))
                 .collect(),
+            record_elapsed: start.elapsed(),
         }
     }
 
@@ -270,6 +274,14 @@ impl TraceSet {
     /// The spec the recordings cover.
     pub fn spec(&self) -> Spec {
         self.spec
+    }
+
+    /// Wall-clock time the record phase took (functional emulation
+    /// and/or disk loads, across all workloads). Feeds the
+    /// record-vs-replay phase breakdown in
+    /// [`crate::resilience::timing_summary`].
+    pub fn record_elapsed(&self) -> Duration {
+        self.record_elapsed
     }
 
     /// The shared recording for `workload`, if one was obtained.

@@ -102,6 +102,8 @@ pub struct ArviPrediction {
     pub leaf_regs: RegList,
     /// How many of `leaf_regs` had available values.
     pub available: usize,
+    /// Dependence-chain length walked to extract the register set.
+    pub chain_len: usize,
     /// Performance-counter value of the matched BVIT entry (0 on miss).
     pub perf: u8,
     /// Whether the matched entry's direction counter was saturated.
@@ -278,6 +280,7 @@ impl ArviPredictor {
             depth_tag,
             leaf_regs: leaf.regs.clone(),
             available,
+            chain_len: leaf.chain_len,
             perf: entry.map(|(_, perf, _)| perf).unwrap_or(0),
             strong: entry.map(|(.., strong)| strong).unwrap_or(false),
         }

@@ -110,6 +110,15 @@ impl BranchUnit {
         &self.level2
     }
 
+    /// Current dependence-tracker occupancy (0 for the hybrid L2).
+    #[inline]
+    pub fn ddt_occupancy(&self) -> usize {
+        match &self.level2 {
+            Level2::Hybrid(_) => 0,
+            Level2::Arvi(arvi) => arvi.tracker().occupancy(),
+        }
+    }
+
     /// The cycle at which a corrective level-2 override re-steers a
     /// fetch blocked at `now` — the wakeup time the machine schedules,
     /// kept with the unit that owns the latency.

@@ -115,6 +115,16 @@ impl Hierarchy {
     pub fn l2_stats(&self) -> (u64, u64) {
         (self.l2.hits(), self.l2.misses())
     }
+
+    /// (hits, misses) of the instruction TLB.
+    pub fn itlb_stats(&self) -> (u64, u64) {
+        (self.itlb.hits(), self.itlb.misses())
+    }
+
+    /// (hits, misses) of the data TLB.
+    pub fn dtlb_stats(&self) -> (u64, u64) {
+        (self.dtlb.hits(), self.dtlb.misses())
+    }
 }
 
 #[cfg(test)]

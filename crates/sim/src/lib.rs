@@ -57,7 +57,7 @@ pub use machine::{Machine, MachineStats, PcProfile};
 pub use oracle::{LoadBackOracle, PerfectOracle, ReadyOracle};
 pub use params::{ArviTuning, CacheConfig, Depth, PredictorConfig, SimParams, TlbConfig};
 pub use rename::RenameState;
-pub use run::{intern_name, simulate, simulate_source, SimResult};
+pub use run::{intern_name, simulate, simulate_source, simulate_source_probed, SimResult};
 pub use source::{InstSource, IterSource};
 pub use tlb::Tlb;
 pub use wheel::{EventWheel, SeqSet};

@@ -28,6 +28,7 @@ use std::collections::VecDeque;
 
 use arvi_core::{CurrentValues, PhysReg, RenamedOp};
 use arvi_isa::{DynInst, Emulator, InstKind};
+use arvi_obs::{BranchResolution, CacheSnapshot, NullProbe, Probe};
 use arvi_stats::Accuracy;
 
 use crate::branch_unit::{BranchDecision, BranchUnit};
@@ -238,7 +239,12 @@ pub struct PcProfile {
 /// The machine: owns the instruction source (live [`Emulator`] or a
 /// trace replayer — any [`InstSource`]), predictor stack, hierarchy and
 /// scheduling state.
-pub struct Machine<S: InstSource = Emulator> {
+///
+/// Generic over a [`Probe`] observing pipeline events; the default
+/// [`NullProbe`] monomorphizes every hook away, so an unprobed machine
+/// is bit- and speed-identical to the pre-probe machine
+/// (`tests/probe_equivalence.rs`, `perf_guard`).
+pub struct Machine<S: InstSource = Emulator, P: Probe = NullProbe> {
     params: SimParams,
     config: PredictorConfig,
     source: S,
@@ -276,6 +282,10 @@ pub struct Machine<S: InstSource = Emulator> {
     lb_window: u64,
     stats: MachineStats,
     profile: Option<std::collections::HashMap<u64, PcProfile>>,
+    /// Cycle at which fetch last entered `BranchBlocked` (mispredict
+    /// recovery depth = release cycle minus this).
+    blocked_since: u64,
+    probe: P,
     /// Reusable per-cycle buffers — the scheduler loop runs every cycle,
     /// so these must not be reallocated per call.
     due_scratch: Vec<u64>,
@@ -287,8 +297,20 @@ pub struct Machine<S: InstSource = Emulator> {
 
 impl<S: InstSource> Machine<S> {
     /// Builds a machine consuming `source`'s committed stream under
-    /// `config`.
+    /// `config`, with the no-op [`NullProbe`].
     pub fn new(source: S, params: SimParams, config: PredictorConfig) -> Machine<S> {
+        Machine::with_probe(source, params, config, NullProbe)
+    }
+}
+
+impl<S: InstSource, P: Probe> Machine<S, P> {
+    /// [`Machine::new`] with an explicit observation probe.
+    pub fn with_probe(
+        source: S,
+        params: SimParams,
+        config: PredictorConfig,
+        probe: P,
+    ) -> Machine<S, P> {
         let lb_window =
             params.fetch_width as u64 * (params.frontend_latency + params.l1_latency + 1);
         // A zero-latency front end would make an instruction issue-ready
@@ -330,6 +352,8 @@ impl<S: InstSource> Machine<S> {
             lb_window,
             stats: MachineStats::default(),
             profile: None,
+            blocked_since: 0,
+            probe,
             due_scratch: Vec::new(),
             eligible_scratch: Vec::new(),
             leftover_scratch: Vec::new(),
@@ -367,6 +391,26 @@ impl<S: InstSource> Machine<S> {
         &self.bu
     }
 
+    /// The observation probe.
+    pub fn probe(&self) -> &P {
+        &self.probe
+    }
+
+    /// Pushes end-of-run cache/TLB totals into the probe and consumes
+    /// the machine, returning the probe. Run harnesses call this once
+    /// after the measurement window.
+    pub fn into_probe(mut self) -> P {
+        let snap = CacheSnapshot {
+            l1i: self.hier.l1i_stats(),
+            l1d: self.hier.l1d_stats(),
+            l2: self.hier.l2_stats(),
+            itlb: self.hier.itlb_stats(),
+            dtlb: self.hier.dtlb_stats(),
+        };
+        self.probe.on_cache_stats(&snap);
+        self.probe
+    }
+
     #[inline]
     fn rob_is_empty(&self) -> bool {
         self.tail_seq == self.head_seq
@@ -389,6 +433,8 @@ impl<S: InstSource> Machine<S> {
     }
 
     fn step_cycle(&mut self) {
+        self.probe
+            .on_cycle(self.cycle, (self.head_seq - self.tail_seq) as u32);
         // One bucket probe serves the whole cycle: completions and due
         // issue candidates arrive together, tagged by the low bit.
         let mut due = std::mem::take(&mut self.due_scratch);
@@ -447,6 +493,7 @@ impl<S: InstSource> Machine<S> {
             }
             let seq = item >> 1;
             any = true;
+            self.probe.on_writeback(self.cycle, seq);
             let i = self.rob.idx(seq);
             let flags = self.rob.flags[i] | F_DONE;
             self.rob.flags[i] = flags;
@@ -477,6 +524,8 @@ impl<S: InstSource> Machine<S> {
                 // redirect costs one bubble before refetch).
                 if let FetchState::BranchBlocked { seq: blocked, .. } = self.fetch_state {
                     if blocked == seq {
+                        self.probe
+                            .on_recovery(self.cycle, self.cycle - self.blocked_since);
                         self.fetch_state = FetchState::Stalled {
                             until: self.cycle + 1,
                         };
@@ -518,11 +567,13 @@ impl<S: InstSource> Machine<S> {
             if self.tail_seq == self.head_seq {
                 break;
             }
-            let i = self.rob.idx(self.tail_seq);
+            let seq = self.tail_seq;
+            let i = self.rob.idx(seq);
             let flags = self.rob.flags[i];
             if flags & F_DONE == 0 {
                 break;
             }
+            self.probe.on_commit(self.cycle, seq);
             self.tail_seq += 1;
             let prev = self.rob.prev_phys[i];
             if prev != NO_REG {
@@ -549,6 +600,27 @@ impl<S: InstSource> Machine<S> {
     }
 
     fn record_branch_stats(&mut self, pc: u64, decision: &BranchDecision, actual: bool) {
+        if P::ENABLED {
+            self.probe.on_branch_resolve(
+                self.cycle,
+                pc,
+                &BranchResolution {
+                    actual,
+                    final_taken: decision.final_taken,
+                    l1_taken: decision.l1.taken,
+                    confident: decision.confident,
+                    override_fired: decision.override_fired,
+                    bvit_hit: decision
+                        .arvi
+                        .as_ref()
+                        .is_some_and(|ap| ap.direction.is_some()),
+                    load_class: decision
+                        .arvi
+                        .as_ref()
+                        .map(|ap| ap.class == arvi_core::BranchClass::Load),
+                },
+            );
+        }
         let correct = decision.final_taken == actual;
         self.stats.cond_branches.record(correct);
         self.stats.l1_only.record(decision.l1.taken == actual);
@@ -644,6 +716,8 @@ impl<S: InstSource> Machine<S> {
             self.timeline.schedule(self.cycle, self.cycle + 1, seq << 1);
         }
         self.leftover_scratch = leftovers;
+        self.probe
+            .on_issue(self.cycle, issued as u32, self.params.issue_width as u32);
         issued > 0
     }
 
@@ -655,9 +729,14 @@ impl<S: InstSource> Machine<S> {
         let latency = match kind {
             InstKind::IntMul => self.params.mul_latency,
             InstKind::IntDiv => self.params.div_latency,
-            InstKind::Load => 1 + self.hier.access_data(addr),
+            InstKind::Load => {
+                let lat = 1 + self.hier.access_data(addr);
+                self.probe.on_mem_access(self.cycle, seq, lat);
+                lat
+            }
             InstKind::Store => {
-                self.hier.access_data(addr);
+                let lat = self.hier.access_data(addr);
+                self.probe.on_mem_access(self.cycle, seq, lat);
                 self.unissued_stores.remove(seq);
                 self.unblock_loads();
                 1
@@ -757,6 +836,8 @@ impl<S: InstSource> Machine<S> {
     fn fetch_one(&mut self, d: DynInst) -> bool {
         let seq = d.seq;
         debug_assert_eq!(seq, self.head_seq);
+        self.probe
+            .on_fetch(self.cycle, seq, d.byte_pc(), d.is_branch(), d.is_load());
 
         // Source operands through the rename map.
         let src_phys = [
@@ -795,9 +876,27 @@ impl<S: InstSource> Machine<S> {
                         .decide(pc, src_phys, &PerfectOracle { rename }, actual)
                 }
             };
+            if P::ENABLED {
+                if let Some(ap) = &dec.arvi {
+                    self.probe.on_chain_read(
+                        self.cycle,
+                        pc,
+                        ap.chain_len as u32,
+                        ap.leaf_regs.len() as u32,
+                        ap.available as u32,
+                    );
+                }
+            }
             // Fetch disruption bookkeeping.
             if dec.final_taken != actual {
                 self.stats.full_mispredicts += 1;
+                self.probe.on_mispredict(
+                    self.cycle,
+                    seq,
+                    pc,
+                    (self.head_seq - self.tail_seq) as u32,
+                );
+                self.blocked_since = self.cycle;
                 self.fetch_state = FetchState::BranchBlocked {
                     seq,
                     resume_override: None,
@@ -805,6 +904,7 @@ impl<S: InstSource> Machine<S> {
             } else if dec.l1.taken != actual {
                 // The L2 override will re-steer fetch after its latency.
                 self.stats.override_restarts += 1;
+                self.blocked_since = self.cycle;
                 self.fetch_state = FetchState::BranchBlocked {
                     seq,
                     resume_override: Some(self.bu.resolve_override_at(self.cycle)),
@@ -832,6 +932,10 @@ impl<S: InstSource> Machine<S> {
                 is_load: d.is_load(),
             };
             self.bu.rename_op(&op, d.dest);
+            if P::ENABLED {
+                self.probe
+                    .on_ddt_insert(self.cycle, seq, self.bu.ddt_occupancy() as u32);
+            }
         }
 
         // Dataflow bookkeeping, written column-wise into the ring slot.
@@ -871,7 +975,7 @@ impl<S: InstSource> Machine<S> {
     }
 }
 
-impl<S: InstSource> std::fmt::Debug for Machine<S> {
+impl<S: InstSource, P: Probe> std::fmt::Debug for Machine<S, P> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Machine")
             .field("config", &self.config)

@@ -109,8 +109,38 @@ pub fn simulate_source<S: InstSource>(
     warmup: u64,
     measure: u64,
 ) -> SimResult {
+    let (result, arvi_obs::NullProbe) = simulate_source_probed(
+        name,
+        source,
+        params,
+        config,
+        warmup,
+        measure,
+        arvi_obs::NullProbe,
+    );
+    result
+}
+
+/// [`simulate_source`] with an observation [`Probe`](arvi_obs::Probe)
+/// attached; returns the result together with the probe (loaded with
+/// end-of-run cache/TLB totals). The probe observes warmup and
+/// measurement alike — callers wanting window-only telemetry should
+/// snapshot/merge themselves.
+///
+/// # Panics
+///
+/// Panics if the stream ends before the warmup completes.
+pub fn simulate_source_probed<S: InstSource, P: arvi_obs::Probe>(
+    name: &'static str,
+    source: S,
+    params: SimParams,
+    config: PredictorConfig,
+    warmup: u64,
+    measure: u64,
+    probe: P,
+) -> (SimResult, P) {
     let depth_stages = params.depth.stages();
-    let mut machine = Machine::new(source, params, config);
+    let mut machine = Machine::with_probe(source, params, config, probe);
     let committed = machine.run_until_committed(warmup);
     assert!(
         committed >= warmup,
@@ -119,12 +149,15 @@ pub fn simulate_source<S: InstSource>(
     let start = machine.stats().clone();
     machine.run_until_committed(warmup + measure);
     let window = machine.stats().since(&start);
-    SimResult {
-        name,
-        config,
-        depth_stages,
-        window,
-    }
+    (
+        SimResult {
+            name,
+            config,
+            depth_stages,
+            window,
+        },
+        machine.into_probe(),
+    )
 }
 
 #[cfg(test)]

@@ -18,6 +18,9 @@
 //!   with dependence-topology, branch-behavior-class and memory-pattern
 //!   knobs, runnable anywhere a benchmark runs.
 //! * [`stats`] — accuracy/IPC statistics and table formatting.
+//! * [`obs`] — the zero-cost probe seam and telemetry consumers
+//!   (counter/histogram probe, per-branch-site attribution, Chrome-trace
+//!   event tracer). See README "Observability".
 //! * [`apps`] — Section-3 applications of on-line dependence tracking.
 //!
 //! The per-instruction hot path (DDT insert, chain reads, leaf-set
@@ -35,6 +38,7 @@
 pub use arvi_apps as apps;
 pub use arvi_core as core;
 pub use arvi_isa as isa;
+pub use arvi_obs as obs;
 pub use arvi_predict as predict;
 pub use arvi_sim as sim;
 pub use arvi_stats as stats;

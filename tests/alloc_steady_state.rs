@@ -263,8 +263,43 @@ fn machine_cycle_loop_is_allocation_free() {
     }
 }
 
+fn counter_probe_machine_cycle_loop_is_allocation_free() {
+    use arvi::obs::CounterProbe;
+    use arvi::sim::{Machine, PredictorConfig, SimParams};
+    use arvi::synth::SynthSource;
+
+    // The probe seam with its heaviest always-on consumer attached:
+    // CounterProbe fires on every cycle, fetch, issue, writeback, commit
+    // and branch resolve, and its histograms are inline arrays — so the
+    // probed machine must be exactly as allocation-free in steady state
+    // as the bare one above. Same scenario string as the bare check: the
+    // scenario name seeds the generated program, and this one is known
+    // to reach its wait-list high-water marks within the warmup.
+    let spec: arvi::synth::ScenarioSpec =
+        "alloc-machine branch=datadep:16 chain=2 fanout=1 dead=1 gap=8 mem=stride:16"
+            .parse()
+            .expect("valid spec");
+    let src = SynthSource::new(&spec, 42);
+    let mut m = Machine::with_probe(
+        src,
+        SimParams::for_depth(arvi::sim::Depth::D20),
+        PredictorConfig::ArviCurrent,
+        CounterProbe::new(),
+    );
+    m.run_until_committed(150_000);
+    let n = allocations_during(|| {
+        m.run_until_committed(250_000);
+    });
+    assert_eq!(
+        n, 0,
+        "probed machine steady state allocated {n} times in 100k insts"
+    );
+    let probe = m.into_probe();
+    assert!(probe.cycles > 0 && probe.committed >= 250_000);
+}
+
 fn main() {
-    let checks: [(&str, fn()); 7] = [
+    let checks: [(&str, fn()); 8] = [
         (
             "branch_unit_predict_train_is_allocation_free",
             branch_unit_predict_train_is_allocation_free,
@@ -292,6 +327,10 @@ fn main() {
         (
             "machine_cycle_loop_is_allocation_free",
             machine_cycle_loop_is_allocation_free,
+        ),
+        (
+            "counter_probe_machine_cycle_loop_is_allocation_free",
+            counter_probe_machine_cycle_loop_is_allocation_free,
         ),
     ];
     for (name, check) in checks {
