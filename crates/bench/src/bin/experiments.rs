@@ -4,10 +4,17 @@
 //! Usage: `experiments [--quick] [--threads N] [--trace-dir DIR]
 //!                     [--scenario NAME_OR_SPEC]... [--scenario-file FILE]
 //!                     [--journal FILE] [--resume] [--fault-plan FILE]
-//!                     [--deadline-ms N]
+//!                     [--deadline-ms N] [--events-out FILE] [--metrics-out FILE]
 //!                     [--probe counters,sites,trace] [--obs-out FILE]
-//!                     [--trace-cycles START:END] [--top-sites N]
+//!                     [--obs-grid FILE] [--trace-cycles START:END] [--top-sites N]
 //!                     [--list-scenarios] [--list-benchmarks]`
+//!
+//! `--obs-grid FILE` re-runs the full evaluation grid (workloads × all
+//! depths × all configurations) with the counter and site probes
+//! attached and writes the merged per-`(workload, config)` rollup —
+//! the input for `obs_report`'s attribution diff. `--events-out` /
+//! `--metrics-out` stream structured sweep events (JSONL) and a
+//! Prometheus-style metrics snapshot from the resilient runner.
 //!
 //! Each workload is functionally emulated exactly once (per run — or
 //! once ever with `--trace-dir`), then every figure's grid replays the
@@ -21,9 +28,9 @@
 //! and `--resume` completes an interrupted run from its journal.
 
 use arvi_bench::{
-    fig5_tables_over, fig5_tables_resilient, handle_list_flags, maybe_obs_pass, paper_tables,
-    resilience_from_args, threads_from_args, trace_dir_from_args, workloads_from_args, Fig6Data,
-    Spec, SweepIncomplete, TraceSet,
+    fig5_tables_over, fig5_tables_resilient, grid, handle_list_flags, maybe_obs_grid,
+    maybe_obs_pass, paper_tables, resilience_from_args, threads_from_args, trace_dir_from_args,
+    workloads_from_args, Fig6Data, Spec, SweepIncomplete, TraceSet,
 };
 use arvi_sim::{Depth, PredictorConfig};
 
@@ -154,6 +161,15 @@ fn main() {
         PredictorConfig::ArviCurrent,
         spec,
         Some(&traces),
+    );
+    // The full evaluation grid, probed and merged (`--obs-grid`).
+    maybe_obs_grid(
+        &args,
+        &grid(&workloads, &Depth::all(), &PredictorConfig::all()),
+        spec,
+        threads,
+        Some(&traces),
+        resilience.as_ref(),
     );
 
     if !incomplete.is_empty() {

@@ -5,10 +5,14 @@
 //! Usage: `fig5 [--quick] [--threads N] [--trace-dir DIR]
 //!              [--scenario NAME_OR_SPEC]... [--scenario-file FILE]
 //!              [--journal FILE] [--resume] [--fault-plan FILE]
-//!              [--deadline-ms N]
+//!              [--deadline-ms N] [--events-out FILE] [--metrics-out FILE]
 //!              [--probe counters,sites,trace] [--obs-out FILE]
-//!              [--trace-cycles START:END] [--top-sites N]
+//!              [--obs-grid FILE] [--trace-cycles START:END] [--top-sites N]
 //!              [--list-scenarios] [--list-benchmarks]`
+//!
+//! `--obs-grid FILE` re-runs the figure's grid (workloads × all pipeline
+//! depths, ARVI current value) with the counter and site probes attached
+//! and writes the merged per-`(workload, config)` rollup.
 //!
 //! Runs the benchmark suite by default; any `--scenario`/
 //! `--scenario-file` flag switches the grid to the named synthetic
@@ -18,9 +22,9 @@
 //! from its journal.
 
 use arvi_bench::{
-    fig5_tables_over, fig5_tables_resilient, handle_list_flags, maybe_obs_pass,
-    resilience_from_args, threads_from_args, trace_dir_from_args, workloads_from_args, Spec,
-    TraceSet,
+    fig5_tables_over, fig5_tables_resilient, grid, handle_list_flags, maybe_obs_grid,
+    maybe_obs_pass, resilience_from_args, threads_from_args, trace_dir_from_args,
+    workloads_from_args, Spec, TraceSet,
 };
 use arvi_sim::{Depth, PredictorConfig};
 
@@ -77,5 +81,14 @@ fn main() {
         PredictorConfig::ArviCurrent,
         spec,
         Some(&traces),
+    );
+    // The figure's depth sweep, probed and merged (`--obs-grid`).
+    maybe_obs_grid(
+        &args,
+        &grid(&workloads, &Depth::all(), &[PredictorConfig::ArviCurrent]),
+        spec,
+        threads,
+        Some(&traces),
+        resilience.as_ref(),
     );
 }

@@ -4,10 +4,16 @@
 //! Usage: `fig6 [20|40|60] [--quick] [--threads N] [--trace-dir DIR]
 //!              [--scenario NAME_OR_SPEC]... [--scenario-file FILE]
 //!              [--journal FILE] [--resume] [--fault-plan FILE]
-//!              [--deadline-ms N]
+//!              [--deadline-ms N] [--events-out FILE] [--metrics-out FILE]
 //!              [--probe counters,sites,trace] [--obs-out FILE]
-//!              [--trace-cycles START:END] [--top-sites N]
+//!              [--obs-grid FILE] [--trace-cycles START:END] [--top-sites N]
 //!              [--list-scenarios] [--list-benchmarks]`
+//!
+//! `--obs-grid FILE` re-runs the figure's whole grid (workloads × all
+//! four configurations at the chosen depth) with the counter and site
+//! probes attached and writes the merged per-`(workload, config)`
+//! rollup — the input for `obs_report`'s ARVI-vs-baseline attribution
+//! diff.
 //!
 //! Runs the benchmark suite by default; any `--scenario`/
 //! `--scenario-file` flag switches the grid to the named synthetic
@@ -17,8 +23,8 @@
 //! from its journal.
 
 use arvi_bench::{
-    handle_list_flags, maybe_obs_pass, resilience_from_args, threads_from_args,
-    trace_dir_from_args, workloads_from_args, Fig6Data, Spec, TraceSet,
+    grid, handle_list_flags, maybe_obs_grid, maybe_obs_pass, resilience_from_args,
+    threads_from_args, trace_dir_from_args, workloads_from_args, Fig6Data, Spec, TraceSet,
 };
 use arvi_sim::{Depth, PredictorConfig};
 
@@ -39,8 +45,11 @@ fn main() {
         "--deadline-ms",
         "--probe",
         "--obs-out",
+        "--obs-grid",
         "--trace-cycles",
         "--top-sites",
+        "--events-out",
+        "--metrics-out",
     ];
     let mut positional = None;
     let mut i = 0;
@@ -124,5 +133,14 @@ fn main() {
         PredictorConfig::ArviCurrent,
         spec,
         Some(&traces),
+    );
+    // The figure's full grid, probed and merged (`--obs-grid`).
+    maybe_obs_grid(
+        &args,
+        &grid(&workloads, &[depth], &PredictorConfig::all()),
+        spec,
+        threads,
+        Some(&traces),
+        resilience.as_ref(),
     );
 }

@@ -18,13 +18,18 @@
 //! and both values. Exit code 1 = at least one metric beyond its fail
 //! band. The comparison itself lives in `arvi_bench::guard`.
 //!
-//! Usage: `perf_guard --report PATH [--baseline PATH]`
+//! Usage: `perf_guard --report PATH [--baseline PATH] [--trends PATH]`
+//!
+//! `--trends` takes a `bench_history --out` JSON and appends its
+//! regression flags to the summary as an advisory section — trends
+//! never gate (host jitter across PRs is not this gate's evidence), the
+//! baseline comparison does.
 //!
 //! Regenerate the baseline after an intentional perf change:
 //! `cargo run --release -p arvi-bench --bin perf_report -- --quick`,
 //! then copy the `guardrail` values into `BENCH_BASELINE.json`.
 
-use arvi_bench::{evaluate_guardrail, Json};
+use arvi_bench::{evaluate_guardrail, trend_flags, Json};
 
 fn arg_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
     args.iter()
@@ -42,7 +47,7 @@ fn load(path: &str) -> Json {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let report_path = arg_value(&args, "--report").unwrap_or_else(|| {
-        eprintln!("usage: perf_guard --report PATH [--baseline PATH]");
+        eprintln!("usage: perf_guard --report PATH [--baseline PATH] [--trends PATH]");
         std::process::exit(2);
     });
     let baseline_path = arg_value(&args, "--baseline").unwrap_or("BENCH_BASELINE.json");
@@ -55,6 +60,17 @@ fn main() {
     });
 
     print!("{}", outcome.to_markdown(report_path, baseline_path));
+    if let Some(trends_path) = arg_value(&args, "--trends") {
+        let flags = trend_flags(&load(trends_path));
+        println!("\n### Trend advisories ({trends_path}, non-gating)\n");
+        if flags.is_empty() {
+            println!("No guardrail metric regressed beyond its noise band across PRs.");
+        } else {
+            for flag in flags {
+                println!("- {flag}");
+            }
+        }
+    }
     if outcome.gates() {
         for failure in outcome.failures() {
             eprintln!("perf_guard: {failure}");

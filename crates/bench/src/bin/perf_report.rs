@@ -1,7 +1,8 @@
 //! Performance report: quantifies the hot paths against their preserved
-//! baselines and emits a machine-readable `BENCH_PR7.json` so the perf
-//! trajectory is tracked PR over PR (`BENCH_PR1.json`–`BENCH_PR6.json`
-//! preserve the earlier trails).
+//! baselines and emits a machine-readable `BENCH_PR8.json` so the perf
+//! trajectory is tracked PR over PR (`BENCH_PR1.json`–`BENCH_PR7.json`
+//! preserve the earlier trails; `bench_history` renders the whole
+//! trajectory with noise-band regression flags).
 //!
 //! 1. **Branch-path micro** — ns per branch of the packed-counter,
 //!    index-carrying 2Bc-gskew vs the preserved scalar
@@ -30,6 +31,12 @@
 //!    bit-identity asserted between all sides. Probe-off cost is
 //!    already gated by the `machine_*` guardrail metrics; the probe-on
 //!    numbers document what turning telemetry on costs.
+//! 7. **Obs grid** — the PR 8 grid-scale telemetry pass: the quick
+//!    Figure-6 grid re-run through `run_obs_grid` with the full
+//!    counters + sites stack on every cell, reporting the whole-grid
+//!    probed ns/inst and the overhead vs the strict (probe-off)
+//!    replayed sweep, with the merged counter sums cross-checked
+//!    against the per-cell commit counts.
 //!
 //! The `guardrail` section of the JSON is the flat metric set
 //! `perf_guard` compares against the checked-in `BENCH_BASELINE.json`
@@ -42,9 +49,9 @@ use std::time::Instant;
 
 use arvi_bench::baseline::ScalarTwoBcGskew;
 use arvi_bench::{
-    baseline, collect_results, grid, record_trace, run_sweep_emulated, run_sweep_resilient,
-    run_sweep_with, threads_from_args, trace_dir_from_args, trace_len, write_report, Json,
-    Resilience, Spec, SweepPoint, TraceSet, Workload,
+    baseline, collect_results, grid, record_trace, run_obs_grid, run_sweep_emulated,
+    run_sweep_resilient, run_sweep_with, threads_from_args, trace_dir_from_args, trace_len,
+    write_report, Json, Resilience, Spec, SweepPoint, TraceSet, Workload,
 };
 use arvi_bench::{conditional_branches, run_delayed, run_delayed_scalar};
 use arvi_core::{Ddt, DdtConfig, PhysReg};
@@ -312,7 +319,7 @@ fn main() {
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1))
         .map(String::as_str)
-        .unwrap_or("BENCH_PR7.json")
+        .unwrap_or("BENCH_PR8.json")
         .to_string();
 
     let (spec, micro_spec, ddt_iters) = if quick {
@@ -465,6 +472,35 @@ fn main() {
         probe.off_ns, probe.counters_ns, probe.full_ns,
     );
 
+    // 7. Grid-scale telemetry: the same quick fig6 grid through
+    // run_obs_grid (counters + sites on every cell) vs the strict
+    // probe-off replayed sweep.
+    eprintln!(
+        "perf_report: obs grid ({} cells, full counters+sites probes, {} threads)...",
+        points.len(),
+        threads
+    );
+    let t0 = Instant::now();
+    let obs_grid = run_obs_grid(&points, spec, threads, Some(&traces), None, false);
+    let obs_grid_s = t0.elapsed().as_secs_f64();
+    assert_eq!(
+        obs_grid.completed,
+        points.len(),
+        "obs grid failed cells: {:?}",
+        obs_grid.failed
+    );
+    let cell_sum: u64 = obs_grid.cells_committed.iter().flatten().sum();
+    assert_eq!(
+        obs_grid.counters.committed, cell_sum,
+        "merged counter sums diverged from per-cell commit counts"
+    );
+    let obs_grid_ns = obs_grid_s * 1e9 / sweep_insts;
+    let obs_grid_overhead_pct = (obs_grid_s - replay_s) / replay_s * 100.0;
+    eprintln!(
+        "  probed grid {obs_grid_s:.2} s ({obs_grid_ns:.0} ns/inst, \
+         {obs_grid_overhead_pct:+.1}% vs strict sweep); merged sums check out"
+    );
+
     let side = |m: &MachineSide| {
         Json::obj([
             ("wheel_ns_per_inst", Json::Num(m.wheel_ns)),
@@ -474,10 +510,10 @@ fn main() {
         ])
     };
     let report = Json::obj([
-        ("pr", Json::Num(7.0)),
+        ("pr", Json::Num(8.0)),
         (
             "title",
-            Json::str("observability probe seam: probe-off parity and probe-on cost"),
+            Json::str("grid-scale telemetry: full-grid probe overhead and trajectory analytics"),
         ),
         (
             "host_cores",
@@ -568,6 +604,24 @@ fn main() {
                 ("full_ns_per_inst", Json::Num(probe.full_ns)),
                 ("full_overhead_pct", Json::Num(full_overhead_pct)),
                 ("bit_identical", Json::Bool(true)),
+            ]),
+        ),
+        (
+            "obs_grid",
+            Json::obj([
+                (
+                    "grid",
+                    Json::str("fig6 quick (8 benchmarks x 4 configs, 20-stage)"),
+                ),
+                ("cells", Json::Num(points.len() as f64)),
+                ("threads", Json::Num(threads as f64)),
+                ("probed_s", Json::Num(obs_grid_s)),
+                ("ns_per_inst", Json::Num(obs_grid_ns)),
+                (
+                    "overhead_pct_vs_strict_sweep",
+                    Json::Num(obs_grid_overhead_pct),
+                ),
+                ("counter_sums_match_cells", Json::Bool(true)),
             ]),
         ),
         // Flat metrics for the CI perf guardrail (perf_guard).

@@ -181,6 +181,35 @@ pub fn evaluate_guardrail(report: &Json, baseline: &Json) -> Result<GuardOutcome
     Ok(GuardOutcome { rows })
 }
 
+/// Renders the `regressions` array of a `bench_history` JSON (see
+/// [`crate::history::HistoryReport::to_json`]) as human trend lines.
+/// Non-gating — trends advise, the baseline gate decides — so a missing
+/// or malformed document yields one line saying so rather than an
+/// error.
+pub fn trend_flags(history: &Json) -> Vec<String> {
+    let Some(Json::Arr(regressions)) = history.get("regressions") else {
+        return vec![
+            "trend data has no `regressions` array (not a bench_history JSON?)".to_string(),
+        ];
+    };
+    regressions
+        .iter()
+        .map(|r| {
+            let key = match r.get("key") {
+                Some(Json::Str(k)) => k.as_str(),
+                _ => "?",
+            };
+            format!(
+                "trend: `{key}` moved {:+.1}% between PR{} and PR{} (noise band ±{:.1}%)",
+                r.num("change_pct").unwrap_or(0.0),
+                r.num("from_pr").unwrap_or(0.0) as u64,
+                r.num("to_pr").unwrap_or(0.0) as u64,
+                r.num("band_pct").unwrap_or(0.0),
+            )
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -271,5 +300,29 @@ mod tests {
         );
         let none = Json::parse(r#"{"other":1}"#).unwrap();
         assert!(evaluate_guardrail(&report(2.0, 100.0), &none).is_err());
+    }
+
+    #[test]
+    fn trend_flags_render_regressions() {
+        let history = Json::parse(
+            r#"{"regressions":[{"key":"x_ns","change_pct":22.5,"band_pct":10.0,
+                "from_pr":6,"to_pr":7}]}"#,
+        )
+        .unwrap();
+        let flags = trend_flags(&history);
+        assert_eq!(flags.len(), 1);
+        assert!(
+            flags[0].contains("`x_ns` moved +22.5% between PR6 and PR7"),
+            "{}",
+            flags[0]
+        );
+        let empty = Json::parse(r#"{"regressions":[]}"#).unwrap();
+        assert!(trend_flags(&empty).is_empty());
+        let bad = Json::parse(r#"{"other":1}"#).unwrap();
+        assert_eq!(
+            trend_flags(&bad).len(),
+            1,
+            "malformed input is one advisory line"
+        );
     }
 }

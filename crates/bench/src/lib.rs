@@ -59,22 +59,32 @@ pub mod baseline;
 mod baseline_machine;
 mod baseline_predict;
 pub mod branch_stream;
+pub mod events;
 pub mod guard;
 pub mod harness;
+pub mod history;
 pub mod obs;
+pub mod obs_grid;
 pub mod report;
 pub mod resilience;
 pub mod sweep;
 pub mod workload;
 
 pub use branch_stream::{conditional_branches, run_delayed, run_delayed_scalar, StreamRun};
-pub use guard::{evaluate_guardrail, GuardOutcome, MetricRow, MetricStatus};
+pub use events::{EventLog, SweepTelemetry};
+pub use guard::{evaluate_guardrail, trend_flags, GuardOutcome, MetricRow, MetricStatus};
 pub use harness::{
     fig5_tables, fig5_tables_over, fig5_tables_resilient, fig5_tables_threaded, fig5_tables_with,
     fig6_tables, paper_tables, run_one, run_one_traced, Fig6Data, Spec,
 };
+pub use history::{bench_history, load_bench_history, BenchFile, HistoryReport, MetricTrend};
 pub use obs::{maybe_obs_pass, obs_from_args, run_obs_pass, ObsConfig, ObsReport, WorkloadObs};
-pub use report::{write_report, Json};
+pub use obs_grid::{
+    attribution_diff, counters_from_json, counters_to_json, maybe_obs_grid, obs_grid_json,
+    run_obs_grid, sites_from_json, sites_to_json, Attribution, ObsGrid, ObsGroup, SiteDelta,
+    WorkloadAttribution,
+};
+pub use report::{write_report, write_text, Json};
 pub use resilience::{
     cell_fingerprint, collect_results, outcome_summary, run_sweep_resilient, timing_summary,
     CellOutcome, CellSuccess, Degradation, FaultKind, FaultPlan, FaultyIo, Resilience,
@@ -122,9 +132,16 @@ pub fn trace_dir_from_args(args: &[String]) -> Option<std::path::PathBuf> {
 ///   `FILE` (see [`FaultPlan::parse`] for the line syntax).
 /// * `--deadline-ms N` — soft per-cell deadline; slower cells are
 ///   reported as timed out and their results discarded.
+/// * `--events-out FILE` — write a JSONL span log of sweep execution
+///   events (cell start/end, record/replay/live phase, quarantines,
+///   resume hits) to `FILE`.
+/// * `--metrics-out FILE` — write cumulative sweep counters to `FILE`
+///   in Prometheus text exposition format after every sweep.
 ///
 /// Returns `Ok(None)` when none of the flags are present (callers run
-/// the strict, fail-fast sweep), `Ok(Some(policy))` otherwise.
+/// the strict, fail-fast sweep), `Ok(Some(policy))` otherwise — the
+/// telemetry flags alone select the resilient runner, since only it
+/// emits events.
 pub fn resilience_from_args(args: &[String]) -> Result<Option<Resilience>, String> {
     let value_of = |flag: &str| -> Result<Option<&String>, String> {
         match args.iter().position(|a| a == flag) {
@@ -145,10 +162,26 @@ pub fn resilience_from_args(args: &[String]) -> Result<Option<Resilience>, Strin
                 .map_err(|_| format!("--deadline-ms: not a number: `{v}`"))
         })
         .transpose()?;
-    if journal.is_none() && !resume && plan_path.is_none() && deadline_ms.is_none() {
+    let events_out = value_of("--events-out")?;
+    let metrics_out = value_of("--metrics-out")?;
+    if journal.is_none()
+        && !resume
+        && plan_path.is_none()
+        && deadline_ms.is_none()
+        && events_out.is_none()
+        && metrics_out.is_none()
+    {
         return Ok(None);
     }
     let mut res = Resilience::new();
+    if events_out.is_some() || metrics_out.is_some() {
+        let telemetry = SweepTelemetry::from_paths(
+            events_out.map(std::path::Path::new),
+            metrics_out.map(std::path::Path::new),
+        )
+        .map_err(|e| format!("cannot open telemetry sink: {e}"))?;
+        res.telemetry = Some(std::sync::Arc::new(telemetry));
+    }
     res.journal = match journal {
         Some(path) => Some(std::path::PathBuf::from(path)),
         // --resume without --journal: the conventional location.
@@ -389,6 +422,35 @@ mod tests {
         assert!(resilience_from_args(&args(&["--journal"])).is_err());
         assert!(resilience_from_args(&args(&["--deadline-ms", "soon"])).is_err());
         assert!(resilience_from_args(&args(&["--fault-plan", "/nonexistent/plan"])).is_err());
+    }
+
+    #[test]
+    fn telemetry_flags_select_the_resilient_runner() {
+        let dir = std::env::temp_dir().join(format!("arvi-telflag-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let events = dir.join("events.jsonl");
+        let r = resilience_from_args(&args(&["--events-out", events.to_str().unwrap()]))
+            .unwrap()
+            .expect("--events-out alone enables resilience");
+        let t = r.telemetry.as_ref().expect("telemetry configured");
+        assert_eq!(t.events().unwrap().path(), events);
+        assert!(events.exists(), "log created eagerly, with parents");
+        // Metrics alone also counts; no event log in that case.
+        let metrics = dir.join("metrics.prom");
+        let r = resilience_from_args(&args(&["--metrics-out", metrics.to_str().unwrap()]))
+            .unwrap()
+            .unwrap();
+        assert!(r.telemetry.as_ref().unwrap().events().is_none());
+        assert!(resilience_from_args(&args(&["--events-out"])).is_err());
+        // An unopenable sink is a flag error, and it names the path.
+        std::fs::write(dir.join("blocker"), "x").unwrap();
+        let err = resilience_from_args(&args(&[
+            "--events-out",
+            dir.join("blocker/e.jsonl").to_str().unwrap(),
+        ]))
+        .unwrap_err();
+        assert!(err.contains("blocker"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

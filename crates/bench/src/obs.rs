@@ -10,14 +10,14 @@
 //!
 //! [`NullProbe`]: arvi_obs::NullProbe
 
-use std::path::{Path, PathBuf};
+use std::path::PathBuf;
 
 use arvi_obs::{ChromeTracer, CounterProbe, SiteProbe};
 use arvi_sim::{intern_name, simulate_source_probed, Depth, PredictorConfig, SimParams, SimResult};
 use arvi_workloads::WorkloadSource;
 
 use crate::harness::Spec;
-use crate::report::Json;
+use crate::report::{write_text, Json};
 use crate::sweep::TraceSet;
 use crate::workload::Workload;
 
@@ -37,6 +37,10 @@ pub struct ObsConfig {
     pub out: Option<PathBuf>,
     /// `--top-sites N` rows in site tables (default 10).
     pub top_sites: usize,
+    /// `--obs-grid PATH`: probe *every* cell of the sweep (not just the
+    /// anchor pass) and write the merged grid rollup here — see
+    /// [`crate::obs_grid`].
+    pub grid: Option<PathBuf>,
 }
 
 impl ObsConfig {
@@ -60,6 +64,9 @@ impl ObsConfig {
 ///   `--probe trace`. Required when `trace` is requested, and requires
 ///   `--obs-out` (a trace only exists as a file).
 /// * `--top-sites N` — rows in per-site tables (default 10).
+/// * `--obs-grid PATH` — run counter+site probes over every cell of
+///   the sweep and write the merged `obs_grid.json` rollup to `PATH`
+///   (works with or without the anchor-pass flags above).
 ///
 /// Returns `Ok(None)` when no observability flag is present.
 pub fn obs_from_args(args: &[String]) -> Result<Option<ObsConfig>, String> {
@@ -77,11 +84,17 @@ pub fn obs_from_args(args: &[String]) -> Result<Option<ObsConfig>, String> {
     let trace_cycles = value_of("--trace-cycles")?;
     let out = value_of("--obs-out")?;
     let top_sites = value_of("--top-sites")?;
-    if probe.is_none() && trace_cycles.is_none() {
+    let grid = value_of("--obs-grid")?;
+    if probe.is_none() && trace_cycles.is_none() && grid.is_none() {
         if out.is_some() || top_sites.is_some() {
-            return Err("--obs-out/--top-sites need --probe or --trace-cycles".into());
+            return Err("--obs-out/--top-sites need --probe, --trace-cycles or --obs-grid".into());
         }
         return Ok(None);
+    }
+    if out.is_some() && probe.is_none() && trace_cycles.is_none() {
+        return Err(
+            "--obs-out needs --probe or --trace-cycles (the grid rollup goes to --obs-grid)".into(),
+        );
     }
     let mut cfg = ObsConfig {
         top_sites: 10,
@@ -127,6 +140,7 @@ pub fn obs_from_args(args: &[String]) -> Result<Option<ObsConfig>, String> {
         return Err("--trace-cycles needs --obs-out (the trace is written beside it)".into());
     }
     cfg.out = out.map(PathBuf::from);
+    cfg.grid = grid.map(PathBuf::from);
     if let Some(n) = top_sites {
         cfg.top_sites = n
             .parse()
@@ -338,17 +352,12 @@ impl ObsReport {
     }
 }
 
-fn write_text(path: &Path, text: &str) -> std::io::Result<()> {
-    if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
-        std::fs::create_dir_all(parent)?;
-    }
-    std::fs::write(path, text)
-}
-
 /// Runs and emits the observability pass when `args` ask for one;
 /// exits with code 2 on malformed flags. The experiment binaries call
 /// this once after their tables, at their figure's anchor
-/// depth/configuration.
+/// depth/configuration. An `--obs-grid`-only invocation selects no
+/// anchor pass — the grid rollup is emitted by
+/// [`crate::obs_grid::maybe_obs_grid`] instead.
 pub fn maybe_obs_pass(
     args: &[String],
     workloads: &[Workload],
@@ -365,6 +374,9 @@ pub fn maybe_obs_pass(
             std::process::exit(2);
         }
     };
+    if !cfg.counters && !cfg.sites && cfg.trace.is_none() {
+        return;
+    }
     let report = run_obs_pass(workloads, depth, config, spec, &cfg, traces);
     if let Err(e) = report.emit(&cfg) {
         eprintln!("error: cannot write observability output: {e}");
@@ -407,6 +419,26 @@ mod tests {
             .unwrap()
             .unwrap();
         assert_eq!(cfg.trace, Some((0, 10)));
+        // --obs-grid works alone (no anchor-pass probes selected) and
+        // alongside the anchor-pass flags.
+        let cfg = obs_from_args(&args(&["--obs-grid", "grid.json"]))
+            .unwrap()
+            .unwrap();
+        assert_eq!(cfg.grid, Some(PathBuf::from("grid.json")));
+        assert!(!cfg.counters && !cfg.sites && cfg.trace.is_none());
+        let cfg = obs_from_args(&args(&[
+            "--probe",
+            "counters",
+            "--obs-grid",
+            "grid.json",
+            "--top-sites",
+            "7",
+        ]))
+        .unwrap()
+        .unwrap();
+        assert!(cfg.counters);
+        assert_eq!(cfg.grid, Some(PathBuf::from("grid.json")));
+        assert_eq!(cfg.top_sites, 7);
     }
 
     #[test]
@@ -421,6 +453,10 @@ mod tests {
             vec!["--obs-out", "x.json"],                     // no probe selected
             vec!["--top-sites", "3"],                        // no probe selected
             vec!["--probe", "counters", "--top-sites", "many"],
+            vec!["--obs-grid"], // missing value
+            // --obs-out is the anchor pass's sink; grid-only runs have
+            // no anchor pass to write.
+            vec!["--obs-grid", "g.json", "--obs-out", "x.json"],
         ] {
             assert!(obs_from_args(&args(&bad)).is_err(), "{bad:?}");
         }
@@ -439,6 +475,7 @@ mod tests {
             trace: Some((1_000, 2_000)),
             out: None,
             top_sites: 3,
+            grid: None,
         };
         let workloads = [Workload::from(Benchmark::Li)];
         let report = run_obs_pass(

@@ -40,8 +40,9 @@ use arvi_sim::{intern_name, PredictorConfig, SimResult};
 use arvi_stats::Accuracy;
 use arvi_trace::{StdIo, TraceError, TraceIo, REPLAY_PANIC_PREFIX};
 
+use crate::events::SweepTelemetry;
 use crate::harness::{run_one, run_one_traced, Spec};
-use crate::report::Json;
+use crate::report::{io_error_at, Json};
 use crate::sweep::{trace_len, SweepPoint, TraceSet};
 use crate::workload::{fnv1a, FNV_OFFSET};
 
@@ -188,6 +189,9 @@ pub struct Resilience {
     /// (default `true`); with this off such cells report
     /// [`CellOutcome::TraceError`].
     pub live_fallback: bool,
+    /// Structured execution telemetry (event log + metrics export).
+    /// Shared with the trace recorder, hence the `Arc`.
+    pub telemetry: Option<Arc<SweepTelemetry>>,
 }
 
 impl Resilience {
@@ -200,6 +204,7 @@ impl Resilience {
             plan: None,
             rerecord: true,
             live_fallback: true,
+            telemetry: None,
         }
     }
 
@@ -621,18 +626,20 @@ impl SweepJournal {
     /// is new or empty.
     pub fn open_append(path: &Path, spec: Spec) -> std::io::Result<SweepJournal> {
         if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
-            std::fs::create_dir_all(parent)?;
+            std::fs::create_dir_all(parent).map_err(|e| io_error_at(parent, e))?;
         }
         let mut file = std::fs::OpenOptions::new()
             .create(true)
             .append(true)
-            .open(path)?;
-        if file.metadata()?.len() == 0 {
+            .open(path)
+            .map_err(|e| io_error_at(path, e))?;
+        if file.metadata().map_err(|e| io_error_at(path, e))?.len() == 0 {
             writeln!(
                 file,
                 "# arvi sweep journal v1 seed={} warmup={} measure={}",
                 spec.seed, spec.warmup, spec.measure
-            )?;
+            )
+            .map_err(|e| io_error_at(path, e))?;
         }
         Ok(SweepJournal {
             path: path.to_path_buf(),
@@ -738,6 +745,17 @@ pub fn run_sweep_resilient(
     });
 
     let threads = threads.clamp(1, points.len().max(1));
+    let telemetry = res.telemetry.as_deref();
+    let sweep_start = Instant::now();
+    if let Some(t) = telemetry {
+        t.event(
+            "sweep_start",
+            vec![
+                ("cells".to_string(), Json::Num(points.len() as f64)),
+                ("threads".to_string(), Json::Num(threads as f64)),
+            ],
+        );
+    }
     let cursor = AtomicUsize::new(0);
     let completed = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<CellOutcome>>> = points.iter().map(|_| Mutex::new(None)).collect();
@@ -754,6 +772,15 @@ pub fn run_sweep_resilient(
         if progress {
             eprintln!("sweep: {point}");
         }
+        if let Some(t) = telemetry {
+            t.event(
+                "cell_start",
+                vec![
+                    ("cell".to_string(), Json::Num(i as f64)),
+                    ("point".to_string(), Json::str(point.to_string())),
+                ],
+            );
+        }
         let outcome = run_cell(i, point, spec, traces, res, &prior);
         if let CellOutcome::Ok(s) = &outcome {
             if !s.resumed {
@@ -767,6 +794,9 @@ pub fn run_sweep_resilient(
                 }
             }
         }
+        if let Some(t) = telemetry {
+            emit_cell_events(t, i, point, &outcome, traces.is_some());
+        }
         *slots[i].lock().expect("outcome slot") = Some(outcome);
         completed.fetch_add(1, Ordering::Release);
     };
@@ -779,14 +809,104 @@ pub fn run_sweep_resilient(
             }
         });
     }
-    slots
+    let outcomes: Vec<CellOutcome> = slots
         .into_iter()
         .map(|s| {
             s.into_inner()
                 .expect("outcome slot")
                 .unwrap_or(CellOutcome::Skipped)
         })
-        .collect()
+        .collect();
+    if let Some(t) = telemetry {
+        for o in &outcomes {
+            if matches!(o, CellOutcome::Skipped) {
+                t.cell_finished("skipped", None, false, None);
+            }
+        }
+        t.event(
+            "sweep_end",
+            vec![
+                ("cells".to_string(), Json::Num(outcomes.len() as f64)),
+                (
+                    "completed".to_string(),
+                    Json::Num(outcomes.iter().filter(|o| o.success().is_some()).count() as f64),
+                ),
+                (
+                    "dur_us".to_string(),
+                    Json::Num(sweep_start.elapsed().as_micros() as f64),
+                ),
+            ],
+        );
+        t.sweep_finished();
+    }
+    outcomes
+}
+
+/// The normalized outcome key used in events and metric labels (no
+/// spaces or parentheses, unlike [`CellOutcome::label`]).
+fn outcome_key(outcome: &CellOutcome) -> &'static str {
+    match outcome {
+        CellOutcome::Ok(_) => "ok",
+        CellOutcome::Panicked { .. } => "panicked",
+        CellOutcome::TimedOut { .. } => "timed-out",
+        CellOutcome::TraceError { .. } => "trace-error",
+        CellOutcome::Skipped => "skipped",
+    }
+}
+
+/// Emits the `cell_end` event (plus `resume_hit` for journal hits) and
+/// updates the cumulative metrics for one dispatched cell.
+fn emit_cell_events(
+    t: &SweepTelemetry,
+    i: usize,
+    point: &SweepPoint,
+    outcome: &CellOutcome,
+    traced: bool,
+) {
+    let key = outcome_key(outcome);
+    let mut fields = vec![
+        ("cell".to_string(), Json::Num(i as f64)),
+        ("point".to_string(), Json::str(point.to_string())),
+        ("outcome".to_string(), Json::str(key)),
+    ];
+    let mut simulated_duration = None;
+    let mut resumed = false;
+    let mut degraded = None;
+    if let CellOutcome::Ok(s) = outcome {
+        resumed = s.resumed;
+        let phase = if s.resumed {
+            "resumed"
+        } else if s.degradation == Degradation::LiveEmulation || !traced {
+            "live"
+        } else {
+            "replay"
+        };
+        fields.push(("phase".to_string(), Json::str(phase)));
+        if s.degradation != Degradation::None {
+            degraded = Some(s.degradation.tag());
+            fields.push(("degraded".to_string(), Json::str(s.degradation.tag())));
+        }
+        fields.push((
+            "dur_us".to_string(),
+            Json::Num(s.duration.as_micros() as f64),
+        ));
+        if !s.resumed {
+            simulated_duration = Some(s.duration);
+        }
+    } else if let Some(reason) = outcome.failure() {
+        fields.push(("reason".to_string(), Json::str(reason)));
+    }
+    if resumed {
+        t.event(
+            "resume_hit",
+            vec![
+                ("cell".to_string(), Json::Num(i as f64)),
+                ("point".to_string(), Json::str(point.to_string())),
+            ],
+        );
+    }
+    t.event("cell_end", fields);
+    t.cell_finished(key, simulated_duration, resumed, degraded);
 }
 
 fn run_cell(

@@ -26,7 +26,9 @@ use arvi_sim::{Depth, PredictorConfig, SimResult};
 use arvi_trace::{StdIo, Trace, TraceIo, TraceReplayer};
 use arvi_workloads::WorkloadSource;
 
+use crate::events::SweepTelemetry;
 use crate::harness::{run_one, run_one_traced, Spec};
+use crate::report::Json;
 use crate::resilience::Resilience;
 use crate::workload::Workload;
 
@@ -172,10 +174,20 @@ impl TraceSet {
             None => &StdIo,
         };
         let rerecord = res.is_none_or(|r| r.rerecord);
+        let telemetry = res.and_then(|r| r.telemetry.as_deref());
+        if let Some(t) = telemetry {
+            t.event(
+                "record_start",
+                vec![("workloads".to_string(), Json::Num(workloads.len() as f64))],
+            );
+        }
         let start = Instant::now();
         let traces = par_map(workloads, threads, |workload| {
-            Self::obtain(workload, spec, dir, io, rerecord)
+            Self::obtain(workload, spec, dir, io, rerecord, telemetry)
         });
+        if let Some(t) = telemetry {
+            t.record_phase(workloads.len(), start.elapsed());
+        }
         TraceSet {
             spec,
             traces: workloads
@@ -194,6 +206,7 @@ impl TraceSet {
         dir: Option<&Path>,
         io: &dyn TraceIo,
         rerecord: bool,
+        telemetry: Option<&SweepTelemetry>,
     ) -> (Option<Trace>, TraceProvenance) {
         let need = trace_len(spec);
         let path = dir.map(|d| d.join(trace_file_name(workload, spec)));
@@ -225,6 +238,13 @@ impl TraceSet {
                                 moved.display()
                             );
                             log_quarantine(dir, path, &e, rerecord);
+                            if let Some(t) = telemetry {
+                                t.quarantine(
+                                    &path.display().to_string(),
+                                    &e.to_string(),
+                                    if rerecord { "re-record" } else { "degrade" },
+                                );
+                            }
                         }
                         Err(qe) => eprintln!(
                             "trace {}: {e}; quarantine failed ({qe}), re-recording in place",
@@ -324,13 +344,18 @@ fn log_quarantine(dir: Option<&Path>, path: &Path, err: &arvi_trace::TraceError,
         "re-recording disabled; affected cells degrade to live emulation"
     };
     let line = format!("{name}: {err}; {action}\n");
-    let res = std::fs::OpenOptions::new()
-        .create(true)
-        .append(true)
-        .open(&log)
-        .and_then(|mut f| std::io::Write::write_all(&mut f, line.as_bytes()));
+    let res = std::fs::create_dir_all(dir)
+        .map_err(|e| crate::report::io_error_at(dir, e))
+        .and_then(|()| {
+            std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&log)
+                .and_then(|mut f| std::io::Write::write_all(&mut f, line.as_bytes()))
+                .map_err(|e| crate::report::io_error_at(&log, e))
+        });
     if let Err(e) = res {
-        eprintln!("warning: cannot append to {}: {e}", log.display());
+        eprintln!("warning: cannot append to quarantine log: {e}");
     }
 }
 

@@ -4,8 +4,9 @@ use crate::hist::Log2Hist;
 use crate::{BranchResolution, CacheSnapshot, Probe};
 
 /// Issue counts above this are clamped into the last bucket (the
-/// modeled machines are 4-wide; 15 leaves generous headroom).
-const ISSUE_BUCKETS: usize = 16;
+/// modeled machines are 4-wide; 15 leaves generous headroom). Public so
+/// full-fidelity serializers can round-trip the raw issue state.
+pub const ISSUE_BUCKETS: usize = 16;
 
 /// Fixed-footprint pipeline/predictor telemetry: event counters plus
 /// log2-bucket histograms, recorded with zero steady-state allocation
@@ -86,6 +87,22 @@ impl CounterProbe {
         total as f64 / self.cycles as f64
     }
 
+    /// The raw issue-stage state `(counts, issue_cycles, issue_width)`.
+    /// Unlike [`CounterProbe::issue_utilization`] — which folds idle
+    /// cycles into the zero bucket and clamps to the issue width — this
+    /// is the exact internal state, so serializing it round-trips.
+    pub fn issue_state(&self) -> ([u64; ISSUE_BUCKETS], u64, u32) {
+        (self.issue_counts, self.issue_cycles, self.issue_width)
+    }
+
+    /// Restores state captured by [`CounterProbe::issue_state`]
+    /// (deserialization seam for merged-telemetry journals).
+    pub fn restore_issue_state(&mut self, counts: [u64; ISSUE_BUCKETS], cycles: u64, width: u32) {
+        self.issue_counts = counts;
+        self.issue_cycles = cycles;
+        self.issue_width = width;
+    }
+
     /// Adds every sample of `other` into `self` (per-workload merge).
     pub fn merge(&mut self, other: &CounterProbe) {
         self.cycles += other.cycles;
@@ -117,6 +134,19 @@ impl CounterProbe {
             ("leaf_set", &self.leaf_set),
             ("recovery_cycles", &self.recovery),
             ("mem_latency", &self.mem_latency),
+        ]
+    }
+
+    /// The histograms as mutable `(name, hist)` rows, mirroring
+    /// [`CounterProbe::histograms`] (deserialization seam).
+    pub fn histograms_mut(&mut self) -> [(&'static str, &mut Log2Hist); 6] {
+        [
+            ("rob_occupancy", &mut self.rob_occupancy),
+            ("ddt_occupancy", &mut self.ddt_occupancy),
+            ("chain_len", &mut self.chain_len),
+            ("leaf_set", &mut self.leaf_set),
+            ("recovery_cycles", &mut self.recovery),
+            ("mem_latency", &mut self.mem_latency),
         ]
     }
 

@@ -70,6 +70,29 @@ impl Log2Hist {
         }
     }
 
+    /// Reconstructs a histogram from its serialized parts: the
+    /// `(lower_bound, count)` rows of [`Log2Hist::nonzero_buckets`] plus
+    /// the exact sum and max — the inverse of the JSON emission, used
+    /// when merged telemetry is restored from an obs journal. Any
+    /// in-range bound lands in the bucket that would have counted it,
+    /// so round-tripping through bucket lower bounds is lossless.
+    pub fn from_parts(
+        buckets: impl IntoIterator<Item = (u64, u64)>,
+        sum: u64,
+        max: u64,
+    ) -> Log2Hist {
+        let mut h = Log2Hist {
+            buckets: [0; 65],
+            sum,
+            max,
+        };
+        for (lo, n) in buckets {
+            let k = (64 - lo.leading_zeros()) as usize;
+            h.buckets[k] += n;
+        }
+        h
+    }
+
     /// Adds every sample of `other` into `self`.
     pub fn merge(&mut self, other: &Log2Hist) {
         for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {

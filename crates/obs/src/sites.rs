@@ -123,6 +123,48 @@ impl SiteProbe {
         None
     }
 
+    /// Adds a whole [`SiteStats`] record into the table, inserting the
+    /// PC if absent. Returns `false` — charging `stats.total` to
+    /// [`SiteProbe::dropped`] instead — when the table is full and the
+    /// PC is not already present. Records with `total == 0` are no-ops
+    /// (an empty slot is the `total == 0` sentinel, so they carry no
+    /// information anyway).
+    pub fn record_stats(&mut self, stats: &SiteStats) -> bool {
+        if stats.total == 0 {
+            return true;
+        }
+        match self.slot_for(stats.pc) {
+            Some(s) => {
+                s.total += stats.total;
+                s.final_correct += stats.final_correct;
+                s.l1_correct += stats.l1_correct;
+                s.overrides += stats.overrides;
+                s.overrides_correcting += stats.overrides_correcting;
+                s.confident += stats.confident;
+                s.confident_wrong += stats.confident_wrong;
+                s.bvit_hits += stats.bvit_hits;
+                s.load_class += stats.load_class;
+                true
+            }
+            None => {
+                self.dropped = self.dropped.saturating_add(stats.total);
+                false
+            }
+        }
+    }
+
+    /// Open-addressed table union: adds every site of `other` into
+    /// `self`, inserting PCs that are absent. Drop accounting saturates
+    /// and never loses resolutions silently — `other`'s already-dropped
+    /// count carries over, and sites that no longer fit in `self` charge
+    /// their executions to [`SiteProbe::dropped`].
+    pub fn merge(&mut self, other: &SiteProbe) {
+        self.dropped = self.dropped.saturating_add(other.dropped);
+        for s in other.iter() {
+            self.record_stats(s);
+        }
+    }
+
     /// All recorded sites (arbitrary order).
     pub fn iter(&self) -> impl Iterator<Item = &SiteStats> {
         self.slots.iter().filter(|s| s.total > 0)
@@ -271,6 +313,60 @@ mod tests {
         let before = p.iter().find(|s| s.pc == known).unwrap().total;
         p.on_branch_resolve(0, known, &res(true, true, true, true));
         assert_eq!(p.iter().find(|s| s.pc == known).unwrap().total, before + 1);
+    }
+
+    #[test]
+    fn merge_unions_tables() {
+        let mut a = SiteProbe::with_capacity(16);
+        let mut b = SiteProbe::with_capacity(16);
+        for _ in 0..3 {
+            a.on_branch_resolve(0, 0x40, &res(true, false, true, false));
+        }
+        for _ in 0..5 {
+            b.on_branch_resolve(0, 0x40, &res(true, true, true, true));
+        }
+        b.on_branch_resolve(0, 0x80, &res(true, false, false, true));
+        b.dropped = 7;
+        a.merge(&b);
+        assert_eq!(a.sites, 2);
+        assert_eq!(a.dropped, 7, "other's drops carry over");
+        let shared = a.iter().find(|s| s.pc == 0x40).unwrap();
+        assert_eq!(shared.total, 8);
+        assert_eq!(shared.final_correct, 8);
+        assert_eq!(shared.l1_correct, 5);
+        assert_eq!(shared.overrides, 3);
+        assert_eq!(shared.confident, 5);
+        let new = a.iter().find(|s| s.pc == 0x80).unwrap();
+        assert_eq!(new.total, 1);
+        assert_eq!(new.confident_wrong, 1);
+    }
+
+    #[test]
+    fn merge_into_full_table_counts_drops() {
+        let mut a = SiteProbe::with_capacity(16);
+        for pc in 0..16u64 {
+            a.on_branch_resolve(0, pc * 4, &res(true, true, true, true));
+        }
+        assert_eq!(a.sites, 16);
+        let mut b = SiteProbe::with_capacity(16);
+        // One PC already in `a`, one that cannot fit.
+        for _ in 0..2 {
+            b.on_branch_resolve(0, 0, &res(true, true, true, true));
+        }
+        for _ in 0..9 {
+            b.on_branch_resolve(0, 0x9000, &res(true, true, true, true));
+        }
+        a.merge(&b);
+        assert_eq!(a.sites, 16);
+        assert_eq!(a.dropped, 9, "unfittable site's executions are charged");
+        assert_eq!(a.iter().find(|s| s.pc == 0).unwrap().total, 3);
+    }
+
+    #[test]
+    fn record_stats_ignores_empty() {
+        let mut a = SiteProbe::with_capacity(16);
+        assert!(a.record_stats(&SiteStats::default()));
+        assert_eq!(a.sites, 0);
     }
 
     #[test]

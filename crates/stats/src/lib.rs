@@ -4,9 +4,11 @@
 //! the simulator and the experiment harness of the ARVI reproduction.
 
 pub mod accuracy;
+pub mod series;
 pub mod summary;
 pub mod table;
 
 pub use accuracy::Accuracy;
+pub use series::{change_percent, cv_percent, stddev};
 pub use summary::{amean, geomean, normalize};
 pub use table::Table;

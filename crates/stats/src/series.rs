@@ -1,0 +1,66 @@
+//! Dispersion and trend helpers for metric series.
+//!
+//! The bench-trajectory analytics track each guardrail metric across
+//! PRs; deciding whether the latest point moved needs a noise estimate
+//! of the series so far. These are plain population statistics —
+//! guardrail series are the whole population (every checked-in bench
+//! report), not a sample.
+
+/// Population standard deviation; 0.0 for fewer than two values.
+pub fn stddev(values: &[f64]) -> f64 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let mean = crate::amean(values);
+    let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / values.len() as f64;
+    var.sqrt()
+}
+
+/// Coefficient of variation in percent (`stddev / |mean| * 100`);
+/// 0.0 when the mean is zero or there are fewer than two values.
+pub fn cv_percent(values: &[f64]) -> f64 {
+    let mean = crate::amean(values);
+    if mean == 0.0 || values.len() < 2 {
+        return 0.0;
+    }
+    stddev(values) / mean.abs() * 100.0
+}
+
+/// Relative change from `from` to `to` in percent; 0.0 when `from` is
+/// zero (no meaningful relative change exists).
+pub fn change_percent(from: f64, to: f64) -> f64 {
+    if from == 0.0 {
+        0.0
+    } else {
+        (to - from) / from * 100.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stddev_population() {
+        assert_eq!(stddev(&[]), 0.0);
+        assert_eq!(stddev(&[5.0]), 0.0);
+        // Population stddev of {2, 4, 4, 4, 5, 5, 7, 9} is exactly 2.
+        let v = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((stddev(&v) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cv_is_relative() {
+        let v = [90.0, 100.0, 110.0];
+        let cv = cv_percent(&v);
+        assert!(cv > 7.0 && cv < 9.0, "{cv}");
+        assert_eq!(cv_percent(&[0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn change_signed() {
+        assert!((change_percent(100.0, 110.0) - 10.0).abs() < 1e-12);
+        assert!((change_percent(100.0, 90.0) + 10.0).abs() < 1e-12);
+        assert_eq!(change_percent(0.0, 5.0), 0.0);
+    }
+}
