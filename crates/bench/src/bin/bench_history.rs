@@ -17,7 +17,9 @@
 //! in), `--baseline <dir>/BENCH_BASELINE.json` when present.
 //!
 //! Exit codes: 2 on usage/parse errors, 1 when the output cannot be
-//! written.
+//! written. A history of zero or one reports is not an error: the table
+//! skeleton still prints (with an advisory on stderr) and the exit code
+//! stays 0, so the CI step works from the very first PR.
 
 use std::path::Path;
 
@@ -37,9 +39,21 @@ fn main() {
         eprintln!("error: {e}");
         std::process::exit(2);
     });
-    if files.is_empty() {
-        eprintln!("error: no BENCH_PR<N>.json files under {dir}");
-        std::process::exit(2);
+    // A short history is not an error: a fresh checkout (or a repo
+    // whose reports were pruned) still gets the table skeleton and an
+    // advisory, exit 0, so CI steps can run unconditionally.
+    if files.len() < 2 {
+        match files.len() {
+            0 => eprintln!(
+                "advisory: no BENCH_PR<N>.json files under {dir}; \
+                 nothing to trend yet (need two reports for a delta)"
+            ),
+            _ => eprintln!(
+                "advisory: only one report ({}) under {dir}; \
+                 trends need two reports for a delta",
+                files[0].file
+            ),
+        }
     }
 
     let baseline_path = arg_value(&args, "--baseline")

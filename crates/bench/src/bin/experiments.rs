@@ -2,6 +2,7 @@
 //! all three pipeline depths, printing every artifact the paper reports.
 //!
 //! Usage: `experiments [--quick] [--threads N] [--trace-dir DIR]
+//!                     [--sample K:WARMUP:DETAIL]
 //!                     [--scenario NAME_OR_SPEC]... [--scenario-file FILE]
 //!                     [--journal FILE] [--resume] [--fault-plan FILE]
 //!                     [--deadline-ms N] [--events-out FILE] [--metrics-out FILE]
@@ -26,11 +27,17 @@
 //! sweep runner: cell failures are reported at the end (exit code 3)
 //! instead of aborting, completed cells are journaled as they finish,
 //! and `--resume` completes an interrupted run from its journal.
+//!
+//! `--sample K:WARMUP:DETAIL` (or `stratified:K:WARMUP:DETAIL`) switches
+//! every grid to SMARTS-style interval sampling over the shared
+//! recordings (per-unit parallelism, journaled units, per-cell
+//! 95%-confidence-interval tables) — see the `fig5` docs.
 
 use arvi_bench::{
-    fig5_tables_over, fig5_tables_resilient, grid, handle_list_flags, maybe_obs_grid,
-    maybe_obs_pass, paper_tables, resilience_from_args, threads_from_args, trace_dir_from_args,
-    workloads_from_args, Fig6Data, Spec, SweepIncomplete, TraceSet,
+    fig5_tables_over, fig5_tables_resilient, fig5_tables_sampled, grid, handle_list_flags,
+    maybe_obs_grid, maybe_obs_pass, paper_tables, resilience_from_args, sample_plan_from_args,
+    threads_from_args, trace_dir_from_args, workloads_from_args, Fig6Data, Spec, SweepIncomplete,
+    TraceSet,
 };
 use arvi_sim::{Depth, PredictorConfig};
 
@@ -65,6 +72,10 @@ fn main() {
         eprintln!("error: {e}");
         std::process::exit(2);
     });
+    let plan = sample_plan_from_args(&args).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    });
 
     // A failed grid reports every failed cell and exits 3 — after all
     // the other grids have run (and journaled), so one bad cell costs
@@ -80,15 +91,31 @@ fn main() {
         resilience.as_ref(),
     );
 
-    let fig5 = match &resilience {
-        None => Some(fig5_tables_over(
+    let fig5 = match (&plan, &resilience) {
+        (Some(plan), res) => {
+            match fig5_tables_sampled(&workloads, spec, plan, true, threads, &traces, res.as_ref())
+            {
+                Ok((fig5a, fig5b, ci)) => {
+                    println!(
+                        "== Figure 5 sampled estimates (plan {plan}): 95% confidence intervals ==\n{}",
+                        ci.to_text()
+                    );
+                    Some((fig5a, fig5b))
+                }
+                Err(e) => {
+                    incomplete.push(e);
+                    None
+                }
+            }
+        }
+        (None, None) => Some(fig5_tables_over(
             &workloads,
             spec,
             true,
             threads,
             Some(&traces),
         )),
-        Some(res) => {
+        (None, Some(res)) => {
             match fig5_tables_resilient(&workloads, spec, true, threads, Some(&traces), res) {
                 Ok(tables) => Some(tables),
                 Err(e) => {
@@ -111,9 +138,35 @@ fn main() {
 
     let mut headlines = Vec::new();
     for depth in Depth::all() {
-        let data = match &resilience {
-            None => Fig6Data::collect_over(&workloads, depth, spec, true, threads, Some(&traces)),
-            Some(res) => {
+        let data = match (&plan, &resilience) {
+            (Some(plan), res) => {
+                match Fig6Data::collect_sampled(
+                    &workloads,
+                    depth,
+                    spec,
+                    plan,
+                    true,
+                    threads,
+                    &traces,
+                    res.as_ref(),
+                ) {
+                    Ok((data, ci)) => {
+                        println!(
+                            "== Figure 6 sampled estimates, {depth} pipeline (plan {plan}): 95% confidence intervals ==\n{}",
+                            ci.to_text()
+                        );
+                        data
+                    }
+                    Err(e) => {
+                        incomplete.push(e);
+                        continue;
+                    }
+                }
+            }
+            (None, None) => {
+                Fig6Data::collect_over(&workloads, depth, spec, true, threads, Some(&traces))
+            }
+            (None, Some(res)) => {
                 match Fig6Data::collect_resilient(
                     &workloads,
                     depth,

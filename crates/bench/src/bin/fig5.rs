@@ -3,6 +3,7 @@
 //! branches (20-stage, ARVI current value).
 //!
 //! Usage: `fig5 [--quick] [--threads N] [--trace-dir DIR]
+//!              [--sample K:WARMUP:DETAIL]
 //!              [--scenario NAME_OR_SPEC]... [--scenario-file FILE]
 //!              [--journal FILE] [--resume] [--fault-plan FILE]
 //!              [--deadline-ms N] [--events-out FILE] [--metrics-out FILE]
@@ -20,11 +21,19 @@
 //! fault-isolated sweep runner: cell failures are reported (exit code
 //! 3) instead of aborting, and `--resume` completes an interrupted run
 //! from its journal.
+//!
+//! `--sample K:WARMUP:DETAIL` (or `stratified:K:WARMUP:DETAIL`) switches
+//! every cell to SMARTS-style interval sampling over the shared
+//! recording: 1-in-`K` detail windows of `DETAIL` instructions, each
+//! preceded by `WARMUP` instructions of functional warm-up, fanned out
+//! per unit across all workers. An extra per-cell table reports the
+//! 95% confidence intervals. Composes with the fault-tolerance flags
+//! (units are journaled and resumed individually).
 
 use arvi_bench::{
-    fig5_tables_over, fig5_tables_resilient, grid, handle_list_flags, maybe_obs_grid,
-    maybe_obs_pass, resilience_from_args, threads_from_args, trace_dir_from_args,
-    workloads_from_args, Spec, TraceSet,
+    fig5_tables_over, fig5_tables_resilient, fig5_tables_sampled, grid, handle_list_flags,
+    maybe_obs_grid, maybe_obs_pass, resilience_from_args, sample_plan_from_args, threads_from_args,
+    trace_dir_from_args, workloads_from_args, Spec, TraceSet,
 };
 use arvi_sim::{Depth, PredictorConfig};
 
@@ -46,6 +55,10 @@ fn main() {
         eprintln!("error: {e}");
         std::process::exit(2);
     });
+    let plan = sample_plan_from_args(&args).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    });
     let traces = TraceSet::record_resilient(
         &workloads,
         spec,
@@ -53,9 +66,25 @@ fn main() {
         trace_dir.as_deref(),
         resilience.as_ref(),
     );
-    let (fig5a, fig5b) = match &resilience {
-        None => fig5_tables_over(&workloads, spec, true, threads, Some(&traces)),
-        Some(res) => {
+    let (fig5a, fig5b) = match (&plan, &resilience) {
+        (Some(plan), res) => {
+            match fig5_tables_sampled(&workloads, spec, plan, true, threads, &traces, res.as_ref())
+            {
+                Ok((fig5a, fig5b, ci)) => {
+                    println!(
+                        "== Sampled estimates (plan {plan}): 95% confidence intervals ==\n{}",
+                        ci.to_text()
+                    );
+                    (fig5a, fig5b)
+                }
+                Err(incomplete) => {
+                    eprintln!("{incomplete}");
+                    std::process::exit(3);
+                }
+            }
+        }
+        (None, None) => fig5_tables_over(&workloads, spec, true, threads, Some(&traces)),
+        (None, Some(res)) => {
             match fig5_tables_resilient(&workloads, spec, true, threads, Some(&traces), res) {
                 Ok(tables) => tables,
                 Err(incomplete) => {

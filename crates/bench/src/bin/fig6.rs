@@ -2,6 +2,7 @@
 //! (a/c/e) and normalized IPC (b/d/f) for the four configurations.
 //!
 //! Usage: `fig6 [20|40|60] [--quick] [--threads N] [--trace-dir DIR]
+//!              [--sample K:WARMUP:DETAIL]
 //!              [--scenario NAME_OR_SPEC]... [--scenario-file FILE]
 //!              [--journal FILE] [--resume] [--fault-plan FILE]
 //!              [--deadline-ms N] [--events-out FILE] [--metrics-out FILE]
@@ -21,10 +22,16 @@
 //! fault-isolated sweep runner: cell failures are reported (exit code
 //! 3) instead of aborting, and `--resume` completes an interrupted run
 //! from its journal.
+//!
+//! `--sample K:WARMUP:DETAIL` (or `stratified:K:WARMUP:DETAIL`) switches
+//! every cell to SMARTS-style interval sampling over the shared
+//! recording (per-unit parallelism, journaled units, and an extra
+//! per-cell 95%-confidence-interval table) — see the `fig5` docs.
 
 use arvi_bench::{
     grid, handle_list_flags, maybe_obs_grid, maybe_obs_pass, resilience_from_args,
-    threads_from_args, trace_dir_from_args, workloads_from_args, Fig6Data, Spec, TraceSet,
+    sample_plan_from_args, threads_from_args, trace_dir_from_args, workloads_from_args, Fig6Data,
+    Spec, TraceSet,
 };
 use arvi_sim::{Depth, PredictorConfig};
 
@@ -50,6 +57,7 @@ fn main() {
         "--top-sites",
         "--events-out",
         "--metrics-out",
+        "--sample",
     ];
     let mut positional = None;
     let mut i = 0;
@@ -89,9 +97,39 @@ fn main() {
         trace_dir.as_deref(),
         resilience.as_ref(),
     );
-    let data = match &resilience {
-        None => Fig6Data::collect_over(&workloads, depth, spec, true, threads, Some(&traces)),
-        Some(res) => {
+    let plan = sample_plan_from_args(&args).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    });
+    let data = match (&plan, &resilience) {
+        (Some(plan), res) => {
+            match Fig6Data::collect_sampled(
+                &workloads,
+                depth,
+                spec,
+                plan,
+                true,
+                threads,
+                &traces,
+                res.as_ref(),
+            ) {
+                Ok((data, ci)) => {
+                    println!(
+                        "== Sampled estimates (plan {plan}): 95% confidence intervals ==\n{}",
+                        ci.to_text()
+                    );
+                    data
+                }
+                Err(incomplete) => {
+                    eprintln!("{incomplete}");
+                    std::process::exit(3);
+                }
+            }
+        }
+        (None, None) => {
+            Fig6Data::collect_over(&workloads, depth, spec, true, threads, Some(&traces))
+        }
+        (None, Some(res)) => {
             match Fig6Data::collect_resilient(
                 &workloads,
                 depth,

@@ -13,7 +13,10 @@ use arvi_stats::{amean, Table};
 use arvi_trace::{Trace, TraceReplayer};
 use arvi_workloads::Benchmark;
 
+use arvi_sampling::SamplePlan;
+
 use crate::resilience::{collect_results, run_sweep_resilient, Resilience, SweepIncomplete};
+use crate::sampling::{run_sweep_sampled, sample_ci_table};
 use crate::sweep::{default_threads, grid, run_sweep, run_sweep_with, TraceSet};
 use crate::workload::Workload;
 
@@ -171,6 +174,31 @@ pub fn fig5_tables_resilient(
     Ok(fig5_assemble(workloads, &depths, &results))
 }
 
+/// [`fig5_tables_over`] under interval sampling: every cell estimates
+/// its window from `plan`'s units over the shared recording (see
+/// [`crate::sampling::run_sweep_sampled`]). Returns the two Figure-5
+/// tables plus the per-cell confidence-interval table.
+pub fn fig5_tables_sampled(
+    workloads: &[Workload],
+    spec: Spec,
+    plan: &SamplePlan,
+    progress: bool,
+    threads: usize,
+    traces: &TraceSet,
+    res: Option<&Resilience>,
+) -> Result<(Table, Table, Table), SweepIncomplete> {
+    let depths = Depth::all();
+    let points = grid(workloads, &depths, &[PredictorConfig::ArviCurrent]);
+    let sweep = run_sweep_sampled(&points, spec, plan, threads, progress, traces, res);
+    if let Some(summary) = crate::resilience::outcome_summary(&sweep.outcomes) {
+        eprintln!("{summary}");
+    }
+    let ci = sample_ci_table(&points, &sweep);
+    let results = collect_results(&points, sweep.outcomes)?;
+    let (fig5a, fig5b) = fig5_assemble(workloads, &depths, &results);
+    Ok((fig5a, fig5b, ci))
+}
+
 /// Builds the two Figure-5 tables from grid-ordered results (the shared
 /// tail of the strict and resilient paths).
 fn fig5_assemble(
@@ -293,6 +321,30 @@ impl Fig6Data {
         }
         let flat = collect_results(&points, outcomes)?;
         Ok(Fig6Data::assemble(workloads, depth, flat))
+    }
+
+    /// [`Fig6Data::collect_over`] under interval sampling (see
+    /// [`crate::sampling::run_sweep_sampled`]): returns the dataset plus
+    /// the per-cell confidence-interval table.
+    #[allow(clippy::too_many_arguments)]
+    pub fn collect_sampled(
+        workloads: &[Workload],
+        depth: Depth,
+        spec: Spec,
+        plan: &SamplePlan,
+        progress: bool,
+        threads: usize,
+        traces: &TraceSet,
+        res: Option<&Resilience>,
+    ) -> Result<(Fig6Data, Table), SweepIncomplete> {
+        let points = grid(workloads, &[depth], &PredictorConfig::all());
+        let sweep = run_sweep_sampled(&points, spec, plan, threads, progress, traces, res);
+        if let Some(summary) = crate::resilience::outcome_summary(&sweep.outcomes) {
+            eprintln!("{summary}");
+        }
+        let ci = sample_ci_table(&points, &sweep);
+        let flat = collect_results(&points, sweep.outcomes)?;
+        Ok((Fig6Data::assemble(workloads, depth, flat), ci))
     }
 
     /// Splits flat grid-ordered results per workload (the shared tail

@@ -444,6 +444,32 @@ mod tests {
     }
 
     #[test]
+    fn degrades_gracefully_below_two_reports() {
+        // Zero reports: empty table skeleton, no trends, no regressions.
+        let empty = bench_history(&[], None);
+        assert!(empty.prs.is_empty());
+        assert!(empty.trends.is_empty());
+        assert_eq!(empty.regressions().count(), 0);
+        let md = empty.to_markdown();
+        assert!(md.contains("## Bench trajectory"), "{md}");
+        assert!(md.contains("No guardrail metric regressed"), "{md}");
+        let j = empty.to_json();
+        assert!(matches!(j.get("regressions"), Some(Json::Arr(r)) if r.is_empty()));
+
+        // One report: a column but no deltas, nothing flagged.
+        let one = bench_history(&[file(9, r#"{"x_ns":10.0,"y_speedup":4.0}"#)], None);
+        assert_eq!(one.prs, vec![9]);
+        assert_eq!(one.trends.len(), 2);
+        for t in &one.trends {
+            assert!(t.change_pct.is_none(), "no delta from a single point");
+            assert!(!t.flagged);
+        }
+        let md = one.to_markdown();
+        assert!(md.contains("| PR9 |"), "{md}");
+        assert!(md.contains("No guardrail metric regressed"), "{md}");
+    }
+
+    #[test]
     fn load_error_names_the_path() {
         let dir = std::env::temp_dir().join(format!("arvi_hist_bad_{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();

@@ -67,6 +67,7 @@ pub mod obs;
 pub mod obs_grid;
 pub mod report;
 pub mod resilience;
+pub mod sampling;
 pub mod sweep;
 pub mod workload;
 
@@ -74,8 +75,9 @@ pub use branch_stream::{conditional_branches, run_delayed, run_delayed_scalar, S
 pub use events::{EventLog, SweepTelemetry};
 pub use guard::{evaluate_guardrail, trend_flags, GuardOutcome, MetricRow, MetricStatus};
 pub use harness::{
-    fig5_tables, fig5_tables_over, fig5_tables_resilient, fig5_tables_threaded, fig5_tables_with,
-    fig6_tables, paper_tables, run_one, run_one_traced, Fig6Data, Spec,
+    fig5_tables, fig5_tables_over, fig5_tables_resilient, fig5_tables_sampled,
+    fig5_tables_threaded, fig5_tables_with, fig6_tables, paper_tables, run_one, run_one_traced,
+    Fig6Data, Spec,
 };
 pub use history::{bench_history, load_bench_history, BenchFile, HistoryReport, MetricTrend};
 pub use obs::{maybe_obs_pass, obs_from_args, run_obs_pass, ObsConfig, ObsReport, WorkloadObs};
@@ -89,6 +91,9 @@ pub use resilience::{
     cell_fingerprint, collect_results, outcome_summary, run_sweep_resilient, timing_summary,
     CellOutcome, CellSuccess, Degradation, FaultKind, FaultPlan, FaultyIo, Resilience,
     SweepIncomplete, SweepJournal,
+};
+pub use sampling::{
+    run_sweep_sampled, sample_ci_table, sample_plan_from_args, unit_fingerprint, SampledSweep,
 };
 pub use sweep::{
     default_threads, distinct_workloads, full_grid, grid, par_map, par_map_caught, record_trace,

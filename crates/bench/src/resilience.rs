@@ -95,6 +95,10 @@ pub struct CellSuccess {
     /// journaled duration of the original run (zero for entries written
     /// by journals that predate duration tracking).
     pub duration: Duration,
+    /// How many sampling units produced this result under
+    /// [`crate::sampling::run_sweep_sampled`]; `0` for a full
+    /// (unsampled) run.
+    pub sampled_units: usize,
 }
 
 /// The structured outcome of one grid cell under
@@ -923,6 +927,7 @@ fn run_cell(
             degradation: *degradation,
             resumed: true,
             duration: *duration,
+            sampled_units: 0,
         });
     }
     let start = Instant::now();
@@ -994,6 +999,7 @@ fn run_cell(
                 degradation,
                 resumed: false,
                 duration: elapsed,
+                sampled_units: 0,
             }),
         },
     }
@@ -1354,6 +1360,7 @@ mod tests {
                 degradation,
                 resumed,
                 duration: Duration::from_millis(40),
+                sampled_units: 0,
             })
         };
         assert_eq!(outcome_summary(&[ok(Degradation::None, false)]), None);
@@ -1381,6 +1388,7 @@ mod tests {
                 degradation,
                 resumed,
                 duration: Duration::from_millis(ms),
+                sampled_units: 0,
             })
         };
         // Nothing ran in-process: resumed-only grids report no timing.

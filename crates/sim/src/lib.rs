@@ -48,6 +48,7 @@ pub mod rename;
 pub mod run;
 pub mod source;
 pub mod tlb;
+pub mod warmup;
 pub mod wheel;
 
 pub use branch_unit::{BranchDecision, BranchUnit, Level2};
@@ -58,6 +59,7 @@ pub use oracle::{LoadBackOracle, PerfectOracle, ReadyOracle};
 pub use params::{ArviTuning, CacheConfig, Depth, PredictorConfig, SimParams, TlbConfig};
 pub use rename::RenameState;
 pub use run::{intern_name, simulate, simulate_source, simulate_source_probed, SimResult};
-pub use source::{InstSource, IterSource};
+pub use source::{InstSource, IterSource, RebasedSource};
 pub use tlb::Tlb;
+pub use warmup::WarmupMachine;
 pub use wheel::{EventWheel, SeqSet};

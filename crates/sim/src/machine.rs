@@ -281,6 +281,11 @@ pub struct Machine<S: InstSource = Emulator, P: Probe = NullProbe> {
     /// the fetch-to-writeback distance.
     lb_window: u64,
     stats: MachineStats,
+    /// Hard commit ceiling: commit stops mid-cycle once this many total
+    /// instructions have committed (`u64::MAX` = no cap). Lets sampled
+    /// measurement windows end on an exact instruction boundary instead
+    /// of overshooting by up to `commit_width - 1`.
+    commit_cap: u64,
     profile: Option<std::collections::HashMap<u64, PcProfile>>,
     /// Cycle at which fetch last entered `BranchBlocked` (mispredict
     /// recovery depth = release cycle minus this).
@@ -311,13 +316,31 @@ impl<S: InstSource, P: Probe> Machine<S, P> {
         config: PredictorConfig,
         probe: P,
     ) -> Machine<S, P> {
+        let hier = Hierarchy::new(&params);
+        let bu = BranchUnit::new(&params, config);
+        Machine::assemble(source, params, config, probe, bu, hier)
+    }
+
+    /// Builds a machine around pre-warmed predictor and hierarchy state
+    /// (the sampled-simulation handoff: a
+    /// [`WarmupMachine`](crate::warmup::WarmupMachine) trains `bu` and
+    /// `hier` at emulation speed, then the detailed measurement starts
+    /// here). Rename/ROB/scheduler state always starts cold — those
+    /// describe in-flight instructions, of which there are none yet.
+    pub(crate) fn assemble(
+        source: S,
+        params: SimParams,
+        config: PredictorConfig,
+        probe: P,
+        bu: BranchUnit,
+        hier: Hierarchy,
+    ) -> Machine<S, P> {
         let lb_window =
             params.fetch_width as u64 * (params.frontend_latency + params.l1_latency + 1);
         // A zero-latency front end would make an instruction issue-ready
         // in its own fetch cycle, after the issue stage already ran; the
         // scheduler relies on dispatch readiness being strictly future.
         assert!(params.frontend_latency >= 1, "front end must be >= 1 cycle");
-        let hier = Hierarchy::new(&params);
         // The wheel horizon must exceed every schedulable delay:
         // `max_event_latency` is the single source of that bound (worst
         // writeback latency, FU latencies, front-end dispatch delay).
@@ -331,7 +354,7 @@ impl<S: InstSource, P: Probe> Machine<S, P> {
             hier.max_access_latency()
         );
         Machine {
-            bu: BranchUnit::new(&params, config),
+            bu,
             rename: RenameState::new(params.phys_regs),
             rob: Rob::new(params.rob_entries),
             decisions: VecDeque::new(),
@@ -351,6 +374,7 @@ impl<S: InstSource, P: Probe> Machine<S, P> {
             trace_done: false,
             lb_window,
             stats: MachineStats::default(),
+            commit_cap: u64::MAX,
             profile: None,
             blocked_since: 0,
             probe,
@@ -430,6 +454,22 @@ impl<S: InstSource, P: Probe> Machine<S, P> {
             self.step_cycle();
         }
         self.stats.committed
+    }
+
+    /// [`run_until_committed`](Machine::run_until_committed), but the
+    /// commit stage stops *exactly* at `target` — the final cycle
+    /// commits a partial group instead of a full `commit_width` one, so
+    /// a measurement window ends on a precise instruction boundary.
+    /// Sampling depends on this: with an exact cap, a 100%-coverage
+    /// plan's tiled windows measure the same instruction population as
+    /// one contiguous run, commit for commit. The cap is cleared before
+    /// returning; instructions already completed in the window commit on
+    /// the next call.
+    pub fn run_until_committed_exact(&mut self, target: u64) -> u64 {
+        self.commit_cap = target;
+        let committed = self.run_until_committed(target);
+        self.commit_cap = u64::MAX;
+        committed
     }
 
     fn step_cycle(&mut self) {
@@ -563,7 +603,7 @@ impl<S: InstSource, P: Probe> Machine<S, P> {
     /// ring; nothing is copied out).
     fn commit(&mut self) -> bool {
         let mut n = 0;
-        while n < self.params.commit_width {
+        while n < self.params.commit_width && self.stats.committed < self.commit_cap {
             if self.tail_seq == self.head_seq {
                 break;
             }

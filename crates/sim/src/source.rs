@@ -65,6 +65,47 @@ impl<I: Iterator<Item = DynInst>> InstSource for IterSource<I> {
     }
 }
 
+/// Re-bases an inner source's sequence numbers to start at 0.
+///
+/// The machine requires dense sequence numbers starting at its first
+/// fetch, but a sampling unit begins its detailed window in the middle
+/// of a recorded trace where `seq` equals the absolute trace position.
+/// `RebasedSource` subtracts that base so a mid-trace window looks like
+/// a stream of its own to the machine. Only `seq` changes — the records
+/// are otherwise untouched.
+#[derive(Debug)]
+pub struct RebasedSource<S> {
+    inner: S,
+    base: u64,
+}
+
+impl<S: InstSource> RebasedSource<S> {
+    /// Wraps `inner`, subtracting `base` from every record's `seq`
+    /// (`inner`'s next record must carry `seq == base`).
+    pub fn new(inner: S, base: u64) -> RebasedSource<S> {
+        RebasedSource { inner, base }
+    }
+}
+
+impl<S: InstSource> InstSource for RebasedSource<S> {
+    #[inline]
+    fn next_inst(&mut self) -> Option<DynInst> {
+        self.inner.next_inst().map(|mut d| {
+            d.seq -= self.base;
+            d
+        })
+    }
+
+    #[inline]
+    fn fill(&mut self, out: &mut [DynInst]) -> usize {
+        let n = self.inner.fill(out);
+        for d in &mut out[..n] {
+            d.seq -= self.base;
+        }
+        n
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

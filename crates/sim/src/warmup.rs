@@ -1,0 +1,298 @@
+//! Functional (emulation-speed) microarchitectural warm-up for sampled
+//! simulation.
+//!
+//! A sampling unit measures a short detailed window somewhere in the
+//! middle of a recorded trace. The *architectural* state there is free —
+//! every [`DynInst`] record carries its own operand and result values —
+//! but the *microarchitectural* state (predictor tables, the ARVI
+//! DDT/BVIT/shadow file, caches and TLBs) would start cold, biasing the
+//! measurement. [`WarmupMachine`] closes that gap: it streams the
+//! instructions preceding the detail window through the predictor stack
+//! and the memory hierarchy **without the cycle model** — no ROB, no
+//! scheduler, no event wheel — so warm-up proceeds at near emulation
+//! speed, then hands the warmed [`BranchUnit`] and [`Hierarchy`] to a
+//! real [`Machine`] for the detailed window.
+//!
+//! The warm-up is a deterministic approximation of the detailed
+//! machine's training stream, not a replica of it:
+//!
+//! * every register value is treated as available at prediction time
+//!   (values are written back the moment an instruction is seen), where
+//!   the detailed machine gates availability on execution timing;
+//! * predictor training happens a fixed in-flight window after
+//!   prediction (mirroring commit order), not at a cycle-accurate
+//!   commit time.
+//!
+//! Both approximations only affect *how warm* the state is at the
+//! window boundary — identical inputs always produce identical warmed
+//! state, so sampled runs stay bit-reproducible.
+
+use std::collections::VecDeque;
+
+use arvi_core::{CurrentValues, PhysReg, RenamedOp};
+use arvi_isa::DynInst;
+use arvi_obs::NullProbe;
+
+use crate::branch_unit::{BranchDecision, BranchUnit};
+use crate::hierarchy::Hierarchy;
+use crate::machine::Machine;
+use crate::params::{PredictorConfig, SimParams};
+use crate::rename::RenameState;
+use crate::source::InstSource;
+
+/// One retired-in-order bookkeeping entry of the warm-up's in-flight
+/// window (the stand-in for a ROB slot).
+#[derive(Debug)]
+struct InFlight {
+    prev_phys: Option<PhysReg>,
+    is_branch: bool,
+}
+
+/// Emulation-speed trainer for predictor and cache state; see the
+/// module docs for the model and its approximations.
+#[derive(Debug)]
+pub struct WarmupMachine {
+    params: SimParams,
+    config: PredictorConfig,
+    bu: BranchUnit,
+    hier: Hierarchy,
+    rename: RenameState,
+    /// Instructions inserted but not yet retired, bounded by
+    /// `params.rob_entries` to mirror the detailed machine's DDT
+    /// residency.
+    window: VecDeque<InFlight>,
+    /// Pending branch decisions, trained in retire order.
+    decisions: VecDeque<(u64, BranchDecision, bool)>,
+    current_fetch_line: u64,
+    fetch_line_shift: u32,
+    seen: u64,
+}
+
+impl WarmupMachine {
+    /// A cold warm-up machine for the given configuration.
+    pub fn new(params: SimParams, config: PredictorConfig) -> WarmupMachine {
+        WarmupMachine {
+            bu: BranchUnit::new(&params, config),
+            hier: Hierarchy::new(&params),
+            rename: RenameState::new(params.phys_regs),
+            window: VecDeque::new(),
+            decisions: VecDeque::new(),
+            current_fetch_line: u64::MAX,
+            fetch_line_shift: (params.l1i.line_bytes as u64).trailing_zeros(),
+            seen: 0,
+            params,
+            config,
+        }
+    }
+
+    /// Instructions trained so far.
+    pub fn trained(&self) -> u64 {
+        self.seen
+    }
+
+    /// Streams up to `n` records from `source` through the predictor
+    /// stack and hierarchy. Returns the number actually consumed (less
+    /// than `n` only when the source ends).
+    pub fn warm<S: InstSource>(&mut self, source: &mut S, n: u64) -> u64 {
+        let mut consumed = 0;
+        while consumed < n {
+            let Some(d) = source.next_inst() else { break };
+            self.train_one(d);
+            consumed += 1;
+        }
+        consumed
+    }
+
+    fn train_one(&mut self, d: DynInst) {
+        self.seen += 1;
+        // Retire before inserting: the DDT holds exactly `rob_entries`
+        // slots, so the window must free one before the new
+        // instruction's `rename_op` lands.
+        if self.window.len() >= self.params.rob_entries {
+            self.retire_oldest();
+        }
+        // Instruction fetch path: one I-cache/ITLB access per new line.
+        let line = d.byte_pc() >> self.fetch_line_shift;
+        if line != self.current_fetch_line {
+            self.hier.fetch_inst(d.byte_pc());
+            self.current_fetch_line = line;
+        }
+        // Data path.
+        if d.is_load() || d.is_store() {
+            self.hier.access_data(d.mem_addr);
+        }
+        let src_phys = [
+            d.srcs[0].map(|r| self.rename.lookup(r)),
+            d.srcs[1].map(|r| self.rename.lookup(r)),
+        ];
+        // Predict before the branch's own DDT insertion, as the
+        // detailed machine does. `CurrentValues` stands in for the
+        // config's oracle: at emulation speed every value has been
+        // written back, so the shadow file is fully available.
+        if d.is_branch() {
+            let actual = d.branch.expect("is_branch").taken;
+            let dec = self
+                .bu
+                .decide(d.byte_pc(), src_phys, &CurrentValues, actual);
+            self.decisions.push_back((d.byte_pc(), dec, actual));
+        }
+        let (dest_phys, prev_phys) = match d.dest {
+            Some(logical) => {
+                let (new, prev) =
+                    self.rename
+                        .allocate(logical, d.seq, d.result, d.is_load(), d.hoist);
+                (Some(new), Some(prev))
+            }
+            None => (None, None),
+        };
+        if self.config.is_arvi() {
+            let op = RenamedOp {
+                dest: dest_phys,
+                srcs: src_phys,
+                is_load: d.is_load(),
+            };
+            self.bu.rename_op(&op, d.dest);
+            // Immediate writeback: the record carries the architectural
+            // result, and warm-up has no execution timing to wait for.
+            if let Some(p) = dest_phys {
+                self.bu.writeback(p, d.result);
+            }
+        }
+        self.window.push_back(InFlight {
+            prev_phys,
+            is_branch: d.is_branch(),
+        });
+    }
+
+    fn retire_oldest(&mut self) {
+        let Some(entry) = self.window.pop_front() else {
+            return;
+        };
+        if let Some(prev) = entry.prev_phys {
+            self.rename.release(prev);
+        }
+        if self.config.is_arvi() {
+            self.bu.commit_inst();
+        }
+        if entry.is_branch {
+            let (pc, dec, actual) = self
+                .decisions
+                .pop_front()
+                .expect("every in-flight branch queued a decision");
+            self.bu.commit_branch(pc, &dec, actual);
+        }
+    }
+
+    /// Retires everything still in flight (training the remaining
+    /// queued branches) and hands the warmed predictor stack and
+    /// hierarchy to a fresh [`Machine`] over `source`. The machine's
+    /// rename/ROB/scheduler state starts cold — it describes in-flight
+    /// instructions, of which there are none at a window boundary.
+    pub fn into_machine<S: InstSource>(mut self, source: S) -> Machine<S> {
+        while !self.window.is_empty() {
+            self.retire_oldest();
+        }
+        Machine::assemble(
+            source,
+            self.params,
+            self.config,
+            NullProbe,
+            self.bu,
+            self.hier,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::Depth;
+    use crate::run::intern_name;
+    use crate::source::{IterSource, RebasedSource};
+    use arvi_isa::Emulator;
+    use arvi_isa::{regs::*, AluOp, Cond, ProgramBuilder};
+
+    fn looping_program() -> arvi_isa::Program {
+        let mut b = ProgramBuilder::new();
+        b.li(T0, 0);
+        let head = b.here();
+        b.alu_imm(AluOp::Add, T0, T0, 1);
+        b.alu_imm(AluOp::And, T1, T0, 7);
+        b.branch(Cond::Ne, T1, ZERO, head);
+        b.alu_imm(AluOp::Xor, T2, T2, 1);
+        b.jump(head);
+        b.build().with_name("warm-loop")
+    }
+
+    #[test]
+    fn warm_consumes_and_counts() {
+        for config in [PredictorConfig::TwoLevelGskew, PredictorConfig::ArviCurrent] {
+            let mut w = WarmupMachine::new(SimParams::small_test(), config);
+            let mut src = Emulator::new(looping_program());
+            assert_eq!(w.warm(&mut src, 5_000), 5_000);
+            assert_eq!(w.trained(), 5_000);
+        }
+    }
+
+    #[test]
+    fn warm_stops_at_source_end() {
+        let mut w = WarmupMachine::new(SimParams::small_test(), PredictorConfig::ArviCurrent);
+        let records: Vec<DynInst> = Emulator::new(looping_program()).take(800).collect();
+        let mut src = IterSource(records.into_iter());
+        assert_eq!(w.warm(&mut src, 2_000), 800);
+    }
+
+    #[test]
+    fn warmed_machine_measures_and_is_deterministic() {
+        let run = || {
+            let records: Vec<DynInst> = Emulator::new(looping_program()).take(30_000).collect();
+            let mut w = WarmupMachine::new(
+                SimParams::for_depth(Depth::D20),
+                PredictorConfig::ArviCurrent,
+            );
+            let mut src = IterSource(records.into_iter());
+            w.warm(&mut src, 10_000);
+            let mut m = w.into_machine(RebasedSource::new(src, 10_000));
+            m.run_until_committed(15_000);
+            m.stats().clone()
+        };
+        let a = run();
+        let b = run();
+        assert!(a.committed >= 15_000);
+        assert!(a.cycles > 0);
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.cond_branches, b.cond_branches);
+        assert_eq!(a.full_mispredicts, b.full_mispredicts);
+    }
+
+    #[test]
+    fn warmup_trains_the_predictors() {
+        // The warm branch unit should mispredict the periodic loop
+        // branch far less than a cold one over the same window.
+        let name = intern_name("warm-loop");
+        let cold = {
+            let r = crate::run::simulate_source(
+                name,
+                IterSource(Emulator::new(looping_program()).take(12_000)),
+                SimParams::for_depth(Depth::D20),
+                PredictorConfig::TwoLevelGskew,
+                0,
+                4_000,
+            );
+            r.window.cond_branches
+        };
+        let warm = {
+            let mut w = WarmupMachine::new(
+                SimParams::for_depth(Depth::D20),
+                PredictorConfig::TwoLevelGskew,
+            );
+            let mut src = Emulator::new(looping_program());
+            w.warm(&mut src, 20_000);
+            let mut m = w.into_machine(RebasedSource::new(src, 20_000));
+            let start = m.stats().clone();
+            m.run_until_committed(4_000);
+            m.stats().since(&start).cond_branches
+        };
+        assert!(warm.rate() >= cold.rate(), "warm {} vs cold {}", warm, cold);
+    }
+}

@@ -4,11 +4,13 @@
 //! the simulator and the experiment harness of the ARVI reproduction.
 
 pub mod accuracy;
+pub mod sample;
 pub mod series;
 pub mod summary;
 pub mod table;
 
 pub use accuracy::Accuracy;
+pub use sample::{t_95, SampleEstimate, Z_95};
 pub use series::{change_percent, cv_percent, stddev};
 pub use summary::{amean, geomean, normalize};
 pub use table::Table;

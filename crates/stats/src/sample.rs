@@ -1,0 +1,254 @@
+//! Weighted sample estimators for interval (SMARTS-style) sampling.
+//!
+//! A sampled run measures a ratio statistic (IPC, predictor accuracy)
+//! over `n` detailed units instead of the whole window. Each unit `i`
+//! contributes a value `v_i = numerator_i / denominator_i` and a weight
+//! `w_i = denominator_i` (cycles for IPC, branch count for accuracy).
+//! Weighting by the denominator makes the weighted mean *exactly* the
+//! ratio of summed counters:
+//!
+//! ```text
+//! mean = Σ w_i v_i / Σ w_i = Σ numerator_i / Σ denominator_i
+//! ```
+//!
+//! so the point estimate is identical to aggregating the per-unit
+//! integer counter blocks — no floating-point path diverges from the
+//! deterministic counter sums. The confidence interval comes from the
+//! weighted sample variance of the per-unit values (ratio-estimator
+//! form) scaled by a Student-t quantile at `units - 1` degrees of
+//! freedom — sampled runs here often aggregate only a handful of units,
+//! where the normal approximation (`Z = 1.96`) understates the
+//! interval. The usual CLT caveat still applies: the interval captures
+//! *sampling* variance only, not systematic warm-up bias, and it is
+//! most trustworthy when units are numerous and systematically spread
+//! over the run.
+
+/// One weighted estimate: mean, standard error and 95% confidence
+/// interval of a ratio statistic over sampled units.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SampleEstimate {
+    /// Weighted mean (equals the ratio of summed counters).
+    pub mean: f64,
+    /// Standard error of the weighted mean (0 for fewer than 2 units).
+    pub stderr: f64,
+    /// Number of units aggregated.
+    pub units: usize,
+    /// Sum of weights (the denominator counter total).
+    pub weight: f64,
+}
+
+/// Two-sided 95% normal quantile (the large-sample limit of
+/// [`t_95`]).
+pub const Z_95: f64 = 1.96;
+
+/// Two-sided 95% Student-t quantile for `df` degrees of freedom.
+/// Exact table entries through `df = 30`, then conservative brackets
+/// down to the normal limit [`Z_95`]. `df = 0` (a single unit) has no
+/// variance estimate at all; it returns the `df = 1` quantile, but the
+/// stderr is 0 there so the interval collapses regardless.
+pub fn t_95(df: usize) -> f64 {
+    const TABLE: [f64; 30] = [
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160,
+        2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+        2.052, 2.048, 2.045, 2.042,
+    ];
+    match df {
+        0 => TABLE[0],
+        1..=30 => TABLE[df - 1],
+        31..=40 => 2.021,
+        41..=60 => 2.000,
+        61..=120 => 1.980,
+        _ => Z_95,
+    }
+}
+
+impl SampleEstimate {
+    /// Estimates from `(value, weight)` pairs, one per sampled unit.
+    /// Zero-weight units carry no information and are ignored.
+    pub fn from_weighted(samples: &[(f64, f64)]) -> SampleEstimate {
+        let mut weight = 0.0;
+        let mut weighted_sum = 0.0;
+        let mut n = 0usize;
+        for &(v, w) in samples {
+            if w <= 0.0 {
+                continue;
+            }
+            weight += w;
+            weighted_sum += v * w;
+            n += 1;
+        }
+        if n == 0 || weight <= 0.0 {
+            return SampleEstimate {
+                mean: 0.0,
+                stderr: 0.0,
+                units: 0,
+                weight: 0.0,
+            };
+        }
+        let mean = weighted_sum / weight;
+        if n < 2 {
+            return SampleEstimate {
+                mean,
+                stderr: 0.0,
+                units: n,
+                weight,
+            };
+        }
+        // Ratio-estimator variance: Var(mean) ≈ n/(n-1) · Σ w_i²(v_i-mean)² / (Σw)².
+        let mut ss = 0.0;
+        for &(v, w) in samples {
+            if w <= 0.0 {
+                continue;
+            }
+            let d = v - mean;
+            ss += (w * d) * (w * d);
+        }
+        let var = ss / (weight * weight) * (n as f64 / (n as f64 - 1.0));
+        SampleEstimate {
+            mean,
+            stderr: var.sqrt(),
+            units: n,
+            weight,
+        }
+    }
+
+    /// Half-width of the 95% confidence interval (Student-t at
+    /// `units - 1` degrees of freedom).
+    pub fn ci_half_width(&self) -> f64 {
+        t_95(self.units.saturating_sub(1)) * self.stderr
+    }
+
+    /// Lower bound of the 95% confidence interval.
+    pub fn ci_lo(&self) -> f64 {
+        self.mean - self.ci_half_width()
+    }
+
+    /// Upper bound of the 95% confidence interval.
+    pub fn ci_hi(&self) -> f64 {
+        self.mean + self.ci_half_width()
+    }
+
+    /// Whether `value` lies inside the 95% confidence interval.
+    pub fn ci_contains(&self, value: f64) -> bool {
+        value >= self.ci_lo() && value <= self.ci_hi()
+    }
+
+    /// Relative CI half-width (coefficient-of-error at 95%); `0` when
+    /// the mean is 0.
+    pub fn relative_error(&self) -> f64 {
+        if self.mean == 0.0 {
+            0.0
+        } else {
+            self.ci_half_width() / self.mean.abs()
+        }
+    }
+}
+
+impl std::fmt::Display for SampleEstimate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:.4} ± {:.4} (95% CI, {} units)",
+            self.mean,
+            self.ci_half_width(),
+            self.units
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weighted_mean_is_ratio_of_sums() {
+        // Units with (committed, cycles): IPC samples weighted by cycles.
+        let units = [(400u64, 500u64), (300, 600), (950, 1_000)];
+        let samples: Vec<(f64, f64)> = units
+            .iter()
+            .map(|&(num, den)| (num as f64 / den as f64, den as f64))
+            .collect();
+        let est = SampleEstimate::from_weighted(&samples);
+        let num: u64 = units.iter().map(|u| u.0).sum();
+        let den: u64 = units.iter().map(|u| u.1).sum();
+        assert!((est.mean - num as f64 / den as f64).abs() < 1e-15);
+        assert_eq!(est.units, 3);
+        assert_eq!(est.weight, den as f64);
+    }
+
+    #[test]
+    fn identical_units_have_zero_stderr() {
+        let samples = vec![(0.75, 100.0); 8];
+        let est = SampleEstimate::from_weighted(&samples);
+        assert_eq!(est.mean, 0.75);
+        assert_eq!(est.stderr, 0.0);
+        assert!(est.ci_contains(0.75));
+        assert!(!est.ci_contains(0.76));
+    }
+
+    #[test]
+    fn ci_covers_the_spread() {
+        let samples = [(1.0, 100.0), (2.0, 100.0), (3.0, 100.0), (2.0, 100.0)];
+        let est = SampleEstimate::from_weighted(&samples);
+        assert!((est.mean - 2.0).abs() < 1e-12);
+        assert!(est.stderr > 0.0);
+        assert!(est.ci_lo() < 2.0 && est.ci_hi() > 2.0);
+        assert!(est.ci_contains(est.mean));
+        assert!((est.ci_hi() - est.mean - est.ci_half_width()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let empty = SampleEstimate::from_weighted(&[]);
+        assert_eq!(empty.units, 0);
+        assert_eq!(empty.mean, 0.0);
+        let zero_weight = SampleEstimate::from_weighted(&[(5.0, 0.0)]);
+        assert_eq!(zero_weight.units, 0);
+        let single = SampleEstimate::from_weighted(&[(1.5, 10.0)]);
+        assert_eq!(single.units, 1);
+        assert_eq!(single.mean, 1.5);
+        assert_eq!(single.stderr, 0.0);
+    }
+
+    #[test]
+    fn relative_error_scales_with_stderr() {
+        let est = SampleEstimate::from_weighted(&[(1.0, 10.0), (3.0, 10.0)]);
+        assert!((est.mean - 2.0).abs() < 1e-12);
+        assert!((est.relative_error() - est.ci_half_width() / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn t_quantiles_decrease_toward_the_normal_limit() {
+        let mut prev = f64::INFINITY;
+        for df in 1..200 {
+            let t = t_95(df);
+            assert!(t <= prev, "t_95 must be non-increasing in df");
+            assert!(t >= Z_95, "t_95 never undershoots the normal quantile");
+            prev = t;
+        }
+        assert_eq!(t_95(1), 12.706);
+        assert_eq!(t_95(4), 2.776);
+        assert_eq!(t_95(1_000), Z_95);
+        // Small-sample intervals are wider: 3 units at the same spread
+        // produce a wider CI than 30 units with the same stderr.
+        let wide = SampleEstimate {
+            mean: 1.0,
+            stderr: 0.1,
+            units: 3,
+            weight: 300.0,
+        };
+        let narrow = SampleEstimate {
+            mean: 1.0,
+            stderr: 0.1,
+            units: 30,
+            weight: 3_000.0,
+        };
+        assert!(wide.ci_half_width() > narrow.ci_half_width());
+    }
+
+    #[test]
+    fn display_form() {
+        let est = SampleEstimate::from_weighted(&[(1.0, 1.0)]);
+        assert_eq!(est.to_string(), "1.0000 ± 0.0000 (95% CI, 1 units)");
+    }
+}

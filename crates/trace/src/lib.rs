@@ -106,6 +106,15 @@ pub enum TraceError {
         /// Instructions requested.
         need: u64,
     },
+    /// A seek target beyond the end of the trace
+    /// ([`TraceReader::seek_to_inst`]); the caller's sampling plan and
+    /// the recording disagree about the trace length.
+    SeekPastEnd {
+        /// Requested instruction sequence number.
+        seq: u64,
+        /// Instructions the trace actually holds.
+        len: u64,
+    },
 }
 
 impl TraceError {
@@ -175,6 +184,12 @@ impl fmt::Display for TraceError {
             TraceError::Injected(what) => write!(f, "injected fault: {what}"),
             TraceError::SourceEnded { at, need } => {
                 write!(f, "source ended at instruction {at} of {need}")
+            }
+            TraceError::SeekPastEnd { seq, len } => {
+                write!(
+                    f,
+                    "seek target {seq} is past the end of the trace ({len} instructions)"
+                )
             }
         }
     }

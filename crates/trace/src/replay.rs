@@ -136,6 +136,34 @@ impl Cursor {
         }
         skipped
     }
+
+    /// Repositions the cursor so the next record read is the one with
+    /// sequence number `seq`, using the chunk index to land directly on
+    /// the containing chunk — no predecessor chunk is decoded, so a
+    /// seek into a billion-instruction trace costs one binary search
+    /// plus one chunk decode. Unlike [`Cursor::fast_forward`] this is
+    /// absolute, not relative, and works regardless of the cursor's
+    /// current position.
+    fn seek_to_inst(&mut self, trace: &Trace, seq: u64) -> Result<(), crate::TraceError> {
+        if seq >= trace.len() {
+            return Err(crate::TraceError::SeekPastEnd {
+                seq,
+                len: trace.len(),
+            });
+        }
+        // The containing chunk is the last one whose first_seq <= seq.
+        let idx = trace.chunks().partition_point(|c| c.first_seq <= seq) - 1;
+        trace
+            .decode_chunk_trusted(idx, &mut self.buf)
+            .unwrap_or_else(|e| corrupt_chunk_panic(idx, trace, e));
+        self.chunk = idx + 1;
+        self.pos = (seq - trace.chunks()[idx].first_seq) as usize;
+        debug_assert!(
+            self.pos < self.buf.len(),
+            "index places {seq} in chunk {idx}"
+        );
+        Ok(())
+    }
 }
 
 /// Borrowing reader over a [`Trace`], yielding records in order.
@@ -162,6 +190,22 @@ impl<'a> TraceReader<'a> {
     /// Returns the number actually skipped.
     pub fn fast_forward(&mut self, n: u64) -> u64 {
         self.cursor.fast_forward(self.trace, n)
+    }
+
+    /// Absolute seek: repositions the reader so the next record yielded
+    /// is the one with sequence number `seq`. The footer index's
+    /// `first_seq` column locates the containing chunk directly, so no
+    /// prefix is decoded — the entry cost of a sampling unit anywhere
+    /// in the trace is one binary search plus one chunk decode.
+    /// Returns [`TraceError::SeekPastEnd`](crate::TraceError::SeekPastEnd)
+    /// for a target at or beyond the end of the trace.
+    ///
+    /// Assumes the dense zero-based sequence numbering that
+    /// [`Trace::record`](crate::Trace::record) produces (`seq` equals
+    /// the record's position); hand-built traces with arbitrary `seq`
+    /// fields have no meaningful position-by-seq mapping to seek in.
+    pub fn seek_to_inst(&mut self, seq: u64) -> Result<(), crate::TraceError> {
+        self.cursor.seek_to_inst(self.trace, seq)
     }
 }
 
@@ -202,6 +246,12 @@ impl TraceReplayer {
     /// [`TraceReader::fast_forward`]).
     pub fn fast_forward(&mut self, n: u64) -> u64 {
         self.cursor.fast_forward(&self.trace, n)
+    }
+
+    /// Absolute seek via the chunk index (see
+    /// [`TraceReader::seek_to_inst`]).
+    pub fn seek_to_inst(&mut self, seq: u64) -> Result<(), crate::TraceError> {
+        self.cursor.seek_to_inst(&self.trace, seq)
     }
 }
 
@@ -345,5 +395,84 @@ mod tests {
         let mut plain = TraceReader::new(&trace);
         plain.fast_forward(110);
         assert_eq!(r.next(), plain.next());
+    }
+
+    /// Pinned chunk-boundary regression: seek-then-decode is
+    /// bit-identical to sequential decode at the first and last seq of
+    /// a chunk, at seq 0, and everywhere around the boundaries; a seek
+    /// at or past the end is an error, not silent exhaustion.
+    #[test]
+    fn seek_to_inst_matches_sequential_decode_at_chunk_boundaries() {
+        let trace = small_chunk_trace(1_000);
+        let reference: Vec<DynInst> = TraceReader::new(&trace).collect();
+        // Chunks are 64 records: cover first/last seq of several chunks
+        // plus seq 0 and the final record.
+        for seq in [0u64, 1, 63, 64, 65, 127, 128, 191, 192, 640, 959, 960, 999] {
+            let mut r = TraceReader::new(&trace);
+            r.seek_to_inst(seq).expect("in-range seek");
+            let rest: Vec<DynInst> = r.collect();
+            assert_eq!(
+                rest,
+                reference[seq as usize..],
+                "tail after seeking to {seq}"
+            );
+        }
+        // Past-EOF (and exactly-EOF) seeks are errors.
+        for seq in [1_000u64, 1_001, u64::MAX] {
+            let mut r = TraceReader::new(&trace);
+            match r.seek_to_inst(seq) {
+                Err(crate::TraceError::SeekPastEnd { seq: s, len }) => {
+                    assert_eq!((s, len), (seq, 1_000));
+                }
+                other => panic!("seek to {seq}: expected SeekPastEnd, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn seek_is_absolute_regardless_of_cursor_position() {
+        let trace = small_chunk_trace(500);
+        let reference: Vec<DynInst> = TraceReader::new(&trace).collect();
+        let mut r = TraceReader::new(&trace);
+        // Read ahead, then seek backwards and forwards.
+        for _ in 0..300 {
+            r.next();
+        }
+        r.seek_to_inst(10).unwrap();
+        assert_eq!(r.next(), Some(reference[10]));
+        r.seek_to_inst(450).unwrap();
+        assert_eq!(r.next(), Some(reference[450]));
+        // Replayer exposes the same seek.
+        let shared = Arc::new(trace);
+        let mut rp = TraceReplayer::new(Arc::clone(&shared));
+        rp.fast_forward(200);
+        rp.seek_to_inst(64).unwrap();
+        assert_eq!(rp.next(), Some(reference[64]));
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::ProptestConfig::with_cases(64))]
+
+        /// Random seek targets over random trace lengths and chunk
+        /// capacities: the record under the cursor after a seek always
+        /// equals the sequentially decoded one.
+        #[test]
+        fn seek_to_inst_matches_sequential_decode_everywhere(
+            len in 1..600usize,
+            chunk_insts in 1..97usize,
+            frac in 0..1_000u64,
+        ) {
+            let emu = Emulator::new(Benchmark::M88ksim.program(11));
+            let mut w = TraceWriter::new("m88ksim", 11).with_chunk_insts(chunk_insts);
+            for d in emu.take(len) {
+                w.push(d);
+            }
+            let trace = w.finish();
+            let reference: Vec<DynInst> = TraceReader::new(&trace).collect();
+            let seq = frac * len as u64 / 1_000;
+            let mut r = TraceReader::new(&trace);
+            r.seek_to_inst(seq).expect("in-range seek");
+            proptest::prop_assert_eq!(r.next(), Some(reference[seq as usize]));
+        }
     }
 }

@@ -17,6 +17,10 @@
 //! * [`synth`] — seeded synthetic-workload scenarios: plain-text specs
 //!   with dependence-topology, branch-behavior-class and memory-pattern
 //!   knobs, runnable anywhere a benchmark runs.
+//! * [`sampling`] — SMARTS-style interval sampling over recorded
+//!   traces: plans, seek + functional-warmup + detailed-measurement
+//!   units fanned out across cores, CI-carrying aggregation. See README
+//!   "Sampled simulation".
 //! * [`stats`] — accuracy/IPC statistics and table formatting.
 //! * [`obs`] — the zero-cost probe seam and telemetry consumers
 //!   (counter/histogram probe, per-branch-site attribution, Chrome-trace
@@ -40,6 +44,7 @@ pub use arvi_core as core;
 pub use arvi_isa as isa;
 pub use arvi_obs as obs;
 pub use arvi_predict as predict;
+pub use arvi_sampling as sampling;
 pub use arvi_sim as sim;
 pub use arvi_stats as stats;
 pub use arvi_synth as synth;

@@ -1,0 +1,254 @@
+//! Sampled-simulation contract tests (see `arvi::sampling` and
+//! `arvi_bench::sampling`):
+//!
+//! 1. **Full-coverage exactness** — a `k = 1` systematic plan tiles the
+//!    region, so the instruction population it measures is *exactly* the
+//!    full run's: committed count equals the region length and the
+//!    trace-derived counters (conditional-branch totals) match a single
+//!    detail window spanning the whole region, for any detail length and
+//!    warm-up (property test). Cycle counts are boundary-dependent (each
+//!    unit refills its own pipeline) and are deliberately not part of
+//!    the exactness claim.
+//! 2. **Merge algebra** — per-unit counter blocks merge with plain
+//!    integer sums: associative, commutative, and `aggregate`'s totals
+//!    equal a fold in any order, so thread interleaving and resume
+//!    replay cannot change a sampled result.
+//! 3. **End-to-end determinism** — a sampled sweep's complete estimate
+//!    fingerprint (counters plus the bit patterns of every mean, stderr
+//!    and CI) is byte-identical across `--threads 1/4/8` and across a
+//!    kill + `--resume` cycle through the unit journal.
+
+use std::sync::{Arc, OnceLock};
+
+use arvi::isa::Emulator;
+use arvi::sampling::{aggregate, merge_stats, run_unit, run_units, SamplePlan, SampleUnit};
+use arvi::sim::{Depth, MachineStats, PredictorConfig, SimParams};
+use arvi::trace::Trace;
+use arvi::workloads::Benchmark;
+use arvi_bench::{
+    grid, run_sweep_sampled, sample_ci_table, FaultPlan, Resilience, SampledSweep, Spec,
+    SweepPoint, TraceSet, Workload,
+};
+use proptest::prelude::*;
+
+/// Region length of the shared property-test trace; the recording
+/// carries extra slack so a detail window ending at the region boundary
+/// can still fetch ahead.
+const REGION: u64 = 3_000;
+
+fn shared_trace() -> &'static Arc<Trace> {
+    static TRACE: OnceLock<Arc<Trace>> = OnceLock::new();
+    TRACE.get_or_init(|| {
+        let emu = Emulator::new(Benchmark::Compress.program(7));
+        Arc::new(Trace::record(
+            emu,
+            REGION + 2_000,
+            "compress-sampling-it",
+            7,
+        ))
+    })
+}
+
+/// The full-run reference: one detail window spanning the whole region,
+/// started cold at position 0 — exactly what a plan degenerates to when
+/// its detail length covers the region.
+fn full_region_counts(config: PredictorConfig) -> MachineStats {
+    let unit = SampleUnit {
+        index: 0,
+        warmup_start: 0,
+        detail_start: 0,
+        detail_len: REGION,
+    };
+    run_unit(
+        shared_trace(),
+        &SimParams::for_depth(Depth::D20),
+        config,
+        &unit,
+    )
+    .expect("full-region unit runs")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+    #[test]
+    fn full_coverage_plan_reproduces_full_run_counts(
+        detail in 64u64..1_500,
+        warmup in 0u64..3_000,
+    ) {
+        let config = PredictorConfig::TwoLevelGskew;
+        let full = full_region_counts(config);
+        prop_assert_eq!(full.committed, REGION);
+
+        let plan = SamplePlan::systematic(1, warmup, detail);
+        let units = plan.units(0, REGION, 0);
+        // The tiling invariant: contiguous detail windows, no gaps.
+        let mut next = 0;
+        for u in &units {
+            prop_assert_eq!(u.detail_start, next);
+            next = u.detail_start + u.detail_len;
+        }
+        prop_assert_eq!(next, REGION);
+
+        let params = SimParams::for_depth(Depth::D20);
+        let results = run_units(shared_trace(), &params, config, &units, 2).unwrap();
+        let report = aggregate(&results, REGION);
+
+        // 100% coverage measures the full run's instruction population
+        // exactly — commit-for-commit, branch-for-branch.
+        prop_assert_eq!(report.totals.committed, REGION);
+        prop_assert_eq!(report.sampled_insts, REGION);
+        prop_assert!((report.coverage() - 1.0).abs() < 1e-12);
+        prop_assert_eq!(
+            report.totals.cond_branches.total(),
+            full.cond_branches.total()
+        );
+        prop_assert_eq!(report.totals.l1_only.total(), full.l1_only.total());
+        // The weighted means stay exact ratios of the summed counters.
+        prop_assert!((report.ipc.mean - report.totals.ipc()).abs() < 1e-12);
+        prop_assert!(
+            (report.accuracy.mean - report.totals.cond_branches.rate()).abs() < 1e-12
+        );
+    }
+}
+
+#[test]
+fn merge_order_cannot_change_a_sampled_result() {
+    let params = SimParams::for_depth(Depth::D20);
+    let plan = SamplePlan::systematic(2, 300, 400);
+    let units = plan.units(0, REGION, 0);
+    let r = run_units(
+        shared_trace(),
+        &params,
+        PredictorConfig::ArviCurrent,
+        &units,
+        1,
+    )
+    .unwrap();
+    assert!(r.len() >= 4, "need several units, got {}", r.len());
+
+    let eq = |a: &MachineStats, b: &MachineStats| {
+        assert_eq!(a.committed, b.committed);
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.cond_branches, b.cond_branches);
+        assert_eq!(a.overrides, b.overrides);
+        assert_eq!(a.full_mispredicts, b.full_mispredicts);
+        assert_eq!(a.bvit_hits, b.bvit_hits);
+    };
+
+    // Associativity and commutativity on real unit blocks.
+    let ab_c = merge_stats(&merge_stats(&r[0], &r[1]), &r[2]);
+    let a_bc = merge_stats(&r[0], &merge_stats(&r[1], &r[2]));
+    let c_ba = merge_stats(&r[2], &merge_stats(&r[1], &r[0]));
+    eq(&ab_c, &a_bc);
+    eq(&ab_c, &c_ba);
+
+    // aggregate's totals equal a fold in forward, reverse, or
+    // interleaved order — the resume path merges in whatever order the
+    // journal yields.
+    let totals = aggregate(&r, REGION).totals;
+    let forward = r
+        .iter()
+        .fold(MachineStats::default(), |acc, s| merge_stats(&acc, s));
+    let reverse = r
+        .iter()
+        .rev()
+        .fold(MachineStats::default(), |acc, s| merge_stats(&acc, s));
+    let mut shuffled: Vec<&MachineStats> = r.iter().skip(1).step_by(2).collect();
+    shuffled.extend(r.iter().step_by(2));
+    let interleaved = shuffled
+        .into_iter()
+        .fold(MachineStats::default(), |acc, s| merge_stats(&acc, s));
+    eq(&totals, &forward);
+    eq(&totals, &reverse);
+    eq(&totals, &interleaved);
+}
+
+/// Everything a sampled sweep reports, minus wall-clock: per-cell
+/// counters and the exact bit patterns of every estimate. Two sweeps
+/// with equal fingerprints render identical tables and JSON.
+fn sweep_fingerprint(points: &[SweepPoint], sweep: &SampledSweep) -> String {
+    let mut out = String::new();
+    for (point, (outcome, report)) in points.iter().zip(sweep.outcomes.iter().zip(&sweep.reports)) {
+        let s = outcome
+            .success()
+            .unwrap_or_else(|| panic!("cell {point} did not complete: {outcome:?}"));
+        let w = &s.result.window;
+        out.push_str(&format!(
+            "{point} committed={} cycles={} branches={:?} mispredicts={} units={}\n",
+            w.committed, w.cycles, w.cond_branches, w.full_mispredicts, s.sampled_units
+        ));
+        let r = report.as_ref().expect("sampled cells carry a report");
+        out.push_str(&format!(
+            "  ipc mean={:016x} stderr={:016x} ci={:016x} acc mean={:016x} stderr={:016x} \
+             units={} coverage={:016x}\n",
+            r.ipc.mean.to_bits(),
+            r.ipc.stderr.to_bits(),
+            r.ipc.ci_half_width().to_bits(),
+            r.accuracy.mean.to_bits(),
+            r.accuracy.stderr.to_bits(),
+            r.units(),
+            r.coverage().to_bits(),
+        ));
+    }
+    out.push_str(&sample_ci_table(points, sweep).to_text());
+    out
+}
+
+#[test]
+fn sampled_sweep_fingerprint_is_identical_across_threads_and_resume() {
+    let spec = Spec {
+        warmup: 2_000,
+        measure: 8_000,
+        seed: 3,
+    };
+    let workloads = [
+        Workload::from(Benchmark::Compress),
+        Workload::from(Benchmark::Li),
+    ];
+    let points = grid(
+        &workloads,
+        &[Depth::D20],
+        &[PredictorConfig::TwoLevelGskew, PredictorConfig::ArviCurrent],
+    );
+    let traces = TraceSet::record(&workloads, spec, 2, None);
+    let plan = SamplePlan::systematic(2, 500, 1_000);
+
+    // Thread invariance: the full fingerprint, not just one counter.
+    let reference = {
+        let sweep = run_sweep_sampled(&points, spec, &plan, 1, false, &traces, None);
+        sweep_fingerprint(&points, &sweep)
+    };
+    for threads in [4, 8] {
+        let sweep = run_sweep_sampled(&points, spec, &plan, threads, false, &traces, None);
+        assert_eq!(
+            sweep_fingerprint(&points, &sweep),
+            reference,
+            "1 vs {threads} threads"
+        );
+    }
+
+    // Kill + resume: the first run dies mid-cell after 3 units; the
+    // resumed run restores the journaled units, finishes the rest, and
+    // fingerprints identically to an uninterrupted run.
+    let dir = std::env::temp_dir().join(format!("arvi-sampling-it-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    let journal = dir.join("sweep.journal");
+    let res = Resilience::new()
+        .with_journal(&journal)
+        .with_plan(FaultPlan::parse("kill-after 3").unwrap());
+    let killed = run_sweep_sampled(&points, spec, &plan, 1, false, &traces, Some(&res));
+    assert!(
+        killed.outcomes.iter().any(|o| o.success().is_none()),
+        "the kill must leave unfinished cells behind"
+    );
+
+    let res = Resilience::new().with_journal(&journal).resuming();
+    let resumed = run_sweep_sampled(&points, spec, &plan, 4, false, &traces, Some(&res));
+    assert_eq!(
+        sweep_fingerprint(&points, &resumed),
+        reference,
+        "kill + resume must reproduce the uninterrupted sweep bit for bit"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
